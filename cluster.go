@@ -1,0 +1,200 @@
+package hzccl
+
+import (
+	"time"
+
+	"hzccl/internal/cluster"
+	"hzccl/internal/core"
+)
+
+// ClusterConfig describes the simulated multi-node machine the collectives
+// run on: each rank is a goroutine with its own virtual clock; messages
+// move real bytes while time is charged by an (α, β) network model.
+type ClusterConfig struct {
+	// Ranks is the number of simulated nodes (one process per node, as in
+	// the paper's evaluation).
+	Ranks int
+	// Latency is the per-message latency α. 0 selects 1.5 µs.
+	Latency time.Duration
+	// BandwidthBytes is the per-link bandwidth β in bytes/second.
+	// 0 selects 12.5e9 (100 Gbps line rate). The experiment harness uses
+	// a lower, calibrated effective bandwidth; see DESIGN.md.
+	BandwidthBytes float64
+}
+
+// Backend selects a collective implementation.
+type Backend int
+
+// Collective backends.
+const (
+	// BackendMPI is the uncompressed baseline (original MPI collectives).
+	BackendMPI Backend = iota
+	// BackendCColl is the C-Coll baseline: compression-accelerated
+	// collectives with the decompress-operate-compress workflow.
+	BackendCColl
+	// BackendHZCCL is the homomorphic co-design: operations run directly
+	// on compressed blocks.
+	BackendHZCCL
+)
+
+func (b Backend) String() string {
+	switch b {
+	case BackendMPI:
+		return "MPI"
+	case BackendCColl:
+		return "C-Coll"
+	case BackendHZCCL:
+		return "hZCCL"
+	}
+	return "unknown"
+}
+
+// CollectiveOptions configures the compressed backends.
+type CollectiveOptions struct {
+	// ErrorBound is the absolute error bound for compression. Required for
+	// BackendCColl and BackendHZCCL.
+	ErrorBound float64
+	// MultiThread selects the multi-thread compression mode (the paper's
+	// MT kernels); MTThreads and MTSpeedup tune it (defaults 18 and 12).
+	MultiThread bool
+	MTThreads   int
+	MTSpeedup   float64
+	// Segments > 1 pipelines the C-Coll backend's rounds: each block is
+	// compressed, sent and reduced in that many overlapping pieces.
+	Segments int
+	// Recursive selects Rabenseifner's recursive-halving/doubling
+	// allreduce (log₂N rounds) instead of the ring (N−1 rounds); it wins
+	// once per-message latency matters. Supported by BackendMPI and
+	// BackendHZCCL; BackendCColl always rings.
+	Recursive bool
+}
+
+func (o CollectiveOptions) core() core.Options {
+	mode := core.SingleThread
+	if o.MultiThread {
+		mode = core.MultiThread
+	}
+	return core.Options{
+		ErrorBound: o.ErrorBound,
+		Mode:       mode,
+		MTThreads:  o.MTThreads,
+		MTSpeedup:  o.MTSpeedup,
+		Segments:   o.Segments,
+	}
+}
+
+// RunResult aggregates a finished cluster run.
+type RunResult struct {
+	// Seconds is the collective completion time in virtual seconds (the
+	// maximum over ranks).
+	Seconds float64
+	// RankSeconds holds each rank's final virtual clock.
+	RankSeconds []float64
+	// Breakdown sums virtual time per category across ranks; keys are
+	// "CPR", "DPR", "CPT", "HPR", "MPI", "OTHER".
+	Breakdown map[string]float64
+}
+
+// Rank is one simulated process inside RunCluster. Its methods must only
+// be called from the rank's own body function.
+type Rank struct {
+	r *cluster.Rank
+}
+
+// ID returns this rank's index in [0, Size).
+func (r *Rank) ID() int { return r.r.ID }
+
+// Size returns the number of ranks in the cluster.
+func (r *Rank) Size() int { return r.r.N }
+
+// Send transmits bytes to a peer (the payload is copied).
+func (r *Rank) Send(to int, data []byte) error { return r.r.Send(to, data) }
+
+// Recv blocks for the next message from a peer.
+func (r *Rank) Recv(from int) ([]byte, error) { return r.r.Recv(from) }
+
+// Barrier synchronizes all ranks and their virtual clocks.
+func (r *Rank) Barrier() { r.r.Barrier() }
+
+// Quiesce runs f without charging virtual time, serialized against other
+// ranks' measured compute. Stage inputs and post-process outputs inside
+// Quiesce so they neither pollute other ranks' measurements nor count as
+// collective time.
+func (r *Rank) Quiesce(f func()) { r.r.Quiesce(f) }
+
+// Allreduce sums data element-wise across all ranks and returns the full
+// reduced vector, using the selected backend. All ranks must call it with
+// equal-length data.
+func (r *Rank) Allreduce(data []float32, b Backend, opt CollectiveOptions) ([]float32, error) {
+	c := core.New(opt.core())
+	switch b {
+	case BackendCColl:
+		if opt.Segments > 1 {
+			return c.AllreduceCCollSegmented(r.r, data)
+		}
+		return c.AllreduceCColl(r.r, data)
+	case BackendHZCCL:
+		if opt.Recursive {
+			out, _, err := c.AllreduceHZRecursive(r.r, data)
+			return out, err
+		}
+		out, _, err := c.AllreduceHZ(r.r, data)
+		return out, err
+	default:
+		if opt.Recursive {
+			return c.AllreducePlainRecursive(r.r, data)
+		}
+		return c.AllreducePlain(r.r, data)
+	}
+}
+
+// ReduceScatter sums data element-wise across all ranks and returns this
+// rank's owned block of the result (see OwnedBlock for its index).
+func (r *Rank) ReduceScatter(data []float32, b Backend, opt CollectiveOptions) ([]float32, error) {
+	c := core.New(opt.core())
+	switch b {
+	case BackendCColl:
+		if opt.Segments > 1 {
+			return c.ReduceScatterCCollSegmented(r.r, data)
+		}
+		return c.ReduceScatterCColl(r.r, data)
+	case BackendHZCCL:
+		out, _, err := c.ReduceScatterHZ(r.r, data)
+		return out, err
+	default:
+		return c.ReduceScatterPlain(r.r, data)
+	}
+}
+
+// OwnedBlock returns the block index this rank holds after ReduceScatter,
+// and the [start, end) element range of that block within the input.
+func (r *Rank) OwnedBlock(dataLen int) (index, start, end int) {
+	index = core.BlockOwned(r.r.ID, r.r.N)
+	start, end = core.BlockBounds(dataLen, r.r.N, index)
+	return
+}
+
+// RunCluster executes body once per rank, each on its own goroutine, and
+// returns the virtual-time result. If any rank's body returns an error,
+// RunCluster returns the first one after all ranks finish.
+func RunCluster(cfg ClusterConfig, body func(*Rank) error) (*RunResult, error) {
+	res, err := cluster.Run(cluster.Config{
+		Ranks:          cfg.Ranks,
+		Latency:        cfg.Latency,
+		BandwidthBytes: cfg.BandwidthBytes,
+	}, func(cr *cluster.Rank) error {
+		return body(&Rank{r: cr})
+	})
+	if res == nil {
+		return nil, err
+	}
+	out := &RunResult{
+		Seconds:     res.Time,
+		RankSeconds: res.RankTimes,
+		Breakdown:   make(map[string]float64, len(res.Breakdown)),
+	}
+	for k, v := range res.Breakdown {
+		out.Breakdown[string(k)] = v
+	}
+	return out, err
+}

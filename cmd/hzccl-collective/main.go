@@ -1,0 +1,114 @@
+// Command hzccl-collective regenerates the collective-communication
+// experiments of the hZCCL paper: Figure 2 (C-Coll runtime breakdown),
+// Figures 7/8 (hZCCL vs C-Coll), Figures 9/11 (message-size sweeps) and
+// Figures 10/12 (node-count sweeps up to 512 simulated nodes).
+//
+// Usage:
+//
+//	hzccl-collective -experiment fig2|fig7|fig8|fig9|fig10|fig11|fig12|all \
+//	    [-nodes N] [-maxnodes N] [-message BYTES] [-rel BOUND] \
+//	    [-latency DUR] [-bandwidth GBPS] [-quick] [-trials K]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hzccl/internal/cluster"
+	"hzccl/internal/core"
+	"hzccl/internal/datasets"
+	"hzccl/internal/harness"
+	"hzccl/internal/metrics"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id: fig2, fig7..fig12 or all")
+		nodes      = flag.Int("nodes", 0, "node count for fixed-node experiments (0 = default)")
+		maxNodes   = flag.Int("maxnodes", 0, "maximum node count for scaling sweeps (0 = default 512)")
+		message    = flag.Int("message", 0, "per-rank message bytes for node sweeps (0 = default)")
+		rel        = flag.Float64("rel", 0, "relative error bound (0 = default 1e-4)")
+		latency    = flag.Duration("latency", 0, "modeled per-message latency (0 = default 2us)")
+		bandwidth  = flag.Float64("bandwidth", 0, "modeled effective link bandwidth in GB/s (0 = default 0.4)")
+		quick      = flag.Bool("quick", false, "shrink scales for a fast smoke run")
+		trials     = flag.Int("trials", 0, "timing trials per kernel (0 = default)")
+		traceFile  = flag.String("trace", "", "write a Chrome trace of one hZCCL Allreduce to this file and exit")
+	)
+	flag.Parse()
+
+	if *traceFile != "" {
+		if err := writeTrace(*traceFile, *nodes, *message); err != nil {
+			fmt.Fprintf(os.Stderr, "hzccl-collective: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceFile)
+		return
+	}
+
+	opt := harness.Options{
+		Nodes:        *nodes,
+		MaxNodes:     *maxNodes,
+		MessageBytes: *message,
+		RelBound:     *rel,
+		Latency:      *latency,
+		Bandwidth:    *bandwidth * 1e9,
+		Quick:        *quick,
+		Trials:       *trials,
+	}
+	ids := []string{"fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"}
+	if *experiment != "all" {
+		ids = []string{*experiment}
+	}
+	for _, id := range ids {
+		e, ok := harness.Find(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "hzccl-collective: unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("\n===== %s: %s =====\n", e.ID, e.Title)
+		if err := e.Run(os.Stdout, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "hzccl-collective: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTrace records the virtual timeline of one hZCCL multi-thread
+// Allreduce and saves it in Chrome trace-event format.
+func writeTrace(path string, nodes, message int) error {
+	if nodes == 0 {
+		nodes = 8
+	}
+	if message == 0 {
+		message = 1 << 20
+	}
+	n := message / 4
+	base, err := datasets.Field("SimSet1", 0, n)
+	if err != nil {
+		return err
+	}
+	eb := metrics.AbsBound(1e-4, base)
+	c := core.New(core.Options{ErrorBound: eb, Mode: core.MultiThread})
+	cl, tr, err := cluster.NewTraced(cluster.Config{
+		Ranks:          nodes,
+		Latency:        2 * time.Microsecond,
+		BandwidthBytes: 0.4e9,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := cl.Run(func(r *cluster.Rank) error {
+		_, _, err := c.AllreduceHZ(r, base)
+		return err
+	}); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tr.WriteChrome(f)
+}

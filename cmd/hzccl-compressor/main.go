@@ -1,0 +1,45 @@
+// Command hzccl-compressor regenerates the compressor-side experiments of
+// the hZCCL paper: Table III (ratio/quality), Figure 6 (throughput),
+// Table IV (memory-bandwidth efficiency), Table V (homomorphic pipeline
+// selection) and Table VI (homomorphic vs DOC reduce performance).
+//
+// Usage:
+//
+//	hzccl-compressor -experiment table3|fig6|table4|table5|table6|all [-len N] [-quick] [-trials K]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hzccl/internal/harness"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id: table3, fig6, table4, table5, table6, szx-quality, predictors or all")
+		length     = flag.Int("len", 0, "elements per field (0 = default)")
+		quick      = flag.Bool("quick", false, "shrink scales for a fast smoke run")
+		trials     = flag.Int("trials", 0, "timing trials per measurement (0 = default)")
+	)
+	flag.Parse()
+
+	opt := harness.Options{Len: *length, Quick: *quick, Trials: *trials}
+	ids := []string{"table3", "fig6", "table4", "table5", "table6", "szx-quality", "predictors"}
+	if *experiment != "all" {
+		ids = []string{*experiment}
+	}
+	for _, id := range ids {
+		e, ok := harness.Find(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "hzccl-compressor: unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("\n===== %s: %s =====\n", e.ID, e.Title)
+		if err := e.Run(os.Stdout, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "hzccl-compressor: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package hzccl
+
+import (
+	"fmt"
+
+	"hzccl/internal/core"
+)
+
+// This file exposes the extended collective family. BackendCColl and
+// BackendHZCCL behave identically for pure data-movement collectives
+// (Broadcast, Gather, Allgather, Alltoall): both compress once at each
+// source and decompress once at each sink. They differ on computation
+// collectives, where BackendHZCCL combines partial results homomorphically
+// in compressed form while BackendCColl decompresses, operates and
+// recompresses at every hop.
+
+// Broadcast distributes root's data to every rank and returns each rank's
+// copy. All ranks must pass a buffer of the same length (non-root contents
+// are ignored).
+func (r *Rank) Broadcast(data []float32, root int, b Backend, opt CollectiveOptions) ([]float32, error) {
+	c := core.New(opt.core())
+	if b == BackendMPI {
+		return c.BroadcastPlain(r.r, data, root)
+	}
+	return c.BroadcastCompressed(r.r, data, root)
+}
+
+// Reduce sums data element-wise across ranks at root. Only the root
+// receives a non-nil result.
+func (r *Rank) Reduce(data []float32, root int, b Backend, opt CollectiveOptions) ([]float32, error) {
+	c := core.New(opt.core())
+	switch b {
+	case BackendMPI:
+		return c.ReducePlain(r.r, data, root)
+	case BackendHZCCL:
+		out, _, err := c.ReduceHZ(r.r, data, root)
+		return out, err
+	default:
+		// The DOC treatment of a rooted reduce degenerates to plain
+		// partial sums plus compressed links; model it as reduce-scatter +
+		// gather of the owned blocks.
+		block, err := c.ReduceScatterCColl(r.r, data)
+		if err != nil {
+			return nil, err
+		}
+		blocks, err := c.GatherCompressed(r.r, block, root)
+		if err != nil || blocks == nil {
+			return nil, err
+		}
+		out := make([]float32, len(data))
+		for origin, vals := range blocks {
+			k := core.BlockOwned(origin, r.r.N)
+			s, e := core.BlockBounds(len(data), r.r.N, k)
+			if len(vals) != e-s {
+				return nil, fmt.Errorf("hzccl: reduce gather block %d size mismatch", k)
+			}
+			copy(out[s:e], vals)
+		}
+		return out, nil
+	}
+}
+
+// Gather collects every rank's data at root, indexed by origin rank. Only
+// the root receives a non-nil result.
+func (r *Rank) Gather(data []float32, root int, b Backend, opt CollectiveOptions) ([][]float32, error) {
+	c := core.New(opt.core())
+	if b == BackendMPI {
+		return c.GatherPlain(r.r, data, root)
+	}
+	return c.GatherCompressed(r.r, data, root)
+}
+
+// Allgather gives every rank every rank's data, indexed by origin rank.
+func (r *Rank) Allgather(data []float32, b Backend, opt CollectiveOptions) ([][]float32, error) {
+	c := core.New(opt.core())
+	if b == BackendMPI {
+		return c.AllgatherPlain(r.r, data)
+	}
+	return c.AllgatherCompressed(r.r, data)
+}
+
+// Alltoall performs the personalized exchange: block j of this rank's data
+// goes to rank j; the result holds the blocks received from each rank.
+func (r *Rank) Alltoall(data []float32, b Backend, opt CollectiveOptions) ([][]float32, error) {
+	c := core.New(opt.core())
+	if b == BackendMPI {
+		return c.AlltoallPlain(r.r, data)
+	}
+	return c.AlltoallCompressed(r.r, data)
+}

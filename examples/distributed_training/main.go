@@ -1,0 +1,157 @@
+// Distributed data-parallel training — the deep-learning motivation of the
+// paper's introduction. W workers hold data shards; every step they
+// Allreduce their local gradients and take a synchronous SGD step. The
+// gradients travel through the hZCCL homomorphic path, and the run
+// verifies that error-bounded gradient aggregation leaves convergence
+// intact: the compressed-collective model reaches the same loss as exact
+// aggregation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"hzccl"
+)
+
+const (
+	workers  = 8
+	features = 512
+	perShard = 256
+	epochs   = 30
+	lr       = 0.05
+	errBound = 1e-5
+)
+
+// shard holds one worker's slice of the regression dataset.
+type shard struct {
+	x [][]float32
+	y []float32
+}
+
+// trueWeights defines the regression target the workers should recover.
+func trueWeights() []float32 {
+	rng := rand.New(rand.NewSource(7))
+	w := make([]float32, features)
+	for i := range w {
+		w[i] = float32(rng.NormFloat64())
+	}
+	return w
+}
+
+func makeShards() []shard {
+	w := trueWeights()
+	out := make([]shard, workers)
+	for s := range out {
+		rng := rand.New(rand.NewSource(100 + int64(s)))
+		sh := shard{y: make([]float32, perShard)}
+		for r := 0; r < perShard; r++ {
+			row := make([]float32, features)
+			dot := 0.0
+			for j := range row {
+				row[j] = float32(rng.NormFloat64())
+				dot += float64(row[j]) * float64(w[j])
+			}
+			sh.x = append(sh.x, row)
+			sh.y[r] = float32(dot + rng.NormFloat64()*0.01)
+		}
+		out[s] = sh
+	}
+	return out
+}
+
+// gradient computes the local MSE gradient for the current weights.
+func (s *shard) gradient(w []float32) ([]float32, float64) {
+	g := make([]float32, features)
+	loss := 0.0
+	for r, row := range s.x {
+		pred := 0.0
+		for j, v := range row {
+			pred += float64(v) * float64(w[j])
+		}
+		err := pred - float64(s.y[r])
+		loss += err * err
+		for j, v := range row {
+			g[j] += float32(2 * err * float64(v) / perShard)
+		}
+	}
+	return g, loss / perShard
+}
+
+// train runs synchronous SGD; aggregate selects how gradients are summed.
+func train(shards []shard, aggregate func(step int, local [][]float32) ([]float32, error)) ([]float64, error) {
+	w := make([]float32, features)
+	losses := make([]float64, 0, epochs)
+	for e := 0; e < epochs; e++ {
+		locals := make([][]float32, workers)
+		total := 0.0
+		for s := range shards {
+			g, loss := shards[s].gradient(w)
+			locals[s] = g
+			total += loss
+		}
+		sum, err := aggregate(e, locals)
+		if err != nil {
+			return nil, err
+		}
+		for j := range w {
+			w[j] -= lr * sum[j] / workers
+		}
+		losses = append(losses, total/workers)
+	}
+	return losses, nil
+}
+
+func main() {
+	shards := makeShards()
+
+	exactLosses, err := train(shards, func(_ int, local [][]float32) ([]float32, error) {
+		sum := make([]float32, features)
+		for _, g := range local {
+			for j, v := range g {
+				sum[j] += v
+			}
+		}
+		return sum, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := hzccl.ClusterConfig{Ranks: workers, BandwidthBytes: 0.4e9}
+	opts := hzccl.CollectiveOptions{ErrorBound: errBound, MultiThread: true}
+	var virtualSeconds float64
+	hzLosses, err := train(shards, func(step int, local [][]float32) ([]float32, error) {
+		var sum []float32
+		res, err := hzccl.RunCluster(cfg, func(r *hzccl.Rank) error {
+			out, err := r.Allreduce(local[r.ID()], hzccl.BackendHZCCL, opts)
+			if r.ID() == 0 {
+				sum = out
+			}
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		virtualSeconds += res.Seconds
+		return sum, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-6s  %-14s  %-14s\n", "epoch", "exact loss", "hZCCL loss")
+	for e := 0; e < epochs; e += 5 {
+		fmt.Printf("%-6d  %-14.6f  %-14.6f\n", e, exactLosses[e], hzLosses[e])
+	}
+	last := epochs - 1
+	fmt.Printf("%-6d  %-14.6f  %-14.6f\n", last, exactLosses[last], hzLosses[last])
+	drift := math.Abs(exactLosses[last] - hzLosses[last])
+	fmt.Printf("\nfinal-loss drift from exact aggregation: %.2e (gradient eb %.0e)\n", drift, errBound)
+	fmt.Printf("aggregate collective time across %d steps: %.2f ms (virtual)\n", epochs, virtualSeconds*1e3)
+	if drift < 1e-3 {
+		fmt.Println("convergence check: PASS — compressed aggregation tracks exact SGD")
+	}
+}

@@ -1,0 +1,70 @@
+// Image stacking (paper §IV-E): sum many single-exposure images into one
+// high-SNR image via Allreduce on compressed data, then verify the result
+// visually (PGM output) and numerically (PSNR / NRMSE).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"hzccl"
+	"hzccl/internal/imagestack"
+	"hzccl/internal/metrics"
+)
+
+const (
+	exposuresN = 16
+	side       = 512
+	noiseSigma = 0.002
+)
+
+func main() {
+	scene := imagestack.Scene(side, side, 42)
+	exposures := make([]*imagestack.Image, exposuresN)
+	for i := range exposures {
+		exposures[i] = imagestack.Exposure(scene, i, noiseSigma)
+	}
+	exact, err := imagestack.ExactStack(exposures)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eb := metrics.AbsBound(1e-4, exposures[0].Pix)
+
+	var stacked []float32
+	res, err := hzccl.RunCluster(hzccl.ClusterConfig{Ranks: exposuresN}, func(r *hzccl.Rank) error {
+		out, err := r.Allreduce(exposures[r.ID()].Pix, hzccl.BackendHZCCL,
+			hzccl.CollectiveOptions{ErrorBound: eb, MultiThread: true})
+		if r.ID() == 0 {
+			stacked = out
+		}
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	img := &imagestack.Image{W: side, H: side, Pix: stacked}
+	q := imagestack.Quality(exact, img)
+	fmt.Printf("stacked %d exposures of %dx%d in %.2f ms (virtual), eb=%.3g\n",
+		exposuresN, side, side, res.Seconds*1e3, eb)
+	fmt.Printf("vs exact stack: PSNR %.2f dB, NRMSE %.2e, max abs err %.3g\n", q.PSNR, q.NRMSE, q.MaxAbs)
+	if math.IsInf(q.PSNR, 1) || q.PSNR > 60 {
+		fmt.Println("quality check: PASS (paper reports PSNR 62.00 with eb 1e-4)")
+	}
+
+	for name, im := range map[string]*imagestack.Image{"stack_exact.pgm": exact, "stack_hzccl.pgm": img} {
+		f, err := os.Create(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := imagestack.WritePGM(f, im); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", name)
+	}
+}

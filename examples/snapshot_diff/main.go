@@ -1,0 +1,84 @@
+// Snapshot differencing: compare two timesteps of a simulation entirely in
+// compressed space. The difference of two compressed snapshots is itself a
+// compressed field (HomomorphicSub), usually far smaller than either input
+// because unchanged regions collapse to constant blocks — a practical
+// pattern for in-situ change detection and delta archiving.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"hzccl"
+	"hzccl/internal/datasets"
+	"hzccl/internal/metrics"
+)
+
+func main() {
+	const n = 1 << 21
+	// Two RTM timesteps: the wavefront moved a little between them.
+	t0, err := datasets.Field("SimSet2", 0, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t1 := make([]float32, n)
+	copy(t1, t0)
+	// Perturb a localized region — the "event" between snapshots.
+	for i := n / 2; i < n/2+n/50; i++ {
+		t1[i] += float32(3 * math.Sin(float64(i)*0.05))
+	}
+
+	eb := metrics.AbsBound(1e-4, t0)
+	p := hzccl.Params{ErrorBound: eb, Threads: 4}
+	c0, err := hzccl.Compress(t0, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c1, err := hzccl.Compress(t1, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	diff, err := hzccl.HomomorphicSub(c1, c0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	i0, _ := hzccl.Info(c0)
+	id, _ := hzccl.Info(diff)
+	fmt.Printf("snapshot:   %8d bytes (ratio %.1f)\n", i0.CompressedBytes, i0.Ratio)
+	fmt.Printf("difference: %8d bytes (ratio %.1f, %.1f%% constant blocks)\n",
+		id.CompressedBytes, id.Ratio, 100*id.ConstantBlockFraction)
+
+	// Locate the change without ever decompressing the full snapshots:
+	// decompress only the (tiny) difference.
+	d, err := hzccl.Decompress(diff)
+	if err != nil {
+		log.Fatal(err)
+	}
+	first, last := -1, -1
+	for i, v := range d {
+		if math.Abs(float64(v)) > 2*eb {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	fmt.Printf("change detected in [%d, %d] (injected [%d, %d))\n", first, last, n/2, n/2+n/50)
+
+	// And the algebra closes: t0 + diff == t1 within the compressed domain.
+	recon, err := hzccl.HomomorphicAdd(c0, diff)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r1, _ := hzccl.Decompress(recon)
+	d1, _ := hzccl.Decompress(c1)
+	maxErr := 0.0
+	for i := range r1 {
+		if d := math.Abs(float64(r1[i]) - float64(d1[i])); d > maxErr {
+			maxErr = d
+		}
+	}
+	fmt.Printf("t0 + (t1 - t0) vs t1: max deviation %.3g (exact in the quantized domain)\n", maxErr)
+}

@@ -1,0 +1,3 @@
+module hzccl
+
+go 1.24

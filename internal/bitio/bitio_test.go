@@ -1,0 +1,209 @@
+package bitio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSizeHelpers(t *testing.T) {
+	cases := []struct {
+		n, c                      int
+		signs, planes, rem, total int
+	}{
+		{32, 0, 4, 0, 0, 0},
+		{32, 1, 4, 0, 4, 8},
+		{32, 8, 4, 32, 0, 36},
+		{32, 9, 4, 32, 4, 40},
+		{32, 32, 4, 128, 0, 132},
+		{7, 3, 1, 0, 3, 4},
+		{1, 5, 1, 0, 1, 2},
+	}
+	for _, c := range cases {
+		if got := SignBytes(c.n); got != c.signs {
+			t.Errorf("SignBytes(%d) = %d, want %d", c.n, got, c.signs)
+		}
+		if got := PlaneBytes(c.n, c.c); got != c.planes {
+			t.Errorf("PlaneBytes(%d,%d) = %d, want %d", c.n, c.c, got, c.planes)
+		}
+		if got := RemainderBytes(c.n, c.c); got != c.rem {
+			t.Errorf("RemainderBytes(%d,%d) = %d, want %d", c.n, c.c, got, c.rem)
+		}
+		if got := EncodedBytes(c.n, c.c); got != c.total {
+			t.Errorf("EncodedBytes(%d,%d) = %d, want %d", c.n, c.c, got, c.total)
+		}
+	}
+}
+
+func TestSignRoundTrip(t *testing.T) {
+	vals := []int32{0, -1, 5, -7, 123456, -99, 0, -0, 8, -8, 1, 1, -2}
+	buf := make([]byte, SignBytes(len(vals)))
+	PackSigns(buf, vals)
+	mags := make([]int32, len(vals))
+	for i, v := range vals {
+		if v < 0 {
+			mags[i] = -v
+		} else {
+			mags[i] = v
+		}
+	}
+	ApplySigns(buf, mags)
+	for i := range vals {
+		if mags[i] != vals[i] {
+			t.Fatalf("sign round trip mismatch at %d: got %d want %d", i, mags[i], vals[i])
+		}
+	}
+}
+
+func TestPackSignsZeroesDst(t *testing.T) {
+	vals := []int32{1, 2, 3, 4, 5, 6, 7, 8}
+	buf := []byte{0xFF}
+	PackSigns(buf, vals)
+	if buf[0] != 0 {
+		t.Fatalf("PackSigns must clear destination bytes, got %x", buf[0])
+	}
+}
+
+func TestPlaneRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{8, 32, 64, 40} {
+		for bc := 0; bc <= 4; bc++ {
+			mags := make([]uint32, n)
+			for i := range mags {
+				mags[i] = rng.Uint32()
+			}
+			dst := make([]byte, PlaneBytes(n, bc*8))
+			wrote := PackPlanes(dst, mags, bc)
+			if wrote != n*bc {
+				t.Fatalf("PackPlanes wrote %d, want %d", wrote, n*bc)
+			}
+			got := make([]uint32, n)
+			UnpackPlanes(dst, got, bc)
+			mask := uint32(0xFFFFFFFF)
+			if bc < 4 {
+				mask = uint32(1)<<(8*bc) - 1
+			}
+			for i := range mags {
+				if got[i] != mags[i]&mask {
+					t.Fatalf("plane round trip (n=%d bc=%d) at %d: got %x want %x", n, bc, i, got[i], mags[i]&mask)
+				}
+			}
+		}
+	}
+}
+
+func TestRemainderRoundTripAllWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{8, 32, 64, 13, 7, 1} { // both fast (mult of 8) and generic
+		for r := 0; r <= 7; r++ {
+			for shift := 0; shift <= 24; shift += 8 {
+				mags := make([]uint32, n)
+				for i := range mags {
+					mags[i] = rng.Uint32()
+				}
+				dst := make([]byte, (n*r+7)/8)
+				wrote := PackRemainder(dst, mags, shift, r)
+				if wrote != len(dst) && r != 0 {
+					t.Fatalf("PackRemainder wrote %d, want %d", wrote, len(dst))
+				}
+				got := make([]uint32, n)
+				UnpackRemainder(dst, got, shift, r)
+				mask := (uint32(1)<<uint(r) - 1) << uint(shift)
+				for i := range mags {
+					if got[i] != mags[i]&mask {
+						t.Fatalf("remainder round trip (n=%d r=%d shift=%d) at %d: got %x want %x",
+							n, r, shift, i, got[i], mags[i]&mask)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFastAndGenericAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 64
+	mags := make([]uint32, n)
+	for i := range mags {
+		mags[i] = rng.Uint32()
+	}
+	for r := 1; r <= 7; r++ {
+		fast := make([]byte, (n*r+7)/8)
+		gen := make([]byte, (n*r+7)/8)
+		PackRemainder(fast, mags, 0, r) // n%8==0 → fast path
+		packGeneric(gen, mags, 0, uint(r))
+		for i := range fast {
+			if fast[i] != gen[i] {
+				t.Fatalf("r=%d: fast and generic packers disagree at byte %d: %x vs %x", r, i, fast[i], gen[i])
+			}
+		}
+	}
+}
+
+func TestBitShuffleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{8, 32, 13} {
+		for c := 0; c <= 32; c += 5 {
+			mags := make([]uint32, n)
+			mask := uint32(0xFFFFFFFF)
+			if c < 32 {
+				mask = uint32(1)<<uint(c) - 1
+			}
+			for i := range mags {
+				mags[i] = rng.Uint32() & mask
+			}
+			dst := make([]byte, c*((n+7)/8))
+			wrote := BitShuffle(dst, mags, c)
+			if wrote != len(dst) {
+				t.Fatalf("BitShuffle wrote %d, want %d", wrote, len(dst))
+			}
+			got := make([]uint32, n)
+			read := BitUnshuffle(dst, got, c)
+			if read != len(dst) {
+				t.Fatalf("BitUnshuffle read %d, want %d", read, len(dst))
+			}
+			for i := range mags {
+				if got[i] != mags[i] {
+					t.Fatalf("bitshuffle round trip (n=%d c=%d) at %d: got %x want %x", n, c, i, got[i], mags[i])
+				}
+			}
+		}
+	}
+}
+
+// Property: packing then unpacking the full 32-bit value through planes +
+// remainder reconstructs it exactly for every code length.
+func TestPropertyFullCodec(t *testing.T) {
+	f := func(raw []uint32, cSeed uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		// pad to a multiple of 8 to exercise the fast path too
+		n := len(raw)
+		c := int(cSeed%32) + 1
+		mask := uint32(0xFFFFFFFF)
+		if c < 32 {
+			mask = uint32(1)<<uint(c) - 1
+		}
+		mags := make([]uint32, n)
+		for i := range raw {
+			mags[i] = raw[i] & mask
+		}
+		bc, r := c/8, c%8
+		buf := make([]byte, PlaneBytes(n, c)+RemainderBytes(n, c))
+		off := PackPlanes(buf, mags, bc)
+		PackRemainder(buf[off:], mags, 8*bc, r)
+		got := make([]uint32, n)
+		off = UnpackPlanes(buf, got, bc)
+		UnpackRemainder(buf[off:], got, 8*bc, r)
+		for i := range mags {
+			if got[i] != mags[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

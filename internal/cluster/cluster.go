@@ -1,0 +1,439 @@
+// Package cluster is the communication substrate hZCCL runs on in this
+// reproduction: an in-process message-passing runtime that stands in for
+// MPI over a 100 Gbps fabric.
+//
+// Each rank is a goroutine with its own virtual clock. Point-to-point
+// sends move real bytes through Go channels (so collectives operate on and
+// verify real data), while *time* is charged through a LogP-style (α, β)
+// model: receiving a message completes at
+//
+//	max(receiver clock, sender clock at send + α + bytes/β)
+//
+// which is the same analytic model the paper's Section III-C cost
+// equations use. Compute is charged either as measured wall time of the
+// actual work (optionally scaled, to model multi-threaded compression on
+// this single-core build machine) or as an explicit duration.
+//
+// The per-rank clock advance is tracked per category (CPR, DPR, CPT, HPR,
+// MPI, OTHER) so the Figure 2 / Table VII runtime breakdowns fall out of
+// any collective run for free.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Category labels where virtual time went, matching the paper's breakdown
+// buckets.
+type Category string
+
+// Breakdown categories.
+const (
+	CatCPR   Category = "CPR"   // compression
+	CatDPR   Category = "DPR"   // decompression
+	CatCPT   Category = "CPT"   // reduction arithmetic on raw values
+	CatHPR   Category = "HPR"   // homomorphic reduction on compressed data
+	CatMPI   Category = "MPI"   // communication (network model)
+	CatOther Category = "OTHER" // everything else (packing, bookkeeping)
+)
+
+// Categories lists all breakdown categories in display order.
+var Categories = []Category{CatCPR, CatDPR, CatCPT, CatHPR, CatMPI, CatOther}
+
+// Config describes the simulated machine.
+type Config struct {
+	// Ranks is the number of processes (paper: one per node).
+	Ranks int
+	// Latency is the per-message latency α. Defaults to 1.5µs
+	// (Omni-Path-class).
+	Latency time.Duration
+	// BandwidthBytes is the link bandwidth β in bytes/second. Defaults to
+	// 12.5e9 (100 Gbps).
+	BandwidthBytes float64
+	// ParallelCompute lets Time closures of different ranks run
+	// concurrently. By default they are serialized under a cluster-wide
+	// lock so that measured durations are not polluted by other ranks'
+	// goroutines — on a single-core machine the work is serialized anyway
+	// and this makes measurements clean.
+	ParallelCompute bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Latency == 0 {
+		c.Latency = 1500 * time.Nanosecond
+	}
+	if c.BandwidthBytes == 0 {
+		c.BandwidthBytes = 12.5e9
+	}
+	return c
+}
+
+// Result aggregates a finished run.
+type Result struct {
+	// Time is the collective completion time: the maximum final virtual
+	// clock over all ranks, in seconds.
+	Time float64
+	// RankTimes holds each rank's final virtual clock.
+	RankTimes []float64
+	// Breakdown sums each category's virtual time across ranks.
+	Breakdown map[Category]float64
+}
+
+// AvgTime returns the mean final clock across ranks (the paper's kernels
+// report avg/max/min).
+func (r *Result) AvgTime() float64 {
+	if len(r.RankTimes) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, t := range r.RankTimes {
+		s += t
+	}
+	return s / float64(len(r.RankTimes))
+}
+
+// MinTime returns the minimum final clock across ranks.
+func (r *Result) MinTime() float64 {
+	if len(r.RankTimes) == 0 {
+		return 0
+	}
+	m := r.RankTimes[0]
+	for _, t := range r.RankTimes {
+		if t < m {
+			m = t
+		}
+	}
+	return m
+}
+
+// BreakdownFractions returns each category's share of the summed virtual
+// time (Figure 2 / Table VII percentages).
+func (r *Result) BreakdownFractions() map[Category]float64 {
+	total := 0.0
+	for _, v := range r.Breakdown {
+		total += v
+	}
+	out := make(map[Category]float64, len(r.Breakdown))
+	if total == 0 {
+		return out
+	}
+	for k, v := range r.Breakdown {
+		out[k] = v / total
+	}
+	return out
+}
+
+type message struct {
+	data   []byte
+	sentAt float64
+}
+
+// Cluster owns the mailboxes and barrier state for one run.
+type Cluster struct {
+	cfg     Config
+	mailMu  sync.Mutex
+	mail    map[[2]int]chan message
+	compute sync.Mutex
+
+	barrierMu   sync.Mutex
+	barrierCond *sync.Cond
+	barrierGen  int
+	barrierIn   int
+	barrierMax  float64
+
+	// trace, when non-nil, records every virtual-time advance (set by
+	// NewTraced).
+	trace *Trace
+	// done[i] is set once rank i's body has returned; its channels are
+	// closed so blocked receivers fail instead of hanging.
+	done []bool
+}
+
+// closeOutgoing marks rank id as finished and closes every mailbox it
+// feeds.
+func (c *Cluster) closeOutgoing(id int) {
+	c.mailMu.Lock()
+	defer c.mailMu.Unlock()
+	c.done[id] = true
+	for key, ch := range c.mail {
+		if key[0] == id {
+			close(ch)
+		}
+	}
+}
+
+// New creates a cluster with the given configuration.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Ranks < 1 {
+		return nil, fmt.Errorf("cluster: Ranks must be >= 1, got %d", cfg.Ranks)
+	}
+	c := &Cluster{
+		cfg:  cfg,
+		mail: make(map[[2]int]chan message),
+		done: make([]bool, cfg.Ranks),
+	}
+	c.barrierCond = sync.NewCond(&c.barrierMu)
+	return c, nil
+}
+
+func (c *Cluster) chanFor(from, to int) chan message {
+	key := [2]int{from, to}
+	c.mailMu.Lock()
+	defer c.mailMu.Unlock()
+	if c.done[from] {
+		// The sender already exited; give the receiver a closed channel.
+		ch, ok := c.mail[key]
+		if !ok {
+			ch = make(chan message)
+			close(ch)
+			c.mail[key] = ch
+		}
+		return ch
+	}
+	ch, ok := c.mail[key]
+	if !ok {
+		// Eager-send buffer: deep enough that pipelined protocols (e.g.
+		// segmented rings) never block the sender in lockstep patterns.
+		ch = make(chan message, 64)
+		c.mail[key] = ch
+	}
+	return ch
+}
+
+// Run executes body once per rank, each on its own goroutine, and gathers
+// timing results. If any rank returns an error, Run returns the first one
+// (by rank order) after all ranks finish.
+func Run(cfg Config, body func(*Rank) error) (*Result, error) {
+	c, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(body)
+}
+
+// Run executes body once per rank on this cluster. A Cluster must not be
+// reused after Run returns.
+func (c *Cluster) Run(body func(*Rank) error) (*Result, error) {
+	n := c.cfg.Ranks
+	ranks := make([]*Rank, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		r := &Rank{ID: i, N: n, c: c, breakdown: make(map[Category]float64)}
+		ranks[i] = r
+		go func(r *Rank, i int) {
+			defer wg.Done()
+			// When a rank exits, close every channel it feeds so peers
+			// blocked on Recv fail fast (ErrPeerFailed) instead of
+			// deadlocking the whole run.
+			defer c.closeOutgoing(i)
+			defer func() {
+				if p := recover(); p != nil {
+					errs[i] = fmt.Errorf("cluster: rank %d panicked: %v", i, p)
+				}
+			}()
+			errs[i] = body(r)
+		}(r, i)
+	}
+	wg.Wait()
+	res := &Result{
+		RankTimes: make([]float64, n),
+		Breakdown: make(map[Category]float64),
+	}
+	for i, r := range ranks {
+		res.RankTimes[i] = r.now
+		if r.now > res.Time {
+			res.Time = r.now
+		}
+		for k, v := range r.breakdown {
+			res.Breakdown[k] += v
+		}
+	}
+	for _, e := range errs {
+		if e != nil {
+			return res, e
+		}
+	}
+	return res, nil
+}
+
+// Rank is one simulated process. All methods must be called only from the
+// rank's own goroutine.
+type Rank struct {
+	ID int
+	N  int
+
+	c         *Cluster
+	now       float64
+	breakdown map[Category]float64
+}
+
+// ErrBadPeer is returned when a peer rank index is out of range.
+var ErrBadPeer = errors.New("cluster: peer rank out of range")
+
+// ErrPeerFailed is returned by Recv when the sending rank exited (with an
+// error or otherwise) before providing the awaited message, so the value
+// will never arrive.
+var ErrPeerFailed = errors.New("cluster: peer rank exited before sending")
+
+// Now returns the rank's current virtual time in seconds.
+func (r *Rank) Now() float64 { return r.now }
+
+// Breakdown returns this rank's per-category virtual time.
+func (r *Rank) Breakdown() map[Category]float64 {
+	out := make(map[Category]float64, len(r.breakdown))
+	for k, v := range r.breakdown {
+		out[k] = v
+	}
+	return out
+}
+
+// Elapse advances the virtual clock by the given seconds, attributed to
+// the category.
+func (r *Rank) Elapse(cat Category, seconds float64) {
+	if seconds < 0 || math.IsNaN(seconds) {
+		return
+	}
+	if tr := r.c.trace; tr != nil && seconds > 0 {
+		tr.record(TraceEvent{Rank: r.ID, Category: cat, Start: r.now, Dur: seconds})
+	}
+	r.now += seconds
+	r.breakdown[cat] += seconds
+}
+
+// Time runs f (real work), measures its wall-clock duration and charges it
+// to cat. f must not communicate: when SerializeCompute is active the
+// cluster-wide compute lock is held during f.
+func (r *Rank) Time(cat Category, f func()) {
+	r.TimeScaled(cat, 1, f)
+}
+
+// TimeScaled is Time with the measured duration multiplied by scale before
+// being charged. The collectives use scale = 1/speedup to model
+// multi-threaded compression whose wall time cannot be observed on a
+// single-core build machine.
+func (r *Rank) TimeScaled(cat Category, scale float64, f func()) {
+	serialize := !r.c.cfg.ParallelCompute
+	if serialize {
+		r.c.compute.Lock()
+	}
+	t0 := time.Now()
+	f()
+	dt := time.Since(t0).Seconds()
+	if serialize {
+		r.c.compute.Unlock()
+	}
+	r.Elapse(cat, dt*scale)
+}
+
+// Quiesce runs f under the cluster-wide compute lock without charging any
+// virtual time. Use it for real work that has no modeled cost (input
+// staging, result assembly) so it cannot preempt — and pollute — another
+// rank's measured Time section.
+func (r *Rank) Quiesce(f func()) {
+	if r.c.cfg.ParallelCompute {
+		f()
+		return
+	}
+	r.c.compute.Lock()
+	f()
+	r.c.compute.Unlock()
+}
+
+// Send transmits data to peer `to`. The payload is copied, so the caller
+// may reuse its buffer immediately. Sending is asynchronous (eager): the
+// sender's clock does not advance; transfer time is charged on the
+// receiver, which models the overlapped sends of a ring pipeline.
+func (r *Rank) Send(to int, data []byte) error {
+	if to < 0 || to >= r.N {
+		return fmt.Errorf("%w: send to %d of %d", ErrBadPeer, to, r.N)
+	}
+	if to == r.ID {
+		return fmt.Errorf("%w: self-send", ErrBadPeer)
+	}
+	var cp []byte
+	r.Quiesce(func() {
+		cp = make([]byte, len(data))
+		copy(cp, data)
+	})
+	r.c.chanFor(r.ID, to) <- message{data: cp, sentAt: r.now}
+	return nil
+}
+
+// Recv blocks until a message from peer `from` arrives and returns its
+// payload. The rank's clock advances to the modeled arrival time
+// max(now, sentAt + α + len/β), with the advance charged to MPI.
+func (r *Rank) Recv(from int) ([]byte, error) {
+	if from < 0 || from >= r.N {
+		return nil, fmt.Errorf("%w: recv from %d of %d", ErrBadPeer, from, r.N)
+	}
+	if from == r.ID {
+		return nil, fmt.Errorf("%w: self-recv", ErrBadPeer)
+	}
+	m, ok := <-r.c.chanFor(from, r.ID)
+	if !ok {
+		return nil, fmt.Errorf("%w: rank %d", ErrPeerFailed, from)
+	}
+	arrive := m.sentAt + r.c.cfg.Latency.Seconds() + float64(len(m.data))/r.c.cfg.BandwidthBytes
+	if arrive > r.now {
+		if tr := r.c.trace; tr != nil {
+			tr.record(TraceEvent{Rank: r.ID, Category: CatMPI, Start: r.now, Dur: arrive - r.now})
+		}
+		r.breakdown[CatMPI] += arrive - r.now
+		r.now = arrive
+	}
+	return m.data, nil
+}
+
+// SendRecv posts a send to `to` and then receives from `from`, the
+// exchange pattern of one ring round.
+func (r *Rank) SendRecv(to int, data []byte, from int) ([]byte, error) {
+	if err := r.Send(to, data); err != nil {
+		return nil, err
+	}
+	return r.Recv(from)
+}
+
+// Barrier synchronizes all ranks and their clocks: everyone leaves at
+// max(clock) + α·ceil(log2 N), the cost of a tree barrier. Unlike Recv,
+// Barrier has no failure propagation: if a peer exits before reaching it,
+// the remaining ranks wait forever — barrier after a possible failure is
+// an application-protocol error.
+func (r *Rank) Barrier() {
+	c := r.c
+	c.barrierMu.Lock()
+	gen := c.barrierGen
+	if r.now > c.barrierMax {
+		c.barrierMax = r.now
+	}
+	c.barrierIn++
+	if c.barrierIn == r.N {
+		cost := 0.0
+		if r.N > 1 {
+			cost = c.cfg.Latency.Seconds() * math.Ceil(math.Log2(float64(r.N)))
+		}
+		c.barrierMax += cost
+		c.barrierIn = 0
+		c.barrierGen++
+		c.barrierCond.Broadcast()
+	} else {
+		for gen == c.barrierGen {
+			c.barrierCond.Wait()
+		}
+	}
+	leave := c.barrierMax
+	c.barrierMu.Unlock()
+	if leave > r.now {
+		if tr := c.trace; tr != nil {
+			tr.record(TraceEvent{Rank: r.ID, Category: CatMPI, Start: r.now, Dur: leave - r.now})
+		}
+		r.breakdown[CatMPI] += leave - r.now
+		r.now = leave
+	}
+}

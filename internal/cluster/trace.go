@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Execution tracing. When a Cluster is created with NewTraced, every
+// virtual-time advance (compute categories and communication waits) is
+// recorded as an interval on the owning rank's timeline. The trace exports
+// in the Chrome trace-event JSON format (chrome://tracing, Perfetto), which
+// makes ring pipelines, stragglers and overlap visually inspectable —
+// the debugging view used while calibrating the experiments.
+
+// TraceEvent is one interval on a rank's virtual timeline.
+type TraceEvent struct {
+	Rank     int
+	Category Category
+	// Start and Dur are in virtual seconds.
+	Start float64
+	Dur   float64
+}
+
+// Trace accumulates events from all ranks of one run.
+type Trace struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+func (t *Trace) record(ev TraceEvent) {
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Events returns the recorded intervals sorted by (rank, start).
+func (t *Trace) Events() []TraceEvent {
+	t.mu.Lock()
+	out := make([]TraceEvent, len(t.events))
+	copy(out, t.events)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Start < out[j].Start
+	})
+	return out
+}
+
+// chromeEvent is the trace-event JSON schema (complete events, phase "X";
+// timestamps in microseconds).
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// WriteChrome writes the trace in Chrome trace-event JSON. Load the file
+// in chrome://tracing or https://ui.perfetto.dev to inspect the timeline.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	evs := t.Events()
+	out := make([]chromeEvent, len(evs))
+	for i, ev := range evs {
+		out[i] = chromeEvent{
+			Name: string(ev.Category),
+			Ph:   "X",
+			Ts:   ev.Start * 1e6,
+			Dur:  ev.Dur * 1e6,
+			Pid:  0,
+			Tid:  ev.Rank,
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// NewTraced creates a cluster whose ranks record every virtual-time
+// advance into the returned Trace.
+func NewTraced(cfg Config) (*Cluster, *Trace, error) {
+	c, err := New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := &Trace{}
+	c.trace = tr
+	return c, tr, nil
+}

@@ -1,0 +1,491 @@
+// Package core implements the collective communication algorithms at the
+// heart of hZCCL (paper §III-C): ring Reduce_scatter, ring Allgather and
+// ring Allreduce in three flavours —
+//
+//   - Plain: no compression, the original MPI baseline.
+//   - CColl: the C-Coll baseline, compression-accelerated collectives with
+//     the traditional decompress-operate-compress (DOC) workflow. Every
+//     round pays CPR + DPR + CPT.
+//   - HZ: the hZCCL co-design. Each rank compresses its N blocks once,
+//     every subsequent round reduces *compressed* blocks homomorphically
+//     (HPR), and Allreduce additionally skips the decompression at the end
+//     of Reduce_scatter and the compression at the start of Allgather by
+//     moving compressed blocks straight through the Allgather ring.
+//
+// All three run on the cluster substrate, move real data and charge
+// virtual time per category, so collective times, speedups and runtime
+// breakdowns (Figures 2, 7–12; Table VII) come from the same code paths.
+package core
+
+import (
+	"fmt"
+
+	"hzccl/internal/cluster"
+	"hzccl/internal/floatbytes"
+	"hzccl/internal/fzlight"
+	"hzccl/internal/hzdyn"
+)
+
+// Mode selects the compression threading mode of a collective run.
+type Mode int
+
+// Modes, matching the paper's "single-thread" and "multi-thread" variants.
+const (
+	SingleThread Mode = iota
+	MultiThread
+)
+
+func (m Mode) String() string {
+	if m == MultiThread {
+		return "multi-thread"
+	}
+	return "single-thread"
+}
+
+// Options configures the compression-accelerated collectives.
+type Options struct {
+	// ErrorBound is the absolute error bound handed to fZ-light.
+	ErrorBound float64
+	// BlockSize is the fZ-light small-block length (0 = default 32).
+	BlockSize int
+	// Mode selects single- or multi-thread compression.
+	Mode Mode
+	// MTThreads is the compressor chunk count in multi-thread mode
+	// (paper: 18 threads, one socket). Default 18.
+	MTThreads int
+	// MTSpeedup models the parallel speedup of compression-class work in
+	// multi-thread mode. Measured single-core wall time is divided by it.
+	// Default 12 (18 threads at ~2/3 efficiency, the memory-bound scaling
+	// Broadwell STREAM shows). Only used when Mode == MultiThread.
+	MTSpeedup float64
+	// Segments splits each C-Coll round's block into this many pieces so
+	// compression, transfer and decompression pipeline against each other
+	// (the overlap §III-A attributes to C-Coll). ≤ 1 disables
+	// segmentation. Used by the *Segmented collective variants.
+	Segments int
+	// Rates, when non-nil, switches compute charging from measured wall
+	// time to a calibrated model: each operation costs rawBytes/rate
+	// seconds (divided by MTSpeedup in multi-thread mode). The real work
+	// still executes — only its virtual-time charge is modeled. Use this
+	// for large rank counts, where per-call measurement overhead on tiny
+	// blocks would otherwise dominate the single-thread-measured times.
+	Rates *Rates
+}
+
+// Rates holds calibrated component throughputs in raw bytes per second
+// (single-thread). See costmodel.Measure for one way to obtain them.
+type Rates struct {
+	CPR float64 // compression
+	DPR float64 // decompression
+	CPT float64 // raw element-wise sum
+	HPR float64 // homomorphic reduction
+}
+
+func (o Options) withDefaults() Options {
+	if o.MTThreads == 0 {
+		o.MTThreads = 18
+	}
+	if o.MTSpeedup == 0 {
+		o.MTSpeedup = 12
+	}
+	return o
+}
+
+func (o Options) threads() int {
+	if o.Mode == MultiThread {
+		return o.MTThreads
+	}
+	return 1
+}
+
+// scale converts measured wall time into charged virtual time for
+// compression-class work.
+func (o Options) scale() float64 {
+	if o.Mode == MultiThread {
+		return 1 / o.MTSpeedup
+	}
+	return 1
+}
+
+// work executes f (real work over rawBytes of raw-equivalent data) and
+// charges virtual time for it: measured wall time when no Rates are set,
+// or rawBytes/rate otherwise. Multi-thread mode divides either charge by
+// MTSpeedup.
+func (c Collectives) work(r *cluster.Rank, cat cluster.Category, rawBytes int, f func()) {
+	o := c.Opt
+	if o.Rates == nil {
+		r.TimeScaled(cat, o.scale(), f)
+		return
+	}
+	var rate float64
+	switch cat {
+	case cluster.CatCPR:
+		rate = o.Rates.CPR
+	case cluster.CatDPR:
+		rate = o.Rates.DPR
+	case cluster.CatCPT:
+		rate = o.Rates.CPT
+	case cluster.CatHPR:
+		rate = o.Rates.HPR
+	default:
+		rate = o.Rates.CPT
+	}
+	r.Quiesce(f)
+	if rate > 0 {
+		r.Elapse(cat, float64(rawBytes)/rate*o.scale())
+	}
+}
+
+func (o Options) params() fzlight.Params {
+	return fzlight.Params{ErrorBound: o.ErrorBound, BlockSize: o.BlockSize, Threads: o.threads()}
+}
+
+// Collectives bundles Options; its methods are the collective operations.
+// Each method must be called from within a cluster rank body, by every
+// rank, with equal-length data.
+type Collectives struct {
+	Opt Options
+}
+
+// New returns a Collectives with defaulted options.
+func New(opt Options) Collectives { return Collectives{Opt: opt.withDefaults()} }
+
+// BlockOwned returns the index of the reduced block rank `rank` holds
+// after a ring Reduce_scatter over n ranks.
+func BlockOwned(rank, n int) int { return (rank + 1) % n }
+
+// BlockBounds returns the [start,end) element range of reduce-scatter
+// block k when dataLen elements are partitioned across n ranks.
+func BlockBounds(dataLen, n, k int) (int, int) { return fzlight.ChunkBounds(dataLen, n, k) }
+
+// addInto accumulates src into dst element-wise.
+func addInto(dst, src []float32) {
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Plain (no compression) — the "original MPI" baseline.
+// ---------------------------------------------------------------------------
+
+// ReduceScatterPlain performs a ring reduce-scatter of data (summed
+// element-wise across ranks) and returns this rank's fully reduced block
+// (block index BlockOwned(rank, N)).
+func (c Collectives) ReduceScatterPlain(r *cluster.Rank, data []float32) ([]float32, error) {
+	n := r.N
+	if n == 1 {
+		out := make([]float32, len(data))
+		copy(out, data)
+		return out, nil
+	}
+	var acc []float32
+	r.Quiesce(func() {
+		acc = make([]float32, len(data))
+		copy(acc, data)
+	})
+	next, prev := (r.ID+1)%n, (r.ID-1+n)%n
+	for step := 0; step < n-1; step++ {
+		sendIdx := (r.ID - step + n) % n
+		recvIdx := (r.ID - step - 1 + n) % n
+		s, e := BlockBounds(len(data), n, sendIdx)
+		var payload []byte
+		r.Quiesce(func() { payload = floatbytes.Bytes(acc[s:e]) })
+		got, err := r.SendRecv(next, payload, prev)
+		if err != nil {
+			return nil, err
+		}
+		rs, re := BlockBounds(len(data), n, recvIdx)
+		var recvVals []float32
+		r.Quiesce(func() { recvVals = floatbytes.Floats(got) })
+		if len(recvVals) != re-rs {
+			return nil, fmt.Errorf("core: reduce-scatter size mismatch at rank %d step %d", r.ID, step)
+		}
+		c.work(r, cluster.CatCPT, 4*(re-rs), func() { addInto(acc[rs:re], recvVals) })
+	}
+	s, e := BlockBounds(len(data), n, BlockOwned(r.ID, n))
+	out := make([]float32, e-s)
+	copy(out, acc[s:e])
+	return out, nil
+}
+
+// allgatherBytes runs a ring allgather of opaque payloads. The result maps
+// origin rank → payload (own entry included).
+func allgatherBytes(r *cluster.Rank, own []byte) ([][]byte, error) {
+	n := r.N
+	out := make([][]byte, n)
+	out[r.ID] = own
+	if n == 1 {
+		return out, nil
+	}
+	next, prev := (r.ID+1)%n, (r.ID-1+n)%n
+	cur := own
+	for step := 0; step < n-1; step++ {
+		got, err := r.SendRecv(next, cur, prev)
+		if err != nil {
+			return nil, err
+		}
+		origin := (r.ID - step - 1 + n) % n
+		out[origin] = got
+		cur = got
+	}
+	return out, nil
+}
+
+// AllreducePlain is the original MPI ring allreduce: plain reduce-scatter
+// followed by plain allgather of the raw reduced blocks.
+func (c Collectives) AllreducePlain(r *cluster.Rank, data []float32) ([]float32, error) {
+	block, err := c.ReduceScatterPlain(r, data)
+	if err != nil {
+		return nil, err
+	}
+	var own []byte
+	r.Quiesce(func() { own = floatbytes.Bytes(block) })
+	gathered, err := allgatherBytes(r, own)
+	if err != nil {
+		return nil, err
+	}
+	return assembleBlocks(r, len(data), gathered, func(payload []byte, dst []float32) error {
+		var bad bool
+		r.Quiesce(func() { bad = floatbytes.ToFloat32(dst, payload) != len(dst) })
+		if bad {
+			return fmt.Errorf("core: allgather block size mismatch")
+		}
+		return nil
+	})
+}
+
+// assembleBlocks reconstructs the full output array from per-origin
+// payloads, decoding each into the block the origin rank owned.
+func assembleBlocks(r *cluster.Rank, dataLen int, gathered [][]byte,
+	decode func(payload []byte, dst []float32) error) ([]float32, error) {
+	out := make([]float32, dataLen)
+	for origin, payload := range gathered {
+		k := BlockOwned(origin, r.N)
+		s, e := BlockBounds(dataLen, r.N, k)
+		if err := decode(payload, out[s:e]); err != nil {
+			return nil, fmt.Errorf("core: rank %d decoding block %d: %w", r.ID, k, err)
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// C-Coll — compression-accelerated collectives with the DOC workflow.
+// ---------------------------------------------------------------------------
+
+// ReduceScatterCColl is the C-Coll ring reduce-scatter: each round
+// compresses the outgoing block (CPR), decompresses the incoming block
+// (DPR) and reduces it in the raw domain (CPT) — the paper's
+// T = (N−1)(CPR + DPR + CPT).
+func (c Collectives) ReduceScatterCColl(r *cluster.Rank, data []float32) ([]float32, error) {
+	n := r.N
+	if n == 1 {
+		out := make([]float32, len(data))
+		copy(out, data)
+		return out, nil
+	}
+	opt := c.Opt
+	var acc []float32
+	r.Quiesce(func() {
+		acc = make([]float32, len(data))
+		copy(acc, data)
+	})
+	next, prev := (r.ID+1)%n, (r.ID-1+n)%n
+	for step := 0; step < n-1; step++ {
+		sendIdx := (r.ID - step + n) % n
+		recvIdx := (r.ID - step - 1 + n) % n
+		s, e := BlockBounds(len(data), n, sendIdx)
+		var payload []byte
+		var cerr error
+		c.work(r, cluster.CatCPR, 4*(e-s), func() {
+			payload, cerr = fzlight.Compress(acc[s:e], opt.params())
+		})
+		if cerr != nil {
+			return nil, cerr
+		}
+		got, err := r.SendRecv(next, payload, prev)
+		if err != nil {
+			return nil, err
+		}
+		rs, re := BlockBounds(len(data), n, recvIdx)
+		recvVals := make([]float32, re-rs)
+		var derr error
+		c.work(r, cluster.CatDPR, 4*(re-rs), func() {
+			derr = fzlight.DecompressInto(got, recvVals)
+		})
+		if derr != nil {
+			return nil, derr
+		}
+		c.work(r, cluster.CatCPT, 4*(re-rs), func() { addInto(acc[rs:re], recvVals) })
+	}
+	s, e := BlockBounds(len(data), n, BlockOwned(r.ID, n))
+	out := make([]float32, e-s)
+	copy(out, acc[s:e])
+	return out, nil
+}
+
+// AllreduceCColl is the C-Coll ring allreduce: DOC reduce-scatter, then an
+// allgather that compresses the local reduced block once (CPR), moves
+// compressed bytes around the ring, and decompresses the N−1 received
+// blocks (DPR) — the paper's T_AG = CPR + (N−1)·DPR.
+func (c Collectives) AllreduceCColl(r *cluster.Rank, data []float32) ([]float32, error) {
+	block, err := c.ReduceScatterCColl(r, data)
+	if err != nil {
+		return nil, err
+	}
+	opt := c.Opt
+	var own []byte
+	var cerr error
+	c.work(r, cluster.CatCPR, 4*len(block), func() {
+		own, cerr = fzlight.Compress(block, opt.params())
+	})
+	if cerr != nil {
+		return nil, cerr
+	}
+	gathered, err := allgatherBytes(r, own)
+	if err != nil {
+		return nil, err
+	}
+	return assembleBlocks(r, len(data), gathered, func(payload []byte, dst []float32) error {
+		var derr error
+		c.work(r, cluster.CatDPR, 4*len(dst), func() {
+			derr = fzlight.DecompressInto(payload, dst)
+		})
+		return derr
+	})
+}
+
+// ---------------------------------------------------------------------------
+// hZCCL — homomorphic compression-accelerated collectives.
+// ---------------------------------------------------------------------------
+
+// reduceScatterHZCompressed runs the hZCCL ring reduce-scatter and stops
+// before the final decompression, returning this rank's fully reduced
+// block in compressed form. Cost: N·CPR + (N−1)·HPR.
+func (c Collectives) reduceScatterHZCompressed(r *cluster.Rank, data []float32) ([]byte, *hzdyn.Stats, error) {
+	n := r.N
+	opt := c.Opt
+	stats := &hzdyn.Stats{}
+
+	// Round 1: compress all N blocks once (paper: N × CPR).
+	cblocks := make([][]byte, n)
+	var cerr error
+	c.work(r, cluster.CatCPR, 4*len(data), func() {
+		for k := 0; k < n && cerr == nil; k++ {
+			s, e := BlockBounds(len(data), n, k)
+			cblocks[k], cerr = fzlight.Compress(data[s:e], opt.params())
+		}
+	})
+	if cerr != nil {
+		return nil, nil, cerr
+	}
+	if n == 1 {
+		return cblocks[0], stats, nil
+	}
+
+	next, prev := (r.ID+1)%n, (r.ID-1+n)%n
+	for step := 0; step < n-1; step++ {
+		sendIdx := (r.ID - step + n) % n
+		recvIdx := (r.ID - step - 1 + n) % n
+		got, err := r.SendRecv(next, cblocks[sendIdx], prev)
+		if err != nil {
+			return nil, nil, err
+		}
+		rs, re := BlockBounds(len(data), n, recvIdx)
+		var herr error
+		c.work(r, cluster.CatHPR, 4*(re-rs), func() {
+			var st hzdyn.Stats
+			cblocks[recvIdx], st, herr = hzdyn.Add(cblocks[recvIdx], got)
+			stats.Accumulate(st)
+		})
+		if herr != nil {
+			return nil, nil, herr
+		}
+	}
+	return cblocks[BlockOwned(r.ID, n)], stats, nil
+}
+
+// ReduceScatterHZ is the hZCCL ring reduce-scatter (paper cost
+// N·CPR + 1·DPR + (N−1)·HPR): compress once, reduce homomorphically, and
+// decompress only the final owned block.
+func (c Collectives) ReduceScatterHZ(r *cluster.Rank, data []float32) ([]float32, *hzdyn.Stats, error) {
+	comp, stats, err := c.reduceScatterHZCompressed(r, data)
+	if err != nil {
+		return nil, nil, err
+	}
+	bs, be := BlockBounds(len(data), r.N, BlockOwned(r.ID, r.N))
+	var out []float32
+	var derr error
+	c.work(r, cluster.CatDPR, 4*(be-bs), func() {
+		out, derr = fzlight.Decompress(comp)
+	})
+	if derr != nil {
+		return nil, nil, derr
+	}
+	return out, stats, nil
+}
+
+// AllreduceHZ is the fully co-designed hZCCL allreduce: the reduce-scatter
+// stage keeps its result compressed (no DPR), the allgather stage sends
+// those compressed blocks directly (no CPR), and each rank decompresses
+// the N gathered blocks at the end — the paper's
+// T = N·CPR + (N−1)·HPR + (N−1)·DPR.
+func (c Collectives) AllreduceHZ(r *cluster.Rank, data []float32) ([]float32, *hzdyn.Stats, error) {
+	comp, stats, err := c.reduceScatterHZCompressed(r, data)
+	if err != nil {
+		return nil, nil, err
+	}
+	gathered, err := allgatherBytes(r, comp)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := assembleBlocks(r, len(data), gathered, func(payload []byte, dst []float32) error {
+		var derr error
+		c.work(r, cluster.CatDPR, 4*len(dst), func() {
+			derr = fzlight.DecompressInto(payload, dst)
+		})
+		return derr
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, stats, nil
+}
+
+// AllreduceHZNaive is the ablation variant that does NOT fuse the stages:
+// it decompresses at the end of reduce-scatter and recompresses before the
+// allgather, paying the extra DPR + CPR the co-design removes. It exists
+// to quantify the benefit of the Allreduce-specific optimization
+// (paper §III-C2).
+func (c Collectives) AllreduceHZNaive(r *cluster.Rank, data []float32) ([]float32, *hzdyn.Stats, error) {
+	block, stats, err := c.ReduceScatterHZ(r, data) // includes final DPR
+	if err != nil {
+		return nil, nil, err
+	}
+	opt := c.Opt
+	_ = opt
+	var own []byte
+	var cerr error
+	c.work(r, cluster.CatCPR, 4*len(block), func() {
+		own, cerr = fzlight.Compress(block, c.Opt.params())
+	})
+	if cerr != nil {
+		return nil, nil, cerr
+	}
+	gathered, err := allgatherBytes(r, own)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := assembleBlocks(r, len(data), gathered, func(payload []byte, dst []float32) error {
+		var derr error
+		c.work(r, cluster.CatDPR, 4*len(dst), func() {
+			derr = fzlight.DecompressInto(payload, dst)
+		})
+		return derr
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, stats, nil
+}

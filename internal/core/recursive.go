@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"hzccl/internal/cluster"
+	"hzccl/internal/floatbytes"
+	"hzccl/internal/fzlight"
+	"hzccl/internal/hzdyn"
+)
+
+// Rabenseifner's allreduce: recursive-halving reduce-scatter followed by
+// recursive-doubling allgather — log₂(N) rounds instead of the ring's
+// N−1, the algorithm MPI implementations prefer once latency matters.
+// Provided in both the plain and the homomorphic flavour; the latter
+// extends the paper's co-design to a second collective algorithm family
+// (compressed blocks are exchanged and reduced homomorphically at every
+// halving step, with decompression deferred to the very end).
+//
+// Non-power-of-two rank counts use the standard fold: the first 2r ranks
+// pair up so 2^m ranks remain active; folded ranks receive the final
+// result afterwards.
+
+// activeRanks computes the power-of-two active set: p2 active ranks, and
+// this rank's id in the active space (-1 if folded away).
+func activeRanks(rank, n int) (p2, newrank int) {
+	p2 = 1 << uint(bits.Len(uint(n))-1)
+	if p2 > n {
+		p2 >>= 1
+	}
+	r := n - p2
+	switch {
+	case rank < 2*r && rank%2 == 0:
+		return p2, -1
+	case rank < 2*r:
+		return p2, rank / 2
+	default:
+		return p2, rank - r
+	}
+}
+
+// oldRank inverts activeRanks for message addressing.
+func oldRank(newrank, n, p2 int) int {
+	r := n - p2
+	if newrank < r {
+		return 2*newrank + 1
+	}
+	return newrank + r
+}
+
+// AllreducePlainRecursive is the uncompressed Rabenseifner allreduce.
+func (c Collectives) AllreducePlainRecursive(r *cluster.Rank, data []float32) ([]float32, error) {
+	n := r.N
+	acc := make([]float32, len(data))
+	copy(acc, data)
+	if n == 1 {
+		return acc, nil
+	}
+	p2, newrank := activeRanks(r.ID, n)
+	rem := n - p2
+
+	// Fold phase: even ranks of the first 2r send their data to the odd
+	// partner and wait for the final result.
+	if r.ID < 2*rem {
+		if r.ID%2 == 0 {
+			if err := r.Send(r.ID+1, floatbytes.Bytes(acc)); err != nil {
+				return nil, err
+			}
+			got, err := r.Recv(r.ID + 1)
+			if err != nil {
+				return nil, err
+			}
+			return floatbytes.Floats(got), nil
+		}
+		got, err := r.Recv(r.ID - 1)
+		if err != nil {
+			return nil, err
+		}
+		vals := floatbytes.Floats(got)
+		c.work(r, cluster.CatCPT, 4*len(acc), func() { addInto(acc, vals) })
+	}
+
+	// Recursive halving over p2 blocks.
+	lo, hi := 0, p2
+	for dist := p2 / 2; dist >= 1; dist /= 2 {
+		partner := oldRank(newrank^dist, n, p2)
+		mid := (lo + hi) / 2
+		var keepLo, keepHi, sendLo, sendHi int
+		if newrank&dist == 0 {
+			keepLo, keepHi, sendLo, sendHi = lo, mid, mid, hi
+		} else {
+			keepLo, keepHi, sendLo, sendHi = mid, hi, lo, mid
+		}
+		ss, _ := BlockBounds(len(data), p2, sendLo)
+		_, se := BlockBounds(len(data), p2, sendHi-1)
+		got, err := r.SendRecv(partner, floatbytes.Bytes(acc[ss:se]), partner)
+		if err != nil {
+			return nil, err
+		}
+		ks, _ := BlockBounds(len(data), p2, keepLo)
+		_, ke := BlockBounds(len(data), p2, keepHi-1)
+		vals := floatbytes.Floats(got)
+		if len(vals) != ke-ks {
+			return nil, fmt.Errorf("core: recursive halving size mismatch at rank %d", r.ID)
+		}
+		c.work(r, cluster.CatCPT, 4*(ke-ks), func() { addInto(acc[ks:ke], vals) })
+		lo, hi = keepLo, keepHi
+	}
+
+	// Recursive doubling allgather.
+	for dist := 1; dist < p2; dist *= 2 {
+		partner := oldRank(newrank^dist, n, p2)
+		ss, _ := BlockBounds(len(data), p2, lo)
+		_, se := BlockBounds(len(data), p2, hi-1)
+		got, err := r.SendRecv(partner, floatbytes.Bytes(acc[ss:se]), partner)
+		if err != nil {
+			return nil, err
+		}
+		// The partner owns the mirrored segment at this distance.
+		var plo, phi int
+		if newrank&dist == 0 {
+			plo, phi = lo+(hi-lo), hi+(hi-lo)
+		} else {
+			plo, phi = lo-(hi-lo), lo
+		}
+		ps, _ := BlockBounds(len(data), p2, plo)
+		_, pe := BlockBounds(len(data), p2, phi-1)
+		vals := floatbytes.Floats(got)
+		if len(vals) != pe-ps {
+			return nil, fmt.Errorf("core: recursive doubling size mismatch at rank %d", r.ID)
+		}
+		copy(acc[ps:pe], vals)
+		if plo < lo {
+			lo = plo
+		} else {
+			hi = phi
+		}
+	}
+
+	// Unfold: send the full result back to the folded partner.
+	if r.ID < 2*rem && r.ID%2 == 1 {
+		if err := r.Send(r.ID-1, floatbytes.Bytes(acc)); err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// frameBlobs packs a list of byte slices into one message.
+func frameBlobs(blobs [][]byte) []byte {
+	size := 4
+	for _, b := range blobs {
+		size += 4 + len(b)
+	}
+	out := make([]byte, 0, size)
+	out = appendU32(out, uint32(len(blobs)))
+	for _, b := range blobs {
+		out = appendU32(out, uint32(len(b)))
+		out = append(out, b...)
+	}
+	return out
+}
+
+func unframeBlobs(msg []byte) ([][]byte, error) {
+	if len(msg) < 4 {
+		return nil, fmt.Errorf("core: short blob frame")
+	}
+	count := int(readU32(msg))
+	if count < 0 || count > 1<<24 {
+		return nil, fmt.Errorf("core: bad blob frame count %d", count)
+	}
+	out := make([][]byte, 0, count)
+	o := 4
+	for k := 0; k < count; k++ {
+		if len(msg) < o+4 {
+			return nil, fmt.Errorf("core: truncated blob frame")
+		}
+		l := int(readU32(msg[o:]))
+		o += 4
+		if len(msg) < o+l {
+			return nil, fmt.Errorf("core: truncated blob payload")
+		}
+		out = append(out, msg[o:o+l])
+		o += l
+	}
+	return out, nil
+}
+
+// AllreduceHZRecursive is the homomorphic Rabenseifner allreduce: each
+// rank compresses its p2 blocks once, every halving step exchanges and
+// homomorphically reduces compressed block sets, the doubling stage moves
+// compressed blocks, and each rank decompresses the p2 blocks at the end.
+func (c Collectives) AllreduceHZRecursive(r *cluster.Rank, data []float32) ([]float32, *hzdyn.Stats, error) {
+	n := r.N
+	opt := c.Opt
+	stats := &hzdyn.Stats{}
+	if n == 1 {
+		out := make([]float32, len(data))
+		copy(out, data)
+		return out, stats, nil
+	}
+	p2, newrank := activeRanks(r.ID, n)
+	rem := n - p2
+
+	// Compress all p2 blocks once.
+	cblocks := make([][]byte, p2)
+	var cerr error
+	c.work(r, cluster.CatCPR, 4*len(data), func() {
+		for k := 0; k < p2 && cerr == nil; k++ {
+			s, e := BlockBounds(len(data), p2, k)
+			cblocks[k], cerr = fzlight.Compress(data[s:e], opt.params())
+		}
+	})
+	if cerr != nil {
+		return nil, nil, cerr
+	}
+
+	homAdd := func(k int, blob []byte) error {
+		var herr error
+		s, e := BlockBounds(len(data), p2, k)
+		c.work(r, cluster.CatHPR, 4*(e-s), func() {
+			var st hzdyn.Stats
+			cblocks[k], st, herr = hzdyn.Add(cblocks[k], blob)
+			stats.Accumulate(st)
+		})
+		return herr
+	}
+
+	// Fold phase on compressed blocks.
+	if r.ID < 2*rem {
+		if r.ID%2 == 0 {
+			if err := r.Send(r.ID+1, frameBlobs(cblocks)); err != nil {
+				return nil, nil, err
+			}
+			got, err := r.Recv(r.ID + 1)
+			if err != nil {
+				return nil, nil, err
+			}
+			return floatbytes.Floats(got), stats, nil
+		}
+		got, err := r.Recv(r.ID - 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		blobs, err := unframeBlobs(got)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(blobs) != p2 {
+			return nil, nil, fmt.Errorf("core: fold frame has %d blocks, want %d", len(blobs), p2)
+		}
+		for k, blob := range blobs {
+			if err := homAdd(k, blob); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	// Recursive halving on compressed block sets.
+	lo, hi := 0, p2
+	for dist := p2 / 2; dist >= 1; dist /= 2 {
+		partner := oldRank(newrank^dist, n, p2)
+		mid := (lo + hi) / 2
+		var keepLo, keepHi, sendLo, sendHi int
+		if newrank&dist == 0 {
+			keepLo, keepHi, sendLo, sendHi = lo, mid, mid, hi
+		} else {
+			keepLo, keepHi, sendLo, sendHi = mid, hi, lo, mid
+		}
+		got, err := r.SendRecv(partner, frameBlobs(cblocks[sendLo:sendHi]), partner)
+		if err != nil {
+			return nil, nil, err
+		}
+		blobs, err := unframeBlobs(got)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(blobs) != keepHi-keepLo {
+			return nil, nil, fmt.Errorf("core: halving frame has %d blocks, want %d", len(blobs), keepHi-keepLo)
+		}
+		for i, blob := range blobs {
+			if err := homAdd(keepLo+i, blob); err != nil {
+				return nil, nil, err
+			}
+		}
+		lo, hi = keepLo, keepHi
+	}
+
+	// Recursive doubling allgather of compressed blocks.
+	for dist := 1; dist < p2; dist *= 2 {
+		partner := oldRank(newrank^dist, n, p2)
+		got, err := r.SendRecv(partner, frameBlobs(cblocks[lo:hi]), partner)
+		if err != nil {
+			return nil, nil, err
+		}
+		blobs, err := unframeBlobs(got)
+		if err != nil {
+			return nil, nil, err
+		}
+		var plo int
+		if newrank&dist == 0 {
+			plo = lo + (hi - lo)
+		} else {
+			plo = lo - (hi - lo)
+		}
+		if len(blobs) != hi-lo {
+			return nil, nil, fmt.Errorf("core: doubling frame has %d blocks, want %d", len(blobs), hi-lo)
+		}
+		for i, blob := range blobs {
+			cblocks[plo+i] = blob
+		}
+		if plo < lo {
+			lo = plo
+		} else {
+			hi = plo + (hi - lo)
+		}
+	}
+
+	// Decompress everything.
+	out := make([]float32, len(data))
+	for k := 0; k < p2; k++ {
+		s, e := BlockBounds(len(data), p2, k)
+		var derr error
+		c.work(r, cluster.CatDPR, 4*(e-s), func() {
+			derr = fzlight.DecompressInto(cblocks[k], out[s:e])
+		})
+		if derr != nil {
+			return nil, nil, derr
+		}
+	}
+
+	// Unfold: ship the raw result to the folded partner.
+	if r.ID < 2*rem && r.ID%2 == 1 {
+		if err := r.Send(r.ID-1, floatbytes.Bytes(out)); err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, stats, nil
+}

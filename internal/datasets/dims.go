@@ -1,0 +1,66 @@
+package datasets
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dimensional variants. The paper's application data is 2D/3D (Table I:
+// CESM-ATM 1800×3600 slices, NYX 512³ volumes, Hurricane 100×500×500);
+// these generators expose the same statistics with explicit geometry so
+// the Lorenzo predictors (Compress2D/Compress3D) have real structure to
+// exploit across rows and planes.
+
+// Field2D generates a height×width row-major field for the named dataset.
+// The vertical correlation is strong (adjacent rows are nearly identical),
+// as in latitude-banded climate fields.
+func Field2D(name string, f, height, width int) ([]float32, error) {
+	if height < 0 || width < 0 {
+		return nil, fmt.Errorf("datasets: negative dims %dx%d", height, width)
+	}
+	// Base row carries the dataset's 1D statistics.
+	base, err := Field(name, f, width)
+	if err != nil {
+		return nil, err
+	}
+	r := rng(name+"/2d", f)
+	out := make([]float32, height*width)
+	rowAmp := make([]float64, height)
+	drift := newAR1(r, 0.995, 0.01)
+	for i := range rowAmp {
+		rowAmp[i] = 1 + drift.next()
+	}
+	for i := 0; i < height; i++ {
+		a := rowAmp[i]
+		phase := 0.3 * math.Sin(2*math.Pi*float64(i)/math.Max(1, float64(height)))
+		for j := 0; j < width; j++ {
+			out[i*width+j] = float32(a*float64(base[j]) + phase)
+		}
+	}
+	return out, nil
+}
+
+// Field3D generates a depth×height×width volume (x fastest): stacked 2D
+// slices with slow cross-plane evolution, the structure reverse-time
+// migration and cosmology snapshots share.
+func Field3D(name string, f, depth, height, width int) ([]float32, error) {
+	if depth < 0 {
+		return nil, fmt.Errorf("datasets: negative depth %d", depth)
+	}
+	slice, err := Field2D(name, f, height, width)
+	if err != nil {
+		return nil, err
+	}
+	r := rng(name+"/3d", f)
+	out := make([]float32, depth*height*width)
+	evo := newAR1(r, 0.99, 0.005)
+	plane := height * width
+	for z := 0; z < depth; z++ {
+		scale := 1 + evo.next()
+		shift := 0.05 * math.Sin(2*math.Pi*float64(z)/math.Max(1, float64(depth)))
+		for i := 0; i < plane; i++ {
+			out[z*plane+i] = float32(scale*float64(slice[i]) + shift)
+		}
+	}
+	return out, nil
+}

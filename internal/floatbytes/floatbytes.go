@@ -1,0 +1,43 @@
+// Package floatbytes converts between float32 slices and little-endian
+// byte slices. The cluster substrate moves opaque []byte messages, so the
+// plain (no-compression) collectives serialize through these helpers.
+package floatbytes
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// FromFloat32 encodes src into dst (which must be at least 4*len(src)
+// bytes) and returns the number of bytes written.
+func FromFloat32(dst []byte, src []float32) int {
+	for i, v := range src {
+		binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(v))
+	}
+	return 4 * len(src)
+}
+
+// ToFloat32 decodes src (little-endian float32s) into dst (which must hold
+// at least len(src)/4 elements) and returns the number of values decoded.
+func ToFloat32(dst []float32, src []byte) int {
+	n := len(src) / 4
+	for i := 0; i < n; i++ {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+	}
+	return n
+}
+
+// Bytes allocates and returns the encoding of src.
+func Bytes(src []float32) []byte {
+	out := make([]byte, 4*len(src))
+	FromFloat32(out, src)
+	return out
+}
+
+// Floats allocates and returns the decoding of src. len(src) must be a
+// multiple of 4; trailing bytes are ignored.
+func Floats(src []byte) []float32 {
+	out := make([]float32, len(src)/4)
+	ToFloat32(out, src)
+	return out
+}

@@ -1,0 +1,71 @@
+package floatbytes
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	vals := []float32{0, 1, -1, 3.14, -2.5e-7, 1e20, float32(math.Inf(1)), float32(math.NaN())}
+	buf := Bytes(vals)
+	if len(buf) != 4*len(vals) {
+		t.Fatalf("encoded %d bytes, want %d", len(buf), 4*len(vals))
+	}
+	got := Floats(buf)
+	for i := range vals {
+		a, b := math.Float32bits(vals[i]), math.Float32bits(got[i])
+		if a != b {
+			t.Fatalf("bit mismatch at %d: %x vs %x", i, a, b)
+		}
+	}
+}
+
+func TestInPlaceVariants(t *testing.T) {
+	vals := []float32{1, 2, 3}
+	buf := make([]byte, 12)
+	if n := FromFloat32(buf, vals); n != 12 {
+		t.Fatalf("wrote %d", n)
+	}
+	out := make([]float32, 3)
+	if n := ToFloat32(out, buf); n != 3 {
+		t.Fatalf("decoded %d", n)
+	}
+	for i := range vals {
+		if out[i] != vals[i] {
+			t.Fatal("mismatch")
+		}
+	}
+}
+
+func TestTrailingBytesIgnored(t *testing.T) {
+	buf := append(Bytes([]float32{7}), 0xAA, 0xBB)
+	got := Floats(buf)
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if len(Bytes(nil)) != 0 || len(Floats(nil)) != 0 {
+		t.Fatal("empty round trip failed")
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(vals []float32) bool {
+		got := Floats(Bytes(vals))
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if math.Float32bits(got[i]) != math.Float32bits(vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

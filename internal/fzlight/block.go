@@ -1,0 +1,361 @@
+package fzlight
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"hzccl/internal/bitio"
+)
+
+// This file holds the per-block codecs. Full 32-element blocks — the
+// default and the only size the experiments use — take branchless
+// specialized paths: the quantization loop folds sign extraction, magnitude
+// computation and the running code-length OR into straight-line integer
+// arithmetic, and sign bits are accumulated into a single machine word
+// instead of a per-element byte loop. Other block sizes (and the tail
+// block of a chunk) use the generic paths.
+
+// Float constrains the element types the codec accepts.
+type Float interface {
+	~float32 | ~float64
+}
+
+// quantErr classifies an out-of-range quantization input.
+func quantErr(x float64) error {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return ErrNonFinite
+	}
+	return ErrRange
+}
+
+// encodeBlock32 quantizes, predicts and encodes one full 32-element block.
+// qprev carries the previous quantized value across blocks of a chunk.
+func encodeBlock32[T Float](dst []byte, blk []T, recip float64, qprev *int32, mscratch *[32]uint32) (int, error) {
+	mbuf := mscratch
+	var signW, ormag uint32
+	q := *qprev
+	blk = blk[:32]
+	for i := 0; i < 32; i++ {
+		x := float64(blk[i]) * recip
+		if !(x > -quantLimit && x < quantLimit) {
+			return 0, quantErr(x)
+		}
+		qi := int32(math.Floor(x + 0.5)) // Floor compiles to a rounding instruction
+		p := qi - q
+		q = qi
+		s := p >> 31 // 0 or -1
+		m := uint32((p ^ s) - s)
+		mbuf[i] = m
+		signW |= uint32(s) & (1 << uint(i))
+		ormag |= m
+	}
+	*qprev = q
+	c := bits.Len32(ormag)
+	dst[0] = byte(c)
+	if c == 0 {
+		return 1, nil
+	}
+	dst[1] = byte(signW)
+	dst[2] = byte(signW >> 8)
+	dst[3] = byte(signW >> 16)
+	dst[4] = byte(signW >> 24)
+	o := 5
+	bc, r := c/8, c%8
+	o += bitio.PackPlanes(dst[o:], mbuf[:], bc)
+	o += bitio.PackRemainder(dst[o:], mbuf[:], 8*bc, r)
+	return o, nil
+}
+
+// encodeBlockGeneric handles arbitrary block lengths and the first block of
+// a chunk (whose leading element is the outlier and encodes a zero delta).
+func encodeBlockGeneric[T Float](dst []byte, blk []T, recip float64, qprev *int32,
+	first *bool, outlier *int32, pbuf []int32, mbuf []uint32) (int, error) {
+	n := len(blk)
+	var maxmag uint32
+	q := *qprev
+	for i := 0; i < n; i++ {
+		x := float64(blk[i]) * recip
+		if !(x > -quantLimit && x < quantLimit) {
+			return 0, quantErr(x)
+		}
+		qi := int32(math.Floor(x + 0.5))
+		p := qi - q
+		q = qi
+		if *first {
+			*outlier = qi
+			p = 0
+			*first = false
+		}
+		pbuf[i] = p
+		s := p >> 31
+		m := uint32((p ^ s) - s)
+		mbuf[i] = m
+		if m > maxmag {
+			maxmag = m
+		}
+	}
+	*qprev = q
+	c := bits.Len32(maxmag)
+	dst[0] = byte(c)
+	if c == 0 {
+		return 1, nil
+	}
+	o := 1
+	o += bitio.PackSigns(dst[o:], pbuf[:n])
+	bc, r := c/8, c%8
+	o += bitio.PackPlanes(dst[o:], mbuf[:n], bc)
+	o += bitio.PackRemainder(dst[o:], mbuf[:n], 8*bc, r)
+	return o, nil
+}
+
+// decodeBlock32 decodes one full 32-element block directly into
+// reconstructed float32 values, carrying the quantized accumulator.
+func decodeBlock32[T Float](src []byte, out []T, acc *int32, eb2 float64, mscratch *[32]uint32) (int, error) {
+	if len(src) < 1 {
+		return 0, ErrCorrupt
+	}
+	c := int(src[0])
+	if c > 32 {
+		return 0, fmt.Errorf("%w: code length %d", ErrCorrupt, c)
+	}
+	out = out[:32]
+	if c == 0 {
+		v := T(eb2 * float64(*acc))
+		for i := range out {
+			out[i] = v
+		}
+		return 1, nil
+	}
+	bc, r := c/8, c%8
+	need := 5 + 32*bc + 4*r
+	if len(src) < need {
+		return 0, ErrCorrupt
+	}
+	signW := uint32(src[1]) | uint32(src[2])<<8 | uint32(src[3])<<16 | uint32(src[4])<<24
+	mbuf := mscratch
+	if bc == 0 {
+		for i := range mbuf {
+			mbuf[i] = 0
+		}
+	}
+	o := 5
+	o += bitio.UnpackPlanesAssign(src[o:], mbuf[:], bc)
+	bitio.UnpackRemainder(src[o:], mbuf[:], 8*bc, r)
+	a := *acc
+	for i := 0; i < 32; i++ {
+		neg := -int32(signW >> uint(i) & 1) // 0 or -1
+		d := (int32(mbuf[i]) ^ neg) - neg
+		a += d
+		out[i] = T(eb2 * float64(a))
+	}
+	*acc = a
+	return need, nil
+}
+
+// DecodeBlock decodes one encoded block from src into the prediction slice
+// p (whose length selects the element count) and returns the number of
+// bytes consumed. scratch must be at least len(p) long; it is clobbered.
+// DecodeBlock is exported for the homomorphic reducer in package hzdyn.
+func DecodeBlock(src []byte, p []int32, scratch []uint32) (int, error) {
+	n := len(p)
+	if len(src) < 1 {
+		return 0, ErrCorrupt
+	}
+	c := int(src[0])
+	if c > 32 {
+		return 0, fmt.Errorf("%w: code length %d", ErrCorrupt, c)
+	}
+	if c == 0 {
+		for i := range p {
+			p[i] = 0
+		}
+		return 1, nil
+	}
+	need := 1 + bitio.EncodedBytes(n, c)
+	if len(src) < need {
+		return 0, ErrCorrupt
+	}
+	bc, r := c/8, c%8
+	if n == 32 {
+		signW := uint32(src[1]) | uint32(src[2])<<8 | uint32(src[3])<<16 | uint32(src[4])<<24
+		var mbuf [32]uint32
+		o := 5
+		o += bitio.UnpackPlanes(src[o:], mbuf[:], bc)
+		bitio.UnpackRemainder(src[o:], mbuf[:], 8*bc, r)
+		for i := 0; i < 32; i++ {
+			neg := -int32(signW >> uint(i) & 1)
+			p[i] = (int32(mbuf[i]) ^ neg) - neg
+		}
+		return need, nil
+	}
+	mags := scratch[:n]
+	for i := range mags {
+		mags[i] = 0
+	}
+	o := 1 + bitio.SignBytes(n)
+	o += bitio.UnpackPlanes(src[o:], mags, bc)
+	bitio.UnpackRemainder(src[o:], mags, 8*bc, r)
+	for i := range p {
+		p[i] = int32(mags[i])
+	}
+	bitio.ApplySigns(src[1:], p)
+	return need, nil
+}
+
+// EncodeBlock encodes the prediction values p as one block (code-length
+// byte plus payload) into dst and returns the number of bytes written.
+// scratch must be at least len(p) long; it is clobbered. EncodeBlock is
+// exported for the homomorphic reducer in package hzdyn.
+func EncodeBlock(dst []byte, p []int32, scratch []uint32) int {
+	n := len(p)
+	if n == 32 {
+		var mbuf [32]uint32
+		var signW, ormag uint32
+		for i := 0; i < 32; i++ {
+			v := p[i]
+			s := v >> 31
+			m := uint32((v ^ s) - s)
+			mbuf[i] = m
+			signW |= uint32(s) & (1 << uint(i))
+			ormag |= m
+		}
+		c := bits.Len32(ormag)
+		dst[0] = byte(c)
+		if c == 0 {
+			return 1
+		}
+		dst[1] = byte(signW)
+		dst[2] = byte(signW >> 8)
+		dst[3] = byte(signW >> 16)
+		dst[4] = byte(signW >> 24)
+		o := 5
+		bc, r := c/8, c%8
+		o += bitio.PackPlanes(dst[o:], mbuf[:], bc)
+		o += bitio.PackRemainder(dst[o:], mbuf[:], 8*bc, r)
+		return o
+	}
+	mags := scratch[:n]
+	var maxmag uint32
+	for i, v := range p {
+		s := v >> 31
+		m := uint32((v ^ s) - s)
+		mags[i] = m
+		if m > maxmag {
+			maxmag = m
+		}
+	}
+	c := bits.Len32(maxmag)
+	dst[0] = byte(c)
+	if c == 0 {
+		return 1
+	}
+	o := 1
+	o += bitio.PackSigns(dst[o:], p)
+	bc, r := c/8, c%8
+	o += bitio.PackPlanes(dst[o:], mags, bc)
+	o += bitio.PackRemainder(dst[o:], mags, 8*bc, r)
+	return o
+}
+
+// SumBlocks32 is the fused pipeline-④ kernel for full 32-element blocks:
+// it inverse fixed-length decodes the two encoded blocks at sa and sb,
+// adds the prediction integers, and fixed-length encodes the sum into dst,
+// in one pass without materializing intermediate arrays or re-parsing
+// markers. It returns the bytes written and the bytes consumed from each
+// input. overflow reports a sum that no longer fits in int32.
+func SumBlocks32(dst, sa, sb []byte) (wrote, usedA, usedB int, overflow bool, err error) {
+	var maga, magb, msum [32]uint32
+	signWa, usedA, err := unpackMags32(sa, &maga)
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	signWb, usedB, err := unpackMags32(sb, &magb)
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	var signW, ormag uint32
+	for i := 0; i < 32; i++ {
+		nega := -int32(signWa >> uint(i) & 1)
+		negb := -int32(signWb >> uint(i) & 1)
+		da := (int32(maga[i]) ^ nega) - nega
+		db := (int32(magb[i]) ^ negb) - negb
+		sum := int64(da) + int64(db)
+		if sum != int64(int32(sum)) {
+			overflow = true
+		}
+		p := int32(sum)
+		s := p >> 31
+		m := uint32((p ^ s) - s)
+		msum[i] = m
+		signW |= uint32(s) & (1 << uint(i))
+		ormag |= m
+	}
+	if overflow {
+		return 0, usedA, usedB, true, nil
+	}
+	c := bits.Len32(ormag)
+	dst[0] = byte(c)
+	if c == 0 {
+		return 1, usedA, usedB, false, nil
+	}
+	dst[1] = byte(signW)
+	dst[2] = byte(signW >> 8)
+	dst[3] = byte(signW >> 16)
+	dst[4] = byte(signW >> 24)
+	o := 5
+	bc, r := c/8, c%8
+	o += bitio.PackPlanes(dst[o:], msum[:], bc)
+	o += bitio.PackRemainder(dst[o:], msum[:], 8*bc, r)
+	return o, usedA, usedB, false, nil
+}
+
+// unpackMags32 reads one encoded 32-element block: magnitudes into mags,
+// sign bits returned as a word. A constant block yields zero magnitudes.
+func unpackMags32(src []byte, mags *[32]uint32) (signW uint32, used int, err error) {
+	if len(src) < 1 {
+		return 0, 0, ErrCorrupt
+	}
+	c := int(src[0])
+	if c > 32 {
+		return 0, 0, fmt.Errorf("%w: code length %d", ErrCorrupt, c)
+	}
+	if c == 0 {
+		for i := range mags {
+			mags[i] = 0
+		}
+		return 0, 1, nil
+	}
+	bc, r := c/8, c%8
+	need := 5 + 32*bc + 4*r
+	if len(src) < need {
+		return 0, 0, ErrCorrupt
+	}
+	signW = uint32(src[1]) | uint32(src[2])<<8 | uint32(src[3])<<16 | uint32(src[4])<<24
+	if bc == 0 {
+		for i := range mags {
+			mags[i] = 0
+		}
+	}
+	o := 5
+	o += bitio.UnpackPlanesAssign(src[o:], mags[:], bc)
+	bitio.UnpackRemainder(src[o:], mags[:], 8*bc, r)
+	return signW, need, nil
+}
+
+// BlockBytes returns the encoded size of the block starting at src[0] for
+// n elements, without decoding its payload.
+func BlockBytes(src []byte, n int) (int, error) {
+	if len(src) < 1 {
+		return 0, ErrCorrupt
+	}
+	c := int(src[0])
+	if c > 32 {
+		return 0, fmt.Errorf("%w: code length %d", ErrCorrupt, c)
+	}
+	size := 1 + bitio.EncodedBytes(n, c)
+	if len(src) < size {
+		return 0, ErrCorrupt
+	}
+	return size, nil
+}

@@ -1,0 +1,97 @@
+package fzlight
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func smooth64(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	v := 0.0
+	for i := range out {
+		v += rng.NormFloat64() * 1e-7
+		out[i] = math.Sin(float64(i)*0.001) + v
+	}
+	return out
+}
+
+func TestCompress64RoundTrip(t *testing.T) {
+	data := smooth64(10000, 1)
+	// Bounds below float32 resolution — the reason Compress64 exists.
+	// (The quantization range caps eb at |v|/2^29, so ~2e-9 is the floor
+	// for O(1) values.)
+	for _, eb := range []float64{1e-6, 1e-8, 4e-9} {
+		for _, threads := range []int{1, 3} {
+			comp, err := Compress64(data, Params{ErrorBound: eb, Threads: threads})
+			if err != nil {
+				t.Fatalf("eb=%g: %v", eb, err)
+			}
+			got, err := Decompress64(comp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			maxErr := 0.0
+			for i := range data {
+				if d := math.Abs(data[i] - got[i]); d > maxErr {
+					maxErr = d
+				}
+			}
+			if maxErr > eb*(1+1e-9) {
+				t.Fatalf("eb=%g threads=%d: err %g", eb, threads, maxErr)
+			}
+		}
+	}
+}
+
+func TestPrecisionMismatchRejected(t *testing.T) {
+	d64 := smooth64(100, 2)
+	c64, err := Compress64(d64, Params{ErrorBound: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress(c64); !errors.Is(err, ErrWrongPrecision) {
+		t.Fatalf("float32 decode of float64 container: %v", err)
+	}
+	d32 := make([]float32, 100)
+	c32, err := Compress(d32, Params{ErrorBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress64(c32); !errors.Is(err, ErrWrongPrecision) {
+		t.Fatalf("float64 decode of float32 container: %v", err)
+	}
+	// Homomorphic geometry check must separate precisions too.
+	h64, err := ParseHeader(c64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h64.Float64 {
+		t.Fatal("Float64 flag not recorded")
+	}
+}
+
+func TestCompress64BetterThanFloat32AtTinyBounds(t *testing.T) {
+	// At eb = 1e-10 a float32 round-trip cannot honor the bound for values
+	// of magnitude ~1e-3 (float32 has only 24 mantissa bits); Compress64
+	// must.
+	data := smooth64(1000, 5)
+	for i := range data {
+		data[i] *= 1e-3
+	}
+	comp, err := Compress64(data, Params{ErrorBound: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress64(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if d := math.Abs(data[i] - got[i]); d > 1e-10*(1+1e-9) {
+			t.Fatalf("float64 path violated tiny bound: %g", d)
+		}
+	}
+}

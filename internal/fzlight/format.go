@@ -1,0 +1,317 @@
+package fzlight
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Container layout (all little-endian):
+//
+//	offset 0  : magic "FZL1"
+//	offset 4  : version (1)
+//	offset 5  : flags (reserved, 0)
+//	offset 6  : block size (uint16)
+//	offset 8  : absolute error bound (float64)
+//	offset 16 : number of chunks (uint32)
+//	offset 20 : element count (uint64)
+//	offset 28 : compressed byte size of each chunk (numChunks × uint32)
+//	then      : chunk payloads, concatenated
+const (
+	magic         = "FZL1"
+	formatVersion = 1
+	fixedHeader   = 28
+)
+
+// Header describes a compressed container. It is returned by ParseHeader
+// and Info and is sufficient to locate and decode every chunk in parallel.
+type Header struct {
+	ErrorBound float64
+	BlockSize  int
+	NumChunks  int
+	DataLen    int
+	// Version is the container format version: 1 = 1D delta, 2 = 2D
+	// Lorenzo, 3 = 3D Lorenzo.
+	Version int
+	// Float64 records that the source data was double-precision
+	// (Compress64); decode with Decompress64.
+	Float64 bool
+	// Width is the row length of a 2D/3D container; 0 for 1D.
+	Width int
+	// Height is the plane height of a 3D container; 0 otherwise.
+	Height     int
+	ChunkSizes []uint32
+}
+
+func headerBytes(numChunks int) int { return fixedHeader + 4*numChunks }
+
+// HeaderOverhead reports the container header size in bytes for a stream
+// compressed with the given chunk count. Exposed so cost models can account
+// for metadata exactly.
+func HeaderOverhead(numChunks int) int { return headerBytes(numChunks) }
+
+// flagFloat64 marks a container whose source values were float64.
+const flagFloat64 = 0x01
+
+func (h *Header) flags() byte {
+	if h.Float64 {
+		return flagFloat64
+	}
+	return 0
+}
+
+func (h *Header) marshal(dst []byte) int {
+	copy(dst, magic)
+	dst[4] = formatVersion
+	dst[5] = h.flags()
+	binary.LittleEndian.PutUint16(dst[6:], uint16(h.BlockSize))
+	binary.LittleEndian.PutUint64(dst[8:], math.Float64bits(h.ErrorBound))
+	binary.LittleEndian.PutUint32(dst[16:], uint32(h.NumChunks))
+	binary.LittleEndian.PutUint64(dst[20:], uint64(h.DataLen))
+	o := fixedHeader
+	for _, s := range h.ChunkSizes {
+		binary.LittleEndian.PutUint32(dst[o:], s)
+		o += 4
+	}
+	return o
+}
+
+// MarshalHeader writes h into dst (which must be at least
+// HeaderOverhead(h.NumChunks) bytes) and returns the bytes written. It is
+// exported for the homomorphic reducer, which assembles containers with the
+// same geometry but new chunk sizes.
+func MarshalHeader(dst []byte, h *Header) int { return h.marshal(dst) }
+
+// ParseHeader validates and decodes the container header.
+func ParseHeader(comp []byte) (*Header, error) {
+	if len(comp) < fixedHeader {
+		return nil, ErrCorrupt
+	}
+	if string(comp[:4]) != magic {
+		return nil, ErrBadMagic
+	}
+	switch comp[4] {
+	case 2:
+		return parseHeader2(comp)
+	case 3:
+		return parseHeader3(comp)
+	case formatVersion:
+	default:
+		return nil, fmt.Errorf("%w: version %d", ErrBadVersion, comp[4])
+	}
+	rawLen := binary.LittleEndian.Uint64(comp[20:])
+	h := &Header{
+		Version:    1,
+		Float64:    comp[5]&flagFloat64 != 0,
+		BlockSize:  int(binary.LittleEndian.Uint16(comp[6:])),
+		ErrorBound: math.Float64frombits(binary.LittleEndian.Uint64(comp[8:])),
+		NumChunks:  int(binary.LittleEndian.Uint32(comp[16:])),
+	}
+	if h.BlockSize < 1 || h.NumChunks < 1 {
+		return nil, ErrCorrupt
+	}
+	if !(h.ErrorBound > 0) {
+		return nil, ErrCorrupt
+	}
+	// Containers arrive from the network: every size field is untrusted.
+	// Each chunk costs at least 4 outlier bytes and each block at least
+	// one marker byte, so the payload bounds both the chunk count and the
+	// element count; reject anything a well-formed container cannot hold
+	// before any allocation is sized from it.
+	payload := uint64(len(comp) - fixedHeader)
+	if uint64(h.NumChunks) > payload/8 {
+		return nil, ErrCorrupt
+	}
+	if rawLen > payload*uint64(h.BlockSize) {
+		return nil, ErrCorrupt
+	}
+	h.DataLen = int(rawLen)
+	if h.DataLen > 0 && h.NumChunks > h.DataLen {
+		return nil, ErrCorrupt
+	}
+	if len(comp) < headerBytes(h.NumChunks) {
+		return nil, ErrCorrupt
+	}
+	h.ChunkSizes = make([]uint32, h.NumChunks)
+	o := fixedHeader
+	for i := range h.ChunkSizes {
+		h.ChunkSizes[i] = binary.LittleEndian.Uint32(comp[o:])
+		o += 4
+	}
+	return h, nil
+}
+
+// Info is an alias for ParseHeader, provided for API clarity.
+func Info(comp []byte) (*Header, error) { return ParseHeader(comp) }
+
+// chunkOffsets returns numChunks+1 byte offsets into the container such
+// that chunk i occupies comp[offs[i]:offs[i+1]], verifying that the sizes
+// exactly cover the container.
+func (h *Header) chunkOffsets(compLen int) ([]int, error) {
+	offs := make([]int, h.NumChunks+1)
+	o := headerBytes(h.NumChunks)
+	for i, s := range h.ChunkSizes {
+		offs[i] = o
+		o += int(s)
+		if o > compLen {
+			return nil, ErrCorrupt
+		}
+	}
+	offs[h.NumChunks] = o
+	if o != compLen {
+		return nil, fmt.Errorf("%w: container size %d, chunks end at %d", ErrCorrupt, compLen, o)
+	}
+	return offs, nil
+}
+
+// ChunkOffsets exposes chunk payload locations for external block-level
+// consumers (the homomorphic reducer).
+func ChunkOffsets(comp []byte) (*Header, []int, error) {
+	h, err := ParseHeader(comp)
+	if err != nil {
+		return nil, nil, err
+	}
+	offs, err := h.offsets(len(comp))
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, offs, nil
+}
+
+// offsets dispatches between the per-version chunk layouts.
+func (h *Header) offsets(compLen int) ([]int, error) {
+	switch h.Version {
+	case 3:
+		return h.chunkOffsets3(compLen)
+	case 2:
+		return h.chunkOffsets2(compLen)
+	default:
+		return h.chunkOffsets(compLen)
+	}
+}
+
+// ChunkElemRange returns the [start, end) element range of chunk i: a
+// direct element partition for 1D containers, a row-band partition for 2D
+// ones. Exported for the homomorphic reducer.
+func ChunkElemRange(h *Header, i int) (start, end int) {
+	switch h.Version {
+	case 3:
+		plane := h.Width * h.Height
+		depth := h.DataLen / plane
+		zs, ze := ChunkBounds(depth, h.NumChunks, i)
+		return zs * plane, ze * plane
+	case 2:
+		rows := h.DataLen / h.Width
+		rs, re := ChunkBounds(rows, h.NumChunks, i)
+		return rs * h.Width, re * h.Width
+	default:
+		return ChunkBounds(h.DataLen, h.NumChunks, i)
+	}
+}
+
+// AssembleLike builds a container with h's geometry (and format version)
+// around freshly produced chunk payloads. Exported for the homomorphic
+// reducer.
+func AssembleLike(h *Header, chunks [][]byte) []byte {
+	nh := &Header{
+		ErrorBound: h.ErrorBound,
+		BlockSize:  h.BlockSize,
+		NumChunks:  h.NumChunks,
+		DataLen:    h.DataLen,
+		Version:    h.Version,
+		Float64:    h.Float64,
+		Width:      h.Width,
+		Height:     h.Height,
+		ChunkSizes: make([]uint32, h.NumChunks),
+	}
+	total := 0
+	for i, c := range chunks {
+		nh.ChunkSizes[i] = uint32(len(c))
+		total += len(c)
+	}
+	var out []byte
+	var o int
+	switch h.Version {
+	case 3:
+		out = make([]byte, headerBytes3(h.NumChunks)+total)
+		o = nh.marshal3(out)
+	case 2:
+		out = make([]byte, headerBytes2(h.NumChunks)+total)
+		o = nh.marshal2(out)
+	default:
+		out = make([]byte, headerBytes(h.NumChunks)+total)
+		o = nh.marshal(out)
+	}
+	for _, c := range chunks {
+		o += copy(out[o:], c)
+	}
+	return out[:o]
+}
+
+// SameGeometry reports whether two headers describe streams that can be
+// reduced homomorphically: identical error bound, block size, chunk count
+// and element count.
+func SameGeometry(a, b *Header) bool {
+	return a.ErrorBound == b.ErrorBound &&
+		a.BlockSize == b.BlockSize &&
+		a.NumChunks == b.NumChunks &&
+		a.DataLen == b.DataLen &&
+		a.Version == b.Version &&
+		a.Float64 == b.Float64 &&
+		a.Width == b.Width &&
+		a.Height == b.Height
+}
+
+// StreamStats summarizes the block structure of a compressed stream. The
+// constant-block fraction predicts which homomorphic pipelines hZ-dynamic
+// will select (paper Table V).
+type StreamStats struct {
+	Blocks         int
+	ConstantBlocks int
+	CodeLenHist    [33]int
+	PayloadBytes   int
+}
+
+// ConstantFraction returns the fraction of blocks with code length zero.
+func (s StreamStats) ConstantFraction() float64 {
+	if s.Blocks == 0 {
+		return 0
+	}
+	return float64(s.ConstantBlocks) / float64(s.Blocks)
+}
+
+// Stats walks a compressed stream and returns its block statistics.
+func Stats(comp []byte) (StreamStats, error) {
+	var st StreamStats
+	h, offs, err := ChunkOffsets(comp)
+	if err != nil {
+		return st, err
+	}
+	for i := 0; i < h.NumChunks; i++ {
+		start, end := ChunkElemRange(h, i)
+		src := comp[offs[i]:offs[i+1]]
+		if len(src) < 4 {
+			return st, ErrCorrupt
+		}
+		o := 4
+		for base := start; base < end; base += h.BlockSize {
+			n := h.BlockSize
+			if base+n > end {
+				n = end - base
+			}
+			size, err := BlockBytes(src[o:], n)
+			if err != nil {
+				return st, err
+			}
+			c := int(src[o])
+			st.Blocks++
+			st.CodeLenHist[c]++
+			if c == 0 {
+				st.ConstantBlocks++
+			}
+			st.PayloadBytes += size
+			o += size
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,349 @@
+package fzlight
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func smoothField(n int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float32, n)
+	v := 0.0
+	for i := range out {
+		v += rng.NormFloat64() * 0.01
+		out[i] = float32(math.Sin(float64(i)*0.01) + v)
+	}
+	return out
+}
+
+func maxAbsErr(a, b []float32) float64 {
+	m := 0.0
+	for i := range a {
+		d := math.Abs(float64(a[i]) - float64(b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// tol returns the effective error tolerance: the quantization bound eb plus
+// one float32 ulp of the data magnitude (the bound holds exactly in double
+// precision; storing reconstructed values as float32 costs one rounding).
+func tol(eb float64, data []float32) float64 {
+	maxAbs := 0.0
+	for _, v := range data {
+		if a := math.Abs(float64(v)); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	return eb + maxAbs*math.Pow(2, -23)
+}
+
+func TestRoundTripErrorBound(t *testing.T) {
+	data := smoothField(10000, 1)
+	for _, eb := range []float64{1e-1, 1e-2, 1e-3, 1e-4} {
+		for _, threads := range []int{1, 3, 8} {
+			for _, bs := range []int{32, 64, 16, 13} {
+				comp, err := Compress(data, Params{ErrorBound: eb, BlockSize: bs, Threads: threads})
+				if err != nil {
+					t.Fatalf("Compress(eb=%g,t=%d,bs=%d): %v", eb, threads, bs, err)
+				}
+				got, err := Decompress(comp)
+				if err != nil {
+					t.Fatalf("Decompress(eb=%g,t=%d,bs=%d): %v", eb, threads, bs, err)
+				}
+				if len(got) != len(data) {
+					t.Fatalf("length mismatch: %d vs %d", len(got), len(data))
+				}
+				if m := maxAbsErr(data, got); m > tol(eb, data) {
+					t.Fatalf("eb=%g t=%d bs=%d: max abs err %g exceeds bound", eb, threads, bs, m)
+				}
+			}
+		}
+	}
+}
+
+func TestReconstructionIndependentOfPartitioning(t *testing.T) {
+	// The reconstruction is 2·eb·round(v/2·eb) regardless of how the input
+	// is chunked or blocked, so every (Threads, BlockSize) combination must
+	// produce bit-identical decompressed output.
+	data := smoothField(4097, 2)
+	eb := 1e-3
+	ref, err := Decompress(mustCompress(t, data, Params{ErrorBound: eb}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{2, 5, 16} {
+		for _, bs := range []int{8, 32, 100} {
+			got, err := Decompress(mustCompress(t, data, Params{ErrorBound: eb, Threads: threads, BlockSize: bs}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range ref {
+				if ref[i] != got[i] {
+					t.Fatalf("threads=%d bs=%d: reconstruction differs at %d: %v vs %v", threads, bs, i, ref[i], got[i])
+				}
+			}
+		}
+	}
+}
+
+func mustCompress(t *testing.T, data []float32, p Params) []byte {
+	t.Helper()
+	comp, err := Compress(data, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return comp
+}
+
+func TestDeterminism(t *testing.T) {
+	data := smoothField(5000, 3)
+	p := Params{ErrorBound: 1e-3, Threads: 4}
+	a := mustCompress(t, data, p)
+	b := mustCompress(t, data, p)
+	if !bytes.Equal(a, b) {
+		t.Fatal("compression is not deterministic")
+	}
+}
+
+func TestEmptyAndTinyInputs(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 31, 32, 33} {
+		data := smoothField(n, int64(n))
+		comp := mustCompress(t, data, Params{ErrorBound: 1e-3, Threads: 4})
+		got, err := Decompress(comp)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(got) != n {
+			t.Fatalf("n=%d: got %d elements", n, len(got))
+		}
+		if m := maxAbsErr(data, got); m > tol(1e-3, data) {
+			t.Fatalf("n=%d: err %g", n, m)
+		}
+	}
+}
+
+func TestConstantInput(t *testing.T) {
+	data := make([]float32, 1000)
+	for i := range data {
+		data[i] = 42.5
+	}
+	comp := mustCompress(t, data, Params{ErrorBound: 1e-4})
+	st, err := Stats(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ConstantBlocks != st.Blocks {
+		t.Fatalf("constant input should give all-constant blocks, got %d/%d", st.ConstantBlocks, st.Blocks)
+	}
+	// ~1 byte per block + header: enormous ratio
+	if len(comp) > 200 {
+		t.Fatalf("constant input compressed to %d bytes, expected < 200", len(comp))
+	}
+	got, err := Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := maxAbsErr(data, got); m > tol(1e-4, data) {
+		t.Fatalf("err %g", m)
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	data := []float32{1, 2, 3}
+	cases := []Params{
+		{ErrorBound: 0},
+		{ErrorBound: -1},
+		{ErrorBound: math.NaN()},
+		{ErrorBound: math.Inf(1)},
+	}
+	for _, p := range cases {
+		if _, err := Compress(data, p); !errors.Is(err, ErrBadParams) {
+			t.Errorf("params %+v: want ErrBadParams, got %v", p, err)
+		}
+	}
+}
+
+func TestNonFiniteInput(t *testing.T) {
+	if _, err := Compress([]float32{1, float32(math.NaN())}, Params{ErrorBound: 1e-3}); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("want ErrNonFinite, got %v", err)
+	}
+	if _, err := Compress([]float32{float32(math.Inf(1))}, Params{ErrorBound: 1e-3}); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("want ErrNonFinite, got %v", err)
+	}
+}
+
+func TestRangeOverflow(t *testing.T) {
+	// 1e9 / (2*1e-9) far exceeds the 2^29 quantization limit.
+	if _, err := Compress([]float32{1e9}, Params{ErrorBound: 1e-9}); !errors.Is(err, ErrRange) {
+		t.Fatalf("want ErrRange, got %v", err)
+	}
+}
+
+func TestCorruptStreams(t *testing.T) {
+	data := smoothField(1000, 4)
+	comp := mustCompress(t, data, Params{ErrorBound: 1e-3, Threads: 2})
+
+	if _, err := Decompress(comp[:10]); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if _, err := Decompress(comp[:len(comp)-5]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	bad := append([]byte(nil), comp...)
+	copy(bad, "XXXX")
+	if _, err := Decompress(bad); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: got %v", err)
+	}
+	bad = append([]byte(nil), comp...)
+	bad[4] = 99
+	if _, err := Decompress(bad); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version: got %v", err)
+	}
+	if _, err := Decompress(nil); err == nil {
+		t.Error("nil input accepted")
+	}
+}
+
+func TestDecompressIntoShortBuffer(t *testing.T) {
+	data := smoothField(100, 5)
+	comp := mustCompress(t, data, Params{ErrorBound: 1e-3})
+	if err := DecompressInto(comp, make([]float32, 10)); !errors.Is(err, ErrShortOutput) {
+		t.Fatalf("want ErrShortOutput, got %v", err)
+	}
+}
+
+func TestChunkBounds(t *testing.T) {
+	for _, d := range []int{0, 1, 7, 100, 101, 1023} {
+		for _, n := range []int{1, 2, 3, 7, 16} {
+			if n > d && d > 0 {
+				continue
+			}
+			if d == 0 && n > 1 {
+				continue
+			}
+			prevEnd := 0
+			minLen, maxLen := 1<<30, 0
+			for i := 0; i < n; i++ {
+				s, e := ChunkBounds(d, n, i)
+				if s != prevEnd {
+					t.Fatalf("d=%d n=%d chunk %d: gap (start %d, prev end %d)", d, n, i, s, prevEnd)
+				}
+				l := e - s
+				if l < minLen {
+					minLen = l
+				}
+				if l > maxLen {
+					maxLen = l
+				}
+				prevEnd = e
+			}
+			if prevEnd != d {
+				t.Fatalf("d=%d n=%d: chunks end at %d", d, n, prevEnd)
+			}
+			if maxLen-minLen > 1 {
+				t.Fatalf("d=%d n=%d: unbalanced chunks (%d..%d)", d, n, minLen, maxLen)
+			}
+		}
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	data := smoothField(777, 6)
+	p := Params{ErrorBound: 2.5e-4, BlockSize: 48, Threads: 3}
+	comp := mustCompress(t, data, p)
+	h, err := ParseHeader(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ErrorBound != p.ErrorBound || h.BlockSize != p.BlockSize || h.NumChunks != 3 || h.DataLen != 777 {
+		t.Fatalf("header mismatch: %+v", h)
+	}
+}
+
+func TestStatsCoverStream(t *testing.T) {
+	data := smoothField(10000, 7)
+	comp := mustCompress(t, data, Params{ErrorBound: 1e-3, Threads: 4})
+	st, err := Stats(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBlocks := 0
+	for i := 0; i < 4; i++ {
+		s, e := ChunkBounds(10000, 4, i)
+		wantBlocks += (e - s + DefaultBlockSize - 1) / DefaultBlockSize
+	}
+	if st.Blocks != wantBlocks {
+		t.Fatalf("Stats counted %d blocks, want %d", st.Blocks, wantBlocks)
+	}
+	sum := 0
+	for _, c := range st.CodeLenHist {
+		sum += c
+	}
+	if sum != st.Blocks {
+		t.Fatalf("histogram sums to %d, want %d", sum, st.Blocks)
+	}
+}
+
+func TestBlockCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{32, 8, 5, 1} {
+		for trial := 0; trial < 50; trial++ {
+			p := make([]int32, n)
+			shift := uint(rng.Intn(28))
+			for i := range p {
+				p[i] = int32(rng.Intn(1<<shift)) - int32(rng.Intn(1<<shift))
+			}
+			dst := make([]byte, 1+5*n+16)
+			scratch := make([]uint32, n)
+			wrote := EncodeBlock(dst, p, scratch)
+			got := make([]int32, n)
+			used, err := DecodeBlock(dst[:wrote], got, scratch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if used != wrote {
+				t.Fatalf("encode wrote %d, decode used %d", wrote, used)
+			}
+			for i := range p {
+				if got[i] != p[i] {
+					t.Fatalf("block codec mismatch at %d: %d vs %d", i, got[i], p[i])
+				}
+			}
+		}
+	}
+}
+
+// Property: for arbitrary finite inputs within range, the error bound holds
+// and decompression inverts compression structurally.
+func TestPropertyErrorBound(t *testing.T) {
+	f := func(vals []float32, ebSeed uint8) bool {
+		eb := []float64{1e-1, 1e-2, 1e-3, 1e-4}[ebSeed%4]
+		clean := make([]float32, 0, len(vals))
+		for _, v := range vals {
+			f64 := float64(v)
+			if math.IsNaN(f64) || math.IsInf(f64, 0) || math.Abs(f64) > 1e4 {
+				continue
+			}
+			clean = append(clean, v)
+		}
+		comp, err := Compress(clean, Params{ErrorBound: eb, Threads: 2})
+		if err != nil {
+			return false
+		}
+		got, err := Decompress(comp)
+		if err != nil {
+			return false
+		}
+		return maxAbsErr(clean, got) <= tol(eb, clean)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package fzlight
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// Golden vectors: hand-computed encodings that pin the on-disk format.
+// If any of these fail, the format changed — bump the version byte and
+// provide migration, don't silently re-interpret old containers.
+
+func TestGoldenBlockEncoding(t *testing.T) {
+	// 32 prediction values: p[0]=1, p[1]=-1, rest 0.
+	p := make([]int32, 32)
+	p[0], p[1] = 1, -1
+	dst := make([]byte, 64)
+	scratch := make([]uint32, 32)
+	n := EncodeBlock(dst, p, scratch)
+	// code length 1; sign word has bit 1 set → 0x02,0,0,0;
+	// residual bits (LSB-first): values (1,1,0,...) → first byte 0b11.
+	want := []byte{
+		0x01,                   // code length
+		0x02, 0x00, 0x00, 0x00, // sign bits
+		0x03, 0x00, 0x00, 0x00, // 1-bit magnitudes, packed
+	}
+	if !bytes.Equal(dst[:n], want) {
+		t.Fatalf("block encoding changed:\n got %x\nwant %x", dst[:n], want)
+	}
+}
+
+func TestGoldenConstantBlock(t *testing.T) {
+	p := make([]int32, 32)
+	dst := make([]byte, 8)
+	n := EncodeBlock(dst, p, make([]uint32, 32))
+	if n != 1 || dst[0] != 0 {
+		t.Fatalf("constant block encoding changed: %x", dst[:n])
+	}
+}
+
+func TestGoldenTwoByteCodeLength(t *testing.T) {
+	// p[0] = 300 (9 bits): c=9, one byte plane + 1 residual bit per value.
+	p := make([]int32, 32)
+	p[0] = 300 // 0b100101100
+	dst := make([]byte, 128)
+	n := EncodeBlock(dst, p, make([]uint32, 32))
+	want := make([]byte, 1+4+32+4)
+	want[0] = 9    // code length
+	want[5] = 0x2C // plane 0 of value 0: 300 & 0xFF
+	want[37] = 1   // residual bit (bit 8 of 300) of value 0
+	if !bytes.Equal(dst[:n], want) {
+		t.Fatalf("9-bit encoding changed:\n got %x\nwant %x", dst[:n], want)
+	}
+}
+
+func TestGoldenContainerHeader(t *testing.T) {
+	data := make([]float32, 64) // all zeros → two constant blocks
+	comp, err := Compress(data, Params{ErrorBound: 0.001, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fixed header
+	if string(comp[:4]) != "FZL1" {
+		t.Fatalf("magic %q", comp[:4])
+	}
+	if comp[4] != 1 || comp[5] != 0 {
+		t.Fatalf("version/flags %x %x", comp[4], comp[5])
+	}
+	if binary.LittleEndian.Uint16(comp[6:]) != 32 {
+		t.Fatal("block size field")
+	}
+	if binary.LittleEndian.Uint64(comp[8:]) != math.Float64bits(0.001) {
+		t.Fatal("error bound field")
+	}
+	if binary.LittleEndian.Uint32(comp[16:]) != 2 {
+		t.Fatal("chunk count field")
+	}
+	if binary.LittleEndian.Uint64(comp[20:]) != 64 {
+		t.Fatal("element count field")
+	}
+	// each chunk: 4-byte outlier (0) + one constant-block marker
+	if binary.LittleEndian.Uint32(comp[28:]) != 5 || binary.LittleEndian.Uint32(comp[32:]) != 5 {
+		t.Fatalf("chunk sizes %v %v", binary.LittleEndian.Uint32(comp[28:]), binary.LittleEndian.Uint32(comp[32:]))
+	}
+	wantChunk := []byte{0, 0, 0, 0, 0}
+	if !bytes.Equal(comp[36:41], wantChunk) || !bytes.Equal(comp[41:46], wantChunk) {
+		t.Fatalf("chunk payloads changed: %x", comp[36:])
+	}
+	if len(comp) != 46 {
+		t.Fatalf("container length %d, want 46", len(comp))
+	}
+}
+
+func TestGoldenQuantization(t *testing.T) {
+	// round(v / 2eb) with eb=0.5 → q = round(v): pin the rounding rule
+	// (floor(x+0.5), i.e. halfway cases round toward +inf).
+	comp, err := Compress([]float32{0.5, -0.5, 1.49, -1.51}, Params{ErrorBound: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{1, 0, 1, -2} // q = 1, 0 (-0.5→floor(0)=0), 1, -2
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rounding rule changed at %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}

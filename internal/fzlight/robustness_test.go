@@ -1,0 +1,78 @@
+package fzlight
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Robustness: arbitrary garbage and systematically corrupted containers
+// must produce errors, never panics or out-of-range accesses. This is the
+// property a network-facing decoder needs: every received buffer is
+// attacker-controlled in the worst case.
+
+func TestDecompressRandomGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(200)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		// Must not panic; errors are expected and fine.
+		_, _ = Decompress(buf)
+	}
+}
+
+func TestDecompressValidHeaderGarbagePayload(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	data := make([]float32, 1000)
+	for i := range data {
+		data[i] = rng.Float32()
+	}
+	comp, err := Compress(data, Params{ErrorBound: 1e-3, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 2000; trial++ {
+		bad := append([]byte(nil), comp...)
+		// corrupt a few random payload bytes, keeping the header intact
+		for k := 0; k < 1+rng.Intn(8); k++ {
+			pos := fixedHeader + rng.Intn(len(bad)-fixedHeader)
+			bad[pos] ^= byte(1 + rng.Intn(255))
+		}
+		out, err := Decompress(bad)
+		// Either an error, or a decode that stayed in bounds.
+		if err == nil && len(out) != 1000 {
+			t.Fatalf("corrupt stream decoded to %d values", len(out))
+		}
+	}
+}
+
+func TestDecompressTruncationSweep(t *testing.T) {
+	data := make([]float32, 500)
+	for i := range data {
+		data[i] = float32(i)
+	}
+	comp, err := Compress(data, Params{ErrorBound: 1e-2, Threads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(comp); cut += 3 {
+		if _, err := Decompress(comp[:cut]); err == nil {
+			t.Fatalf("truncation at %d of %d accepted", cut, len(comp))
+		}
+	}
+}
+
+func TestHeaderFieldFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	data := make([]float32, 300)
+	comp, err := Compress(data, Params{ErrorBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 3000; trial++ {
+		bad := append([]byte(nil), comp...)
+		pos := rng.Intn(fixedHeader)
+		bad[pos] ^= byte(1 + rng.Intn(255))
+		_, _ = Decompress(bad) // must not panic
+	}
+}

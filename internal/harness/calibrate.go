@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"hzccl/internal/core"
+	"hzccl/internal/fzlight"
+	"hzccl/internal/hzdyn"
+)
+
+// calibrateOnSample measures single-thread component rates on a concrete
+// workload pair: compression, decompression and raw summation on a, and
+// homomorphic reduction of C(a) with C(b). Used by experiments whose
+// operand profile is defined by application data (image stacking) rather
+// than generated snapshots.
+func calibrateOnSample(a, b []float32, eb float64) (*core.Rates, error) {
+	p := fzlight.Params{ErrorBound: eb}
+	raw := 4 * len(a)
+
+	ca, err := fzlight.Compress(a, p)
+	if err != nil {
+		return nil, err
+	}
+	cb, err := fzlight.Compress(b, p)
+	if err != nil {
+		return nil, err
+	}
+	tCPR, err := bestOf(2, func() error { _, err := fzlight.Compress(a, p); return err })
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float32, len(a))
+	tDPR, err := bestOf(2, func() error { return fzlight.DecompressInto(ca, out) })
+	if err != nil {
+		return nil, err
+	}
+	tCPT, err := bestOf(2, func() error {
+		for i := range out {
+			out[i] += a[i]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tHPR, err := bestOf(2, func() error { _, _, err := hzdyn.Add(ca, cb); return err })
+	if err != nil {
+		return nil, err
+	}
+	return &core.Rates{
+		CPR: float64(raw) / tCPR.Seconds(),
+		DPR: float64(raw) / tDPR.Seconds(),
+		CPT: float64(raw) / tCPT.Seconds(),
+		HPR: float64(raw) / tHPR.Seconds(),
+	}, nil
+}

@@ -1,0 +1,40 @@
+package hzdyn
+
+import "hzccl/internal/fzlight"
+
+// This file extends the reducer beyond the paper's 'sum' example, in the
+// direction its future-work section sketches: any linear operation on the
+// quantized domain is homomorphic in the fZ-light format.
+
+// Sub homomorphically subtracts b from a:
+// Decompress(Sub(a,b)) == Decompress(a) − Decompress(b) exactly in the
+// quantized domain. Implemented as a + (−1)·b; the negation shares the
+// Add fast paths because only sign bits change.
+func Sub(a, b []byte) ([]byte, Stats, error) {
+	nb, err := ScaleInt(b, -1)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return Add(a, nb)
+}
+
+// Fold reduces many compressed streams into one with pairwise homomorphic
+// additions, accumulating pipeline statistics — the pattern a rank uses
+// when stacking locally buffered contributions. At least one operand is
+// required.
+func Fold(streams [][]byte) ([]byte, Stats, error) {
+	var total Stats
+	if len(streams) == 0 {
+		return nil, total, fzlight.ErrCorrupt
+	}
+	acc := streams[0]
+	for _, s := range streams[1:] {
+		sum, st, err := Add(acc, s)
+		if err != nil {
+			return nil, total, err
+		}
+		total.add(st)
+		acc = sum
+	}
+	return acc, total, nil
+}

@@ -1,0 +1,208 @@
+package hzdyn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hzccl/internal/fzlight"
+)
+
+func TestSub(t *testing.T) {
+	a := smooth(3000, 20, 2)
+	b := smooth(3000, 21, 1)
+	p := fzlight.Params{ErrorBound: 1e-3, Threads: 2}
+	ca := compress(t, a, p)
+	cb := compress(t, b, p)
+	diff, _, err := Sub(ca, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decompress(t, diff)
+	da := decompress(t, ca)
+	db := decompress(t, cb)
+	for i := range got {
+		want := float64(da[i]) - float64(db[i])
+		if d := math.Abs(float64(got[i]) - want); d > 1e-6*math.Abs(want)+1e-7 {
+			t.Fatalf("i=%d: got %v want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestSubSelfIsZero(t *testing.T) {
+	a := smooth(2000, 22, 3)
+	ca := compress(t, a, fzlight.Params{ErrorBound: 1e-2})
+	diff, _, err := Sub(ca, ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decompress(t, diff)
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("a-a != 0 at %d: %v", i, v)
+		}
+	}
+	// and the result is maximally compressed (all-constant blocks)
+	st, err := fzlight.Stats(diff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ConstantBlocks != st.Blocks {
+		t.Fatalf("self-difference not all-constant: %d/%d", st.ConstantBlocks, st.Blocks)
+	}
+}
+
+func TestFold(t *testing.T) {
+	const k = 5
+	n := 2048
+	p := fzlight.Params{ErrorBound: 1e-3}
+	exact := make([]float64, n)
+	streams := make([][]byte, k)
+	for s := 0; s < k; s++ {
+		data := smooth(n, 30+int64(s), 1)
+		for i, v := range data {
+			exact[i] += float64(v)
+		}
+		streams[s] = compress(t, data, p)
+	}
+	sum, st, err := Fold(streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Blocks == 0 {
+		t.Fatal("no stats accumulated")
+	}
+	got := decompress(t, sum)
+	for i := range got {
+		if d := math.Abs(float64(got[i]) - exact[i]); d > k*1e-3+1e-5 {
+			t.Fatalf("fold error %g at %d", d, i)
+		}
+	}
+	// single operand: identity
+	one, _, err := Fold(streams[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(one) != string(streams[0]) {
+		t.Fatal("single-operand fold changed the stream")
+	}
+	if _, _, err := Fold(nil); err == nil {
+		t.Fatal("empty fold accepted")
+	}
+}
+
+// The 2D Lorenzo predictor is linear, so version-2 containers must be
+// exactly as homomorphic as 1D ones.
+func TestHomomorphicAdd2D(t *testing.T) {
+	h, w := 64, 48
+	a := make([]float32, h*w)
+	b := make([]float32, h*w)
+	for i := 0; i < h; i++ {
+		for j := 0; j < w; j++ {
+			a[i*w+j] = float32(math.Sin(float64(i)*0.1) * math.Cos(float64(j)*0.1) * 5)
+			b[i*w+j] = float32(float64(i)*0.02 + float64(j)*0.03)
+		}
+	}
+	p := fzlight.Params{ErrorBound: 1e-3, Threads: 3}
+	ca, err := fzlight.Compress2D(a, h, w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := fzlight.Compress2D(b, h, w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, st, err := Add(ca, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Blocks == 0 {
+		t.Fatal("no blocks")
+	}
+	got, err := fzlight.Decompress(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, _ := fzlight.Decompress(ca)
+	db, _ := fzlight.Decompress(cb)
+	for i := range got {
+		want := float64(da[i]) + float64(db[i])
+		if d := math.Abs(float64(got[i]) - want); d > 1e-6*math.Abs(want)+1e-7 {
+			t.Fatalf("2D homomorphism broken at %d: got %v want %v", i, got[i], want)
+		}
+	}
+	// 1D and 2D containers of the same data must NOT mix.
+	c1, err := fzlight.Compress(a, fzlight.Params{ErrorBound: 1e-3, Threads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Add(ca, c1); err == nil {
+		t.Fatal("mixed 1D/2D geometry accepted")
+	}
+	// ScaleInt on 2D streams
+	scaled, err := ScaleInt(ca, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, _ := fzlight.Decompress(scaled)
+	for i := range ds {
+		want := 2 * float64(da[i])
+		if d := math.Abs(float64(ds[i]) - want); d > 1e-6*math.Abs(want)+1e-7 {
+			t.Fatalf("2D scale broken at %d", i)
+		}
+	}
+}
+
+// smooth64 builds a double-precision field for the float64 tests.
+func smooth64(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	v := 0.0
+	for i := range out {
+		v += rng.NormFloat64() * 1e-7
+		out[i] = math.Sin(float64(i)*0.001) + v
+	}
+	return out
+}
+
+func TestCompress64Homomorphic(t *testing.T) {
+	a := smooth64(4096, 3)
+	b := smooth64(4096, 4)
+	p := fzlight.Params{ErrorBound: 1e-9, Threads: 2}
+	ca, err := fzlight.Compress64(a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := fzlight.Compress64(b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, _, err := Add(ca, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fzlight.Decompress64(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, _ := fzlight.Decompress64(ca)
+	db, _ := fzlight.Decompress64(cb)
+	for i := range got {
+		want := da[i] + db[i]
+		if d := math.Abs(got[i] - want); d > 1e-12*math.Abs(want)+1e-15 {
+			t.Fatalf("float64 homomorphism broken at %d: got %v want %v", i, got[i], want)
+		}
+	}
+	// mixing precisions must be rejected
+	a32 := make([]float32, 4096)
+	for i, v := range a {
+		a32[i] = float32(v)
+	}
+	c32, err := fzlight.Compress(a32, fzlight.Params{ErrorBound: 1e-9, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Add(ca, c32); err == nil {
+		t.Fatal("mixed-precision homomorphic add accepted")
+	}
+}

@@ -1,0 +1,341 @@
+// Package hzdyn implements hZ-dynamic, the dynamic homomorphic compressor
+// of the hZCCL paper (§III-B4): reduction operations applied *directly* to
+// fZ-light compressed streams, with a run-time heuristic that selects the
+// cheapest of four per-block pipelines:
+//
+//	① both blocks constant (code length 0)      → emit a single 0 byte
+//	② left constant, right non-constant         → copy right block verbatim
+//	③ left non-constant, right constant         → copy left block verbatim
+//	④ both non-constant                         → inverse fixed-length
+//	   encode both, add the prediction integers, fixed-length encode the sum
+//
+// Correctness rests on the linearity of the fZ-light transform: quantized
+// values, chunk outliers and in-chunk deltas are all linear in the input,
+// so adding them block-wise is exactly equivalent to decompressing, adding
+// and recompressing — minus the quantization step, which means hZ-dynamic
+// introduces no error beyond the one already present in its inputs.
+package hzdyn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"hzccl/internal/fzlight"
+)
+
+// Errors returned by the reducer.
+var (
+	// ErrGeometry means the two streams cannot be reduced homomorphically
+	// because they differ in error bound, block size, chunk count or length.
+	ErrGeometry = errors.New("hzdyn: compressed streams have different geometry")
+	// ErrOverflow means a summed quantized value no longer fits in 31 bits.
+	// The caller must reduce precision (larger error bound) or rescale.
+	ErrOverflow = errors.New("hzdyn: quantized sum overflows int32")
+)
+
+// Pipeline identifies which of the four homomorphic pipelines handled a
+// block pair.
+type Pipeline int
+
+// Pipeline constants mirror the paper's numbering ①–④.
+const (
+	PipelineBothConstant  Pipeline = 1
+	PipelineLeftConstant  Pipeline = 2
+	PipelineRightConstant Pipeline = 3
+	PipelineBothEncoded   Pipeline = 4
+)
+
+// Stats records how many block pairs each pipeline processed. Pipeline
+// selection percentages (paper Table V) are derived from it.
+type Stats struct {
+	Pipeline [5]int64 // indexed 1..4; index 0 unused
+	Blocks   int64
+}
+
+// Fraction returns the fraction of blocks handled by pipeline p.
+func (s Stats) Fraction(p Pipeline) float64 {
+	if s.Blocks == 0 {
+		return 0
+	}
+	return float64(s.Pipeline[p]) / float64(s.Blocks)
+}
+
+func (s *Stats) add(o Stats) { s.Accumulate(o) }
+
+// Accumulate folds another Stats value into s (for callers aggregating
+// statistics across many reductions).
+func (s *Stats) Accumulate(o Stats) {
+	for i := range s.Pipeline {
+		s.Pipeline[i] += o.Pipeline[i]
+	}
+	s.Blocks += o.Blocks
+}
+
+// Add homomorphically sums two fZ-light streams and returns the compressed
+// sum plus pipeline-selection statistics. Both streams must have been
+// produced with identical Params over equal-length inputs (or be outputs of
+// previous Add calls with that property).
+func Add(a, b []byte) ([]byte, Stats, error) {
+	return add(a, b, true)
+}
+
+// StaticAdd is the static homomorphic baseline (paper's "static pipeline",
+// HoSZp-style): every block pair — constant or not — is decoded, summed and
+// re-encoded through pipeline ④. Results are byte-identical to Add; only
+// the work differs. It exists for the dynamic-vs-static ablation.
+func StaticAdd(a, b []byte) ([]byte, error) {
+	out, _, err := add(a, b, false)
+	return out, err
+}
+
+func add(a, b []byte, dynamic bool) ([]byte, Stats, error) {
+	var stats Stats
+	ha, offsA, err := fzlight.ChunkOffsets(a)
+	if err != nil {
+		return nil, stats, fmt.Errorf("hzdyn: left operand: %w", err)
+	}
+	hb, offsB, err := fzlight.ChunkOffsets(b)
+	if err != nil {
+		return nil, stats, fmt.Errorf("hzdyn: right operand: %w", err)
+	}
+	if !fzlight.SameGeometry(ha, hb) {
+		return nil, stats, ErrGeometry
+	}
+
+	nc := ha.NumChunks
+	chunks := make([][]byte, nc)
+	chunkStats := make([]Stats, nc)
+	errs := make([]error, nc)
+	work := func(i int) {
+		start, end := fzlight.ChunkElemRange(ha, i)
+		ca := a[offsA[i]:offsA[i+1]]
+		cb := b[offsB[i]:offsB[i+1]]
+		// The sum of two blocks with code lengths ca, cb has code length at
+		// most max(ca,cb)+1, so each output block fits within the two input
+		// blocks' combined bytes; len(ca)+len(cb) is a tight chunk bound
+		// (versus the 5·n worst case, whose zeroing would dominate the
+		// light pipelines ①–③).
+		buf := make([]byte, len(ca)+len(cb))
+		n, st, err := addChunk(buf, ca, cb, end-start, ha.BlockSize, dynamic)
+		chunks[i] = buf[:n]
+		chunkStats[i] = st
+		errs[i] = err
+	}
+	if nc == 1 {
+		work(0)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(nc)
+		for i := 0; i < nc; i++ {
+			go func(i int) { defer wg.Done(); work(i) }(i)
+		}
+		wg.Wait()
+	}
+
+	out := fzlight.AssembleLike(ha, chunks)
+	for i := range errs {
+		if errs[i] != nil {
+			return nil, stats, errs[i]
+		}
+		stats.add(chunkStats[i])
+	}
+	return out, stats, nil
+}
+
+func worstChunkBytes(n, B int) int {
+	if n == 0 {
+		return 4
+	}
+	nblocks := (n + B - 1) / B
+	return 4 + nblocks*(1+(B+7)/8+8) + 4*n
+}
+
+func addChunk(dst, a, b []byte, n, B int, dynamic bool) (int, Stats, error) {
+	var st Stats
+	if len(a) < 4 || len(b) < 4 {
+		return 0, st, fzlight.ErrCorrupt
+	}
+	// Outliers (first quantized value of the chunk) add directly.
+	oa64 := int64(getInt32(a)) + int64(getInt32(b))
+	if oa64 > math.MaxInt32 || oa64 < math.MinInt32 {
+		return 0, st, ErrOverflow
+	}
+	putInt32(dst, int32(oa64))
+	oa, ob, o := 4, 4, 4
+
+	pa := make([]int32, B)
+	pb := make([]int32, B)
+	scratch := make([]uint32, B)
+
+	for base := 0; base < n; base += B {
+		bn := B
+		if base+bn > n {
+			bn = n - base
+		}
+		if oa >= len(a) || ob >= len(b) {
+			return 0, st, fzlight.ErrCorrupt
+		}
+		ca, cb := a[oa], b[ob]
+		st.Blocks++
+		switch {
+		case dynamic && ca == 0 && cb == 0:
+			// Pipeline ①: sum of two all-zero delta blocks is all-zero.
+			dst[o] = 0
+			o++
+			oa++
+			ob++
+			st.Pipeline[PipelineBothConstant]++
+		case dynamic && ca == 0:
+			// Pipeline ②: left deltas are all zero; the sum is the right
+			// block, copied byte-for-byte (marker, signs, planes, residual).
+			sb, err := fzlight.BlockBytes(b[ob:], bn)
+			if err != nil {
+				return 0, st, err
+			}
+			o += copy(dst[o:], b[ob:ob+sb])
+			oa++
+			ob += sb
+			st.Pipeline[PipelineLeftConstant]++
+		case dynamic && cb == 0:
+			// Pipeline ③: mirror of ②.
+			sa, err := fzlight.BlockBytes(a[oa:], bn)
+			if err != nil {
+				return 0, st, err
+			}
+			o += copy(dst[o:], a[oa:oa+sa])
+			oa += sa
+			ob++
+			st.Pipeline[PipelineRightConstant]++
+		case bn == 32:
+			// Pipeline ④, fused fast path: IFE → integer add → FE in one
+			// pass over the block pair.
+			wrote, ua, ub, overflow, err := fzlight.SumBlocks32(dst[o:], a[oa:], b[ob:])
+			if err != nil {
+				return 0, st, err
+			}
+			if overflow {
+				return 0, st, ErrOverflow
+			}
+			o += wrote
+			oa += ua
+			ob += ub
+			st.Pipeline[PipelineBothEncoded]++
+		default:
+			// Pipeline ④, generic path for tail/odd-sized blocks.
+			ua, err := fzlight.DecodeBlock(a[oa:], pa[:bn], scratch)
+			if err != nil {
+				return 0, st, err
+			}
+			ub, err := fzlight.DecodeBlock(b[ob:], pb[:bn], scratch)
+			if err != nil {
+				return 0, st, err
+			}
+			for i := 0; i < bn; i++ {
+				s := int64(pa[i]) + int64(pb[i])
+				if s > math.MaxInt32 || s < math.MinInt32 {
+					return 0, st, ErrOverflow
+				}
+				pa[i] = int32(s)
+			}
+			o += fzlight.EncodeBlock(dst[o:], pa[:bn], scratch)
+			oa += ua
+			ob += ub
+			st.Pipeline[PipelineBothEncoded]++
+		}
+	}
+	if oa != len(a) || ob != len(b) {
+		return 0, st, fzlight.ErrCorrupt
+	}
+	return o, st, nil
+}
+
+// ScaleInt multiplies every value in a compressed stream by the integer k,
+// entirely in compressed space. Scaling is linear in the quantized domain,
+// so Decompress(ScaleInt(C(v), k)) == k · Decompress(C(v)) exactly. This is
+// the building block the paper's future-work section needs for weighted
+// reductions.
+func ScaleInt(comp []byte, k int32) ([]byte, error) {
+	h, offs, err := fzlight.ChunkOffsets(comp)
+	if err != nil {
+		return nil, err
+	}
+	chunks := make([][]byte, h.NumChunks)
+	errs := make([]error, h.NumChunks)
+	var wg sync.WaitGroup
+	for i := 0; i < h.NumChunks; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start, end := fzlight.ChunkElemRange(h, i)
+			buf := make([]byte, worstChunkBytes(end-start, h.BlockSize))
+			n, err := scaleChunk(buf, comp[offs[i]:offs[i+1]], end-start, h.BlockSize, k)
+			chunks[i] = buf[:n]
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return fzlight.AssembleLike(h, chunks), nil
+}
+
+func scaleChunk(dst, src []byte, n, B int, k int32) (int, error) {
+	if len(src) < 4 {
+		return 0, fzlight.ErrCorrupt
+	}
+	ov := int64(getInt32(src)) * int64(k)
+	if ov > math.MaxInt32 || ov < math.MinInt32 {
+		return 0, ErrOverflow
+	}
+	putInt32(dst, int32(ov))
+	oi, o := 4, 4
+	p := make([]int32, B)
+	scratch := make([]uint32, B)
+	for base := 0; base < n; base += B {
+		bn := B
+		if base+bn > n {
+			bn = n - base
+		}
+		size, err := fzlight.BlockBytes(src[oi:], bn)
+		if err != nil {
+			return 0, err
+		}
+		if src[oi] == 0 || k == 1 {
+			o += copy(dst[o:], src[oi:oi+size])
+		} else {
+			if _, err := fzlight.DecodeBlock(src[oi:], p[:bn], scratch); err != nil {
+				return 0, err
+			}
+			for i := 0; i < bn; i++ {
+				s := int64(p[i]) * int64(k)
+				if s > math.MaxInt32 || s < math.MinInt32 {
+					return 0, ErrOverflow
+				}
+				p[i] = int32(s)
+			}
+			o += fzlight.EncodeBlock(dst[o:], p[:bn], scratch)
+		}
+		oi += size
+	}
+	if oi != len(src) {
+		return 0, fzlight.ErrCorrupt
+	}
+	return o, nil
+}
+
+func putInt32(b []byte, v int32) {
+	u := uint32(v)
+	b[0] = byte(u)
+	b[1] = byte(u >> 8)
+	b[2] = byte(u >> 16)
+	b[3] = byte(u >> 24)
+}
+
+func getInt32(b []byte) int32 {
+	return int32(uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24)
+}

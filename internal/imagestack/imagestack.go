@@ -1,0 +1,127 @@
+// Package imagestack implements the paper's real-world use case (§IV-E):
+// image stacking, where many single-exposure images are summed into one
+// high-SNR image — "a procedure that inherently performs an Allreduce
+// operation". Each rank holds one exposure: the shared scene plus
+// rank-specific noise; the stack is their element-wise sum.
+//
+// The package provides a deterministic exposure generator, exact and
+// collective stacking, quality analysis against the exact stack, and PGM
+// output for the visual comparison of Figure 13.
+package imagestack
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"math/rand"
+
+	"hzccl/internal/metrics"
+)
+
+// Image is a W×H float32 image in row-major order.
+type Image struct {
+	W, H int
+	Pix  []float32
+}
+
+// NewImage allocates a zero image.
+func NewImage(w, h int) *Image {
+	return &Image{W: w, H: h, Pix: make([]float32, w*h)}
+}
+
+// Scene renders the shared underlying sky: a smooth background gradient
+// plus a deterministic star field with Gaussian point-spread functions.
+func Scene(w, h int, seed int64) *Image {
+	img := NewImage(w, h)
+	rng := rand.New(rand.NewSource(seed))
+	// The sky is background-subtracted (standard before stacking), so
+	// pixels away from sources sit near zero and quantize to constant
+	// blocks — the sparse profile that makes stacking an ideal
+	// homomorphic-reduction workload.
+	stars := w * h / 6000
+	if stars < 8 {
+		stars = 8
+	}
+	for s := 0; s < stars; s++ {
+		cx := rng.Float64() * float64(w)
+		cy := rng.Float64() * float64(h)
+		amp := 40 + rng.ExpFloat64()*120
+		sigma := 0.8 + rng.Float64()*1.6
+		r := int(4 * sigma)
+		for y := int(cy) - r; y <= int(cy)+r; y++ {
+			if y < 0 || y >= h {
+				continue
+			}
+			for x := int(cx) - r; x <= int(cx)+r; x++ {
+				if x < 0 || x >= w {
+					continue
+				}
+				d2 := (float64(x)-cx)*(float64(x)-cx) + (float64(y)-cy)*(float64(y)-cy)
+				img.Pix[y*w+x] += float32(amp * math.Exp(-d2/(2*sigma*sigma)))
+			}
+		}
+	}
+	return img
+}
+
+// Exposure renders one observation of the scene: the scene plus per-pixel
+// read noise, deterministic in (scene seed, rank).
+func Exposure(scene *Image, rank int, noiseSigma float64) *Image {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "exposure/%d", rank)
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	out := NewImage(scene.W, scene.H)
+	for i, v := range scene.Pix {
+		out.Pix[i] = v + float32(rng.NormFloat64()*noiseSigma)
+	}
+	return out
+}
+
+// ExactStack sums exposures in float64 and returns the float32 stack.
+func ExactStack(exposures []*Image) (*Image, error) {
+	if len(exposures) == 0 {
+		return nil, errors.New("imagestack: no exposures")
+	}
+	w, h := exposures[0].W, exposures[0].H
+	acc := make([]float64, w*h)
+	for _, e := range exposures {
+		if e.W != w || e.H != h {
+			return nil, fmt.Errorf("imagestack: exposure size %dx%d != %dx%d", e.W, e.H, w, h)
+		}
+		for i, v := range e.Pix {
+			acc[i] += float64(v)
+		}
+	}
+	out := NewImage(w, h)
+	for i, v := range acc {
+		out.Pix[i] = float32(v)
+	}
+	return out, nil
+}
+
+// Quality compares a stacked image against the exact stack.
+func Quality(exact, got *Image) metrics.ErrorStats {
+	return metrics.Compare(exact.Pix, got.Pix)
+}
+
+// WritePGM writes the image as a binary 8-bit PGM, linearly mapping
+// [min,max] to [0,255]. PGM keeps the artifact dependency-free while
+// allowing the Figure 13 visual comparison in any image viewer.
+func WritePGM(w io.Writer, img *Image) error {
+	mn, mx := metrics.MinMax(img.Pix)
+	scale := 0.0
+	if mx > mn {
+		scale = 255 / (mx - mn)
+	}
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", img.W, img.H); err != nil {
+		return err
+	}
+	buf := make([]byte, len(img.Pix))
+	for i, v := range img.Pix {
+		buf[i] = byte((float64(v) - mn) * scale)
+	}
+	_, err := w.Write(buf)
+	return err
+}

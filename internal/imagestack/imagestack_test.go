@@ -1,0 +1,106 @@
+package imagestack
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestSceneDeterministic(t *testing.T) {
+	a := Scene(64, 48, 7)
+	b := Scene(64, 48, 7)
+	if a.W != 64 || a.H != 48 || len(a.Pix) != 64*48 {
+		t.Fatalf("bad dims %dx%d", a.W, a.H)
+	}
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("scene not deterministic")
+		}
+	}
+	c := Scene(64, 48, 8)
+	same := true
+	for i := range a.Pix {
+		if a.Pix[i] != c.Pix[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical scenes")
+	}
+}
+
+func TestExposureNoise(t *testing.T) {
+	scene := Scene(64, 64, 1)
+	e0 := Exposure(scene, 0, 0.1)
+	e1 := Exposure(scene, 1, 0.1)
+	e0again := Exposure(scene, 0, 0.1)
+	var diff01, diff00 float64
+	for i := range e0.Pix {
+		diff01 += math.Abs(float64(e0.Pix[i] - e1.Pix[i]))
+		diff00 += math.Abs(float64(e0.Pix[i] - e0again.Pix[i]))
+	}
+	if diff00 != 0 {
+		t.Fatal("exposure not deterministic per rank")
+	}
+	if diff01 == 0 {
+		t.Fatal("different ranks gave identical noise")
+	}
+}
+
+func TestExactStack(t *testing.T) {
+	scene := Scene(32, 32, 2)
+	exps := []*Image{Exposure(scene, 0, 0), Exposure(scene, 1, 0)}
+	stack, err := ExactStack(exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range stack.Pix {
+		want := float64(exps[0].Pix[i]) + float64(exps[1].Pix[i])
+		if math.Abs(float64(stack.Pix[i])-want) > 1e-4 {
+			t.Fatalf("stack wrong at %d", i)
+		}
+	}
+	if _, err := ExactStack(nil); err == nil {
+		t.Fatal("empty stack accepted")
+	}
+	bad := []*Image{NewImage(4, 4), NewImage(5, 4)}
+	if _, err := ExactStack(bad); err == nil {
+		t.Fatal("mismatched sizes accepted")
+	}
+}
+
+func TestQuality(t *testing.T) {
+	scene := Scene(32, 32, 3)
+	q := Quality(scene, scene)
+	if q.MaxAbs != 0 {
+		t.Fatalf("self quality %+v", q)
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	img := NewImage(3, 2)
+	img.Pix = []float32{0, 1, 2, 3, 4, 5}
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	wantHeader := "P5\n3 2\n255\n"
+	if string(out[:len(wantHeader)]) != wantHeader {
+		t.Fatalf("header %q", out[:len(wantHeader)])
+	}
+	pix := out[len(wantHeader):]
+	if len(pix) != 6 {
+		t.Fatalf("pixel bytes %d", len(pix))
+	}
+	if pix[0] != 0 || pix[5] != 255 {
+		t.Fatalf("scaling wrong: %v", pix)
+	}
+	// constant image: all zero bytes, no div-by-zero
+	flat := NewImage(2, 2)
+	buf.Reset()
+	if err := WritePGM(&buf, flat); err != nil {
+		t.Fatal(err)
+	}
+}

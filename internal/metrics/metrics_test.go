@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCompareExact(t *testing.T) {
+	a := []float32{0, 1, 2, 3, 4}
+	s := Compare(a, a)
+	if s.MaxAbs != 0 || s.NRMSE != 0 || !math.IsInf(s.PSNR, 1) {
+		t.Fatalf("identical data: %+v", s)
+	}
+	if s.Min != 0 || s.Max != 4 || s.Range != 4 {
+		t.Fatalf("range stats wrong: %+v", s)
+	}
+}
+
+func TestCompareKnownError(t *testing.T) {
+	orig := []float32{0, 10}
+	recon := []float32{1, 10} // error (1, 0)
+	s := Compare(orig, recon)
+	if math.Abs(s.MaxAbs-1) > 1e-12 {
+		t.Fatalf("MaxAbs %g", s.MaxAbs)
+	}
+	if math.Abs(s.MaxRel-0.1) > 1e-12 {
+		t.Fatalf("MaxRel %g", s.MaxRel)
+	}
+	wantRMSE := math.Sqrt(0.5)
+	if math.Abs(s.RMSE-wantRMSE) > 1e-12 {
+		t.Fatalf("RMSE %g want %g", s.RMSE, wantRMSE)
+	}
+	if math.Abs(s.NRMSE-wantRMSE/10) > 1e-12 {
+		t.Fatalf("NRMSE %g", s.NRMSE)
+	}
+	wantPSNR := 20 * math.Log10(10/wantRMSE)
+	if math.Abs(s.PSNR-wantPSNR) > 1e-9 {
+		t.Fatalf("PSNR %g want %g", s.PSNR, wantPSNR)
+	}
+	// error std: errors are {-1, 0}, mean -0.5, std 0.5, normalized by 10
+	if math.Abs(s.ErrStd-0.05) > 1e-12 {
+		t.Fatalf("ErrStd %g", s.ErrStd)
+	}
+}
+
+func TestCompareDegenerate(t *testing.T) {
+	if s := Compare(nil, nil); s.N != 0 {
+		t.Fatal("empty input")
+	}
+	if s := Compare([]float32{1}, []float32{1, 2}); s.N != 1 || s.MaxAbs != 0 {
+		t.Fatal("length mismatch should yield zero stats")
+	}
+	// constant data: zero range
+	s := Compare([]float32{5, 5}, []float32{5, 6})
+	if s.Range != 0 || s.NRMSE != 0 {
+		t.Fatalf("constant orig: %+v", s)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(100, 10) != 10 || Ratio(100, 0) != 0 {
+		t.Fatal("ratio wrong")
+	}
+}
+
+func TestGBps(t *testing.T) {
+	if GBps(2e9, 2) != 1 {
+		t.Fatal("GBps wrong")
+	}
+	if GBps(100, 0) != 0 || GBps(100, -1) != 0 {
+		t.Fatal("degenerate GBps")
+	}
+}
+
+func TestMinMaxAndAbsBound(t *testing.T) {
+	mn, mx := MinMax([]float32{3, -1, 7})
+	if mn != -1 || mx != 7 {
+		t.Fatalf("minmax %g %g", mn, mx)
+	}
+	if mn, mx := MinMax(nil); mn != 0 || mx != 0 {
+		t.Fatal("empty minmax")
+	}
+	if b := AbsBound(1e-2, []float32{0, 100}); math.Abs(b-1) > 1e-12 {
+		t.Fatalf("AbsBound %g", b)
+	}
+	// constant data falls back to range 1
+	if b := AbsBound(1e-2, []float32{5, 5}); math.Abs(b-1e-2) > 1e-15 {
+		t.Fatalf("constant AbsBound %g", b)
+	}
+}
+
+func TestErrAutocorr(t *testing.T) {
+	n := 1024
+	orig := make([]float32, n)
+	stair := make([]float32, n)
+	noise := make([]float32, n)
+	for i := range orig {
+		orig[i] = float32(i) * 0.01
+		stair[i] = float32(i/64*64) * 0.01 // constant-block reconstruction
+		if i%2 == 0 {
+			noise[i] = orig[i] + 0.005
+		} else {
+			noise[i] = orig[i] - 0.005
+		}
+	}
+	if ac := ErrAutocorr(orig, stair); ac < 0.8 {
+		t.Errorf("staircase autocorrelation %g, want near 1", ac)
+	}
+	if ac := ErrAutocorr(orig, noise); ac > -0.5 {
+		t.Errorf("alternating noise autocorrelation %g, want near -1", ac)
+	}
+	if ErrAutocorr(nil, nil) != 0 || ErrAutocorr(orig, orig[:10]) != 0 {
+		t.Error("degenerate inputs")
+	}
+	if ErrAutocorr(orig, orig) != 0 {
+		t.Error("zero error should give zero autocorrelation")
+	}
+}

@@ -1,0 +1,211 @@
+package ompszp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func smooth(n int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float32, n)
+	v := 0.0
+	for i := range out {
+		v += rng.NormFloat64() * 0.01
+		out[i] = float32(math.Sin(float64(i)*0.01) + v)
+	}
+	return out
+}
+
+func maxAbsErr(a, b []float32) float64 {
+	m := 0.0
+	for i := range a {
+		d := math.Abs(float64(a[i]) - float64(b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func tol(eb float64, data []float32) float64 {
+	maxAbs := 0.0
+	for _, v := range data {
+		if a := math.Abs(float64(v)); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	// float32 quantization arithmetic costs a few extra ulps vs fzlight
+	return eb*(1+1e-5) + maxAbs*1e-6
+}
+
+func TestRoundTrip(t *testing.T) {
+	data := smooth(10000, 1)
+	for _, eb := range []float64{1e-1, 1e-2, 1e-3, 1e-4} {
+		for _, threads := range []int{1, 4} {
+			for _, bs := range []int{32, 16, 50} {
+				comp, err := Compress(data, Params{ErrorBound: eb, BlockSize: bs, Threads: threads})
+				if err != nil {
+					t.Fatalf("eb=%g: %v", eb, err)
+				}
+				h, err := ParseHeader(comp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := DecompressThreads(comp, h, threads)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if m := maxAbsErr(data, got); m > tol(eb, data) {
+					t.Fatalf("eb=%g bs=%d: err %g", eb, bs, m)
+				}
+			}
+		}
+	}
+}
+
+func TestZeroBlockElision(t *testing.T) {
+	// Half zeros, half signal: zero blocks cost 1 byte each.
+	n := 8192
+	data := make([]float32, n)
+	sig := smooth(n/2, 2)
+	copy(data[n/2:], sig)
+	comp, err := Compress(data, Params{ErrorBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n/2; i++ {
+		if got[i] != 0 {
+			t.Fatalf("zero block not reconstructed exactly at %d: %v", i, got[i])
+		}
+	}
+	if m := maxAbsErr(data, got); m > tol(1e-3, data) {
+		t.Fatalf("err %g", m)
+	}
+	// All-zero input compresses to ~1 byte per block.
+	zeros := make([]float32, n)
+	zcomp, err := Compress(zeros, Params{ErrorBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zcomp) > fixedHeader+n/DefaultBlockSize+8 {
+		t.Fatalf("all-zero input compressed to %d bytes", len(zcomp))
+	}
+}
+
+func TestThreadsDontChangeOutput(t *testing.T) {
+	data := smooth(5003, 3)
+	a, err := Compress(data, Params{ErrorBound: 1e-3, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compress(data, Params{ErrorBound: 1e-3, Threads: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("thread count changed output size: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("thread count changed output at byte %d", i)
+		}
+	}
+}
+
+func TestParamAndInputValidation(t *testing.T) {
+	if _, err := Compress([]float32{1}, Params{ErrorBound: 0}); !errors.Is(err, ErrBadParams) {
+		t.Errorf("want ErrBadParams, got %v", err)
+	}
+	if _, err := Compress([]float32{float32(math.NaN())}, Params{ErrorBound: 1e-3}); !errors.Is(err, ErrNonFinite) {
+		t.Errorf("want ErrNonFinite, got %v", err)
+	}
+	if _, err := Compress([]float32{1e9}, Params{ErrorBound: 1e-9}); !errors.Is(err, ErrRange) {
+		t.Errorf("want ErrRange, got %v", err)
+	}
+}
+
+func TestCorruptStreams(t *testing.T) {
+	data := smooth(1000, 4)
+	comp, err := Compress(data, Params{ErrorBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress(comp[:10]); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if _, err := Decompress(comp[:len(comp)-3]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	bad := append([]byte(nil), comp...)
+	copy(bad, "NOPE")
+	if _, err := Decompress(bad); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: got %v", err)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	comp, err := Compress(nil, Params{ErrorBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d elements", len(got))
+	}
+}
+
+// ompSZp stores one outlier per small block; fZ-light stores one per
+// chunk. On smooth high-ratio data ompSZp must therefore be measurably
+// larger — this is the paper's Table III ratio gap.
+func TestPerBlockOutlierOverhead(t *testing.T) {
+	n := 1 << 16
+	data := make([]float32, n) // constant zero-free value => all-constant blocks
+	for i := range data {
+		data[i] = 3.5
+	}
+	comp, err := Compress(data, Params{ErrorBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// marker+outlier = 5 bytes per 32-element block
+	want := fixedHeader + (n/DefaultBlockSize)*5
+	if len(comp) != want {
+		t.Fatalf("constant blocks: %d bytes, want %d", len(comp), want)
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(raw []float32, ebSeed uint8) bool {
+		eb := []float64{1e-1, 1e-2, 1e-3}[ebSeed%3]
+		clean := make([]float32, 0, len(raw))
+		for _, v := range raw {
+			f64 := float64(v)
+			if math.IsNaN(f64) || math.IsInf(f64, 0) || math.Abs(f64) > 1e3 {
+				continue
+			}
+			clean = append(clean, v)
+		}
+		comp, err := Compress(clean, Params{ErrorBound: eb, Threads: 2})
+		if err != nil {
+			return false
+		}
+		got, err := Decompress(comp)
+		if err != nil {
+			return false
+		}
+		return maxAbsErr(clean, got) <= tol(eb, clean)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

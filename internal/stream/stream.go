@@ -1,0 +1,92 @@
+// Package stream is a Go port of McCalpin's STREAM memory-bandwidth
+// benchmark (Copy, Scale, Add, Triad). The hZCCL paper uses the best of
+// the four STREAM rates as the machine's peak memory throughput when
+// computing the memory-bandwidth efficiency of fZ-light and ompSZp
+// (Table IV); this package serves the same role here.
+package stream
+
+import "time"
+
+// Result holds the measured bandwidth of each kernel in GB/s (decimal).
+type Result struct {
+	Copy  float64
+	Scale float64
+	Add   float64
+	Triad float64
+}
+
+// Best returns the highest of the four rates — the "peak memory
+// throughput" divisor used for efficiency percentages.
+func (r Result) Best() float64 {
+	best := r.Copy
+	for _, v := range []float64{r.Scale, r.Add, r.Triad} {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Run executes the four STREAM kernels over arrays of n float64 elements,
+// repeating each kernel iters times and keeping the best (lowest-time)
+// trial, exactly as the reference STREAM does. n should exceed the last
+// level cache several times over for a meaningful result.
+func Run(n, iters int) Result {
+	if n < 1 {
+		n = 1
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	for i := range a {
+		a[i] = 1.0
+		b[i] = 2.0
+		c[i] = 0.0
+	}
+	const scalar = 3.0
+
+	best := func(f func()) float64 {
+		bt := time.Duration(1 << 62)
+		for k := 0; k < iters; k++ {
+			t0 := time.Now()
+			f()
+			if d := time.Since(t0); d < bt {
+				bt = d
+			}
+		}
+		return bt.Seconds()
+	}
+
+	tCopy := best(func() {
+		for i := 0; i < n; i++ {
+			c[i] = a[i]
+		}
+	})
+	tScale := best(func() {
+		for i := 0; i < n; i++ {
+			b[i] = scalar * c[i]
+		}
+	})
+	tAdd := best(func() {
+		for i := 0; i < n; i++ {
+			c[i] = a[i] + b[i]
+		}
+	})
+	tTriad := best(func() {
+		for i := 0; i < n; i++ {
+			a[i] = b[i] + scalar*c[i]
+		}
+	})
+
+	bytes2 := float64(16 * n) // two arrays touched
+	bytes3 := float64(24 * n) // three arrays touched
+	return Result{
+		Copy:  bytes2 / tCopy / 1e9,
+		Scale: bytes2 / tScale / 1e9,
+		Add:   bytes3 / tAdd / 1e9,
+		Triad: bytes3 / tTriad / 1e9,
+	}
+}

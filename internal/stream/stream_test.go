@@ -1,0 +1,27 @@
+package stream
+
+import "testing"
+
+func TestRunProducesPositiveRates(t *testing.T) {
+	r := Run(1<<16, 2)
+	for name, v := range map[string]float64{
+		"Copy": r.Copy, "Scale": r.Scale, "Add": r.Add, "Triad": r.Triad,
+	} {
+		if !(v > 0) {
+			t.Errorf("%s rate %g", name, v)
+		}
+	}
+	best := r.Best()
+	for _, v := range []float64{r.Copy, r.Scale, r.Add, r.Triad} {
+		if best < v {
+			t.Fatalf("Best %g below component %g", best, v)
+		}
+	}
+}
+
+func TestRunClampsDegenerateArgs(t *testing.T) {
+	r := Run(0, 0)
+	if !(r.Copy > 0) {
+		t.Fatal("degenerate args should still run")
+	}
+}

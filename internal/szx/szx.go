@@ -1,0 +1,194 @@
+// Package szx implements a simplified SZx-style compressor, the
+// "fastest CPU compressor" the hZCCL paper weighs (and rejects) as the
+// basis for its pipeline in §III-B1: SZx's constant-block design collapses
+// every block whose value range fits inside the error bound to a single
+// constant, which is extremely fast and compresses smooth regions well but
+// degrades reconstruction quality (staircase artifacts) and leaves
+// non-smooth blocks essentially uncompressed.
+//
+// The format here keeps SZx's two decisive properties — midpoint-constant
+// blocks and raw passthrough for everything else — so the paper's quality
+// argument (Section III-B1, quantified in the szx-quality experiment) can
+// be reproduced without the full leading-zero bitplane machinery.
+package szx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"hzccl/internal/floatbytes"
+)
+
+// DefaultBlockSize matches SZx's 128-element blocks.
+const DefaultBlockSize = 128
+
+// Errors returned by the codec.
+var (
+	ErrBadParams = errors.New("szx: invalid parameters")
+	ErrNonFinite = errors.New("szx: input contains NaN or Inf")
+	ErrCorrupt   = errors.New("szx: corrupt or truncated stream")
+	ErrBadMagic  = errors.New("szx: not an SZx stream")
+)
+
+// Params configures compression.
+type Params struct {
+	// ErrorBound is the absolute error bound. Must be > 0.
+	ErrorBound float64
+	// BlockSize is the constant-block length (default 128).
+	BlockSize int
+}
+
+const (
+	magic       = "SZX1"
+	fixedHeader = 24
+
+	markerConstant = 0x01
+	markerRaw      = 0x00
+)
+
+// Compress compresses data with the constant-block scheme: a block whose
+// (max−min)/2 fits within the bound stores only its midpoint; any other
+// block is stored raw.
+func Compress(data []float32, p Params) ([]byte, error) {
+	if !(p.ErrorBound > 0) || math.IsInf(p.ErrorBound, 0) {
+		return nil, fmt.Errorf("%w: ErrorBound %v", ErrBadParams, p.ErrorBound)
+	}
+	B := p.BlockSize
+	if B == 0 {
+		B = DefaultBlockSize
+	}
+	if B < 1 {
+		return nil, fmt.Errorf("%w: BlockSize %d", ErrBadParams, B)
+	}
+	out := make([]byte, fixedHeader, fixedHeader+len(data)*4+len(data)/B+64)
+	copy(out, magic)
+	binary.LittleEndian.PutUint32(out[4:], uint32(B))
+	binary.LittleEndian.PutUint64(out[8:], math.Float64bits(p.ErrorBound))
+	binary.LittleEndian.PutUint64(out[16:], uint64(len(data)))
+
+	for base := 0; base < len(data); base += B {
+		end := base + B
+		if end > len(data) {
+			end = len(data)
+		}
+		blk := data[base:end]
+		mn, mx := blk[0], blk[0]
+		for _, v := range blk {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				return nil, ErrNonFinite
+			}
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		if float64(mx)-float64(mn) <= 2*p.ErrorBound {
+			mid := mn + (mx-mn)/2
+			out = append(out, markerConstant)
+			var buf [4]byte
+			binary.LittleEndian.PutUint32(buf[:], math.Float32bits(mid))
+			out = append(out, buf[:]...)
+		} else {
+			out = append(out, markerRaw)
+			off := len(out)
+			out = append(out, make([]byte, 4*len(blk))...)
+			floatbytes.FromFloat32(out[off:], blk)
+		}
+	}
+	return out, nil
+}
+
+// Decompress reconstructs a compressed stream.
+func Decompress(comp []byte) ([]float32, error) {
+	if len(comp) < fixedHeader {
+		return nil, ErrCorrupt
+	}
+	if string(comp[:4]) != magic {
+		return nil, ErrBadMagic
+	}
+	B := int(binary.LittleEndian.Uint32(comp[4:]))
+	rawLen := binary.LittleEndian.Uint64(comp[16:])
+	if B < 1 {
+		return nil, ErrCorrupt
+	}
+	payload := uint64(len(comp) - fixedHeader)
+	// Every block costs at least 1 marker byte.
+	if rawLen > payload*uint64(B) {
+		return nil, ErrCorrupt
+	}
+	n := int(rawLen)
+	out := make([]float32, n)
+	o := fixedHeader
+	for base := 0; base < n; base += B {
+		end := base + B
+		if end > n {
+			end = n
+		}
+		bn := end - base
+		if o >= len(comp) {
+			return nil, ErrCorrupt
+		}
+		switch comp[o] {
+		case markerConstant:
+			if len(comp) < o+5 {
+				return nil, ErrCorrupt
+			}
+			v := math.Float32frombits(binary.LittleEndian.Uint32(comp[o+1:]))
+			for i := base; i < end; i++ {
+				out[i] = v
+			}
+			o += 5
+		case markerRaw:
+			if len(comp) < o+1+4*bn {
+				return nil, ErrCorrupt
+			}
+			floatbytes.ToFloat32(out[base:end], comp[o+1:o+1+4*bn])
+			o += 1 + 4*bn
+		default:
+			return nil, fmt.Errorf("%w: marker %d", ErrCorrupt, comp[o])
+		}
+	}
+	if o != len(comp) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(comp)-o)
+	}
+	return out, nil
+}
+
+// ConstantFraction reports the fraction of constant blocks in a stream
+// (the knob that determines both SZx's ratio and its artifact severity).
+func ConstantFraction(comp []byte) (float64, error) {
+	if len(comp) < fixedHeader || string(comp[:4]) != magic {
+		return 0, ErrBadMagic
+	}
+	B := int(binary.LittleEndian.Uint32(comp[4:]))
+	n := int(binary.LittleEndian.Uint64(comp[16:]))
+	if B < 1 {
+		return 0, ErrCorrupt
+	}
+	o := fixedHeader
+	blocks, constant := 0, 0
+	for base := 0; base < n; base += B {
+		end := base + B
+		if end > n {
+			end = n
+		}
+		if o >= len(comp) {
+			return 0, ErrCorrupt
+		}
+		blocks++
+		if comp[o] == markerConstant {
+			constant++
+			o += 5
+		} else {
+			o += 1 + 4*(end-base)
+		}
+	}
+	if blocks == 0 {
+		return 0, nil
+	}
+	return float64(constant) / float64(blocks), nil
+}
