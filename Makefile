@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build test check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check runs the hygiene gate: gofmt, go vet, and a race-detector pass
+# over the packages with concurrent hot paths (telemetry counters, the
+# cluster runtime, the parallel reducers).
+check:
+	sh scripts/check.sh
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...

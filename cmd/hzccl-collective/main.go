@@ -7,13 +7,21 @@
 //
 //	hzccl-collective -experiment fig2|fig7|fig8|fig9|fig10|fig11|fig12|all \
 //	    [-nodes N] [-maxnodes N] [-message BYTES] [-rel BOUND] \
-//	    [-latency DUR] [-bandwidth GBPS] [-quick] [-trials K]
+//	    [-latency DUR] [-bandwidth GBPS] [-quick] [-trials K] \
+//	    [-metrics FILE|-]
+//
+// -metrics dumps the accumulated runtime telemetry (compressor byte
+// counters, per-stage span histograms, hzdyn pipeline selection) at exit:
+// "-" writes the JSON snapshot to stdout, any other value is a file path,
+// and a path ending in ".prom" selects the Prometheus text format.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	"hzccl/internal/cluster"
@@ -21,6 +29,7 @@ import (
 	"hzccl/internal/datasets"
 	"hzccl/internal/harness"
 	"hzccl/internal/metrics"
+	"hzccl/internal/telemetry"
 )
 
 func main() {
@@ -35,6 +44,7 @@ func main() {
 		quick      = flag.Bool("quick", false, "shrink scales for a fast smoke run")
 		trials     = flag.Int("trials", 0, "timing trials per kernel (0 = default)")
 		traceFile  = flag.String("trace", "", "write a Chrome trace of one hZCCL Allreduce to this file and exit")
+		metricsOut = flag.String("metrics", "", "dump the telemetry snapshot at exit: '-' = JSON to stdout, FILE = JSON, FILE.prom = Prometheus text format")
 	)
 	flag.Parse()
 
@@ -44,6 +54,10 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceFile)
+		if err := dumpMetrics(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "hzccl-collective: metrics: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -73,6 +87,33 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if err := dumpMetrics(*metricsOut); err != nil {
+		fmt.Fprintf(os.Stderr, "hzccl-collective: metrics: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// dumpMetrics writes the process-wide telemetry snapshot to dest: "" is a
+// nop, "-" writes JSON to stdout, otherwise dest is a file path and a
+// ".prom" suffix selects the Prometheus text format over JSON.
+func dumpMetrics(dest string) error {
+	if dest == "" {
+		return nil
+	}
+	snap := telemetry.Capture()
+	var w io.Writer = os.Stdout
+	if dest != "-" {
+		f, err := os.Create(dest)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if strings.HasSuffix(dest, ".prom") {
+		return snap.WritePrometheus(w)
+	}
+	return snap.WriteJSON(w)
 }
 
 // writeTrace records the virtual timeline of one hZCCL multi-thread

@@ -8,17 +8,24 @@
 //	hzccl-compress -d -o out.f32 in.fzl                             decompress
 //	hzccl-compress -info in.fzl                                     inspect
 //	hzccl-compress -add -o sum.fzl a.fzl b.fzl                      homomorphic add
+//
+// Any mode accepts -metrics FILE|- to dump the runtime telemetry snapshot
+// (codec byte counters, chunk encode/decode spans, hzdyn pipeline
+// selection) at exit: "-" writes JSON to stdout; a ".prom" file suffix
+// selects the Prometheus text format.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"hzccl"
 	"hzccl/internal/floatbytes"
+	"hzccl/internal/telemetry"
 )
 
 // parseDims parses "HxW" or "DxHxW"; empty input yields nil (1D), invalid
@@ -48,12 +55,40 @@ func main() {
 		add        = flag.Bool("add", false, "homomorphically add two compressed files")
 		info       = flag.Bool("info", false, "print stream info and exit")
 		out        = flag.String("o", "", "output file (required except for -info)")
+		metricsOut = flag.String("metrics", "", "dump the telemetry snapshot at exit: '-' = JSON to stdout, FILE = JSON, FILE.prom = Prometheus text format")
 	)
 	flag.Parse()
 	if err := run(*eb, *threads, *dims, *decompress, *add, *info, *out, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "hzccl-compress: %v\n", err)
 		os.Exit(1)
 	}
+	if err := dumpMetrics(*metricsOut); err != nil {
+		fmt.Fprintf(os.Stderr, "hzccl-compress: metrics: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// dumpMetrics writes the telemetry snapshot to dest: "" is a nop, "-"
+// writes JSON to stdout, otherwise dest is a file path and a ".prom"
+// suffix selects the Prometheus text format over JSON.
+func dumpMetrics(dest string) error {
+	if dest == "" {
+		return nil
+	}
+	snap := telemetry.Capture()
+	var w io.Writer = os.Stdout
+	if dest != "-" {
+		f, err := os.Create(dest)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if strings.HasSuffix(dest, ".prom") {
+		return snap.WritePrometheus(w)
+	}
+	return snap.WriteJSON(w)
 }
 
 func run(eb float64, threads int, dims string, decompress, add, info bool, out string, args []string) error {

@@ -148,6 +148,9 @@ type Cluster struct {
 	// trace, when non-nil, records every virtual-time advance (set by
 	// NewTraced).
 	trace *Trace
+	// epoch anchors the wall-clock timeline of traced runs: wall spans are
+	// recorded relative to cluster creation.
+	epoch time.Time
 	// done[i] is set once rank i's body has returned; its channels are
 	// closed so blocked receivers fail instead of hanging.
 	done []bool
@@ -173,9 +176,10 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("cluster: Ranks must be >= 1, got %d", cfg.Ranks)
 	}
 	c := &Cluster{
-		cfg:  cfg,
-		mail: make(map[[2]int]chan message),
-		done: make([]bool, cfg.Ranks),
+		cfg:   cfg,
+		mail:  make(map[[2]int]chan message),
+		epoch: time.Now(),
+		done:  make([]bool, cfg.Ranks),
 	}
 	c.barrierCond = sync.NewCond(&c.barrierMu)
 	return c, nil
@@ -328,6 +332,12 @@ func (r *Rank) TimeScaled(cat Category, scale float64, f func()) {
 	dt := time.Since(t0).Seconds()
 	if serialize {
 		r.c.compute.Unlock()
+	}
+	// Bridge the real measurement into the trace: the wall timeline shows
+	// where the work actually ran, alongside the virtual schedule it is
+	// charged into.
+	if tr := r.c.trace; tr != nil && dt > 0 {
+		tr.recordWall(TraceEvent{Rank: r.ID, Category: cat, Start: t0.Sub(r.c.epoch).Seconds(), Dur: dt})
 	}
 	r.Elapse(cat, dt*scale)
 }

@@ -335,12 +335,95 @@ func TestTraceRecordsTimeline(t *testing.T) {
 	if err := tr.WriteChrome(&buf); err != nil {
 		t.Fatal(err)
 	}
-	var decoded []map[string]any
+	var decoded struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
 	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
 		t.Fatalf("chrome trace not valid JSON: %v", err)
 	}
-	if len(decoded) != len(evs) {
-		t.Fatalf("chrome trace has %d events, want %d", len(decoded), len(evs))
+	if decoded.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", decoded.DisplayTimeUnit)
+	}
+	var complete, meta int
+	for _, ev := range decoded.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			complete++
+		case "M":
+			meta++
+		}
+	}
+	if complete != len(evs) {
+		t.Fatalf("chrome trace has %d complete events, want %d", complete, len(evs))
+	}
+	if meta == 0 {
+		t.Fatal("chrome trace missing process_name metadata")
+	}
+}
+
+// Time/TimeScaled must bridge the real measurement into the trace's
+// wall-clock timeline, in parallel with the virtual-time events.
+func TestTraceRecordsWallSpans(t *testing.T) {
+	c, tr, err := NewTraced(Config{Ranks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(func(r *Rank) error {
+		r.Time(CatCPR, func() { time.Sleep(2 * time.Millisecond) })
+		r.TimeScaled(CatHPR, 0.5, func() { time.Sleep(time.Millisecond) })
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := tr.WallEvents()
+	if len(wall) != 2 {
+		t.Fatalf("wall events = %d, want 2: %v", len(wall), wall)
+	}
+	for _, ev := range wall {
+		if ev.Dur < 0.5e-3 {
+			t.Fatalf("wall span too short (%.2gs): %+v", ev.Dur, ev)
+		}
+		if ev.Start < 0 {
+			t.Fatalf("wall span before epoch: %+v", ev)
+		}
+	}
+	// TimeScaled charges scaled virtual time but records unscaled wall time:
+	// the HPR wall span must be >= its virtual charge.
+	evs := tr.Events()
+	var virtHPR, wallHPR float64
+	for _, ev := range evs {
+		if ev.Category == CatHPR {
+			virtHPR = ev.Dur
+		}
+	}
+	for _, ev := range wall {
+		if ev.Category == CatHPR {
+			wallHPR = ev.Dur
+		}
+	}
+	if wallHPR <= virtHPR {
+		t.Fatalf("wall HPR %.3g should exceed scaled virtual HPR %.3g", wallHPR, virtHPR)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	sawWallPid := false
+	for _, ev := range decoded.TraceEvents {
+		if pid, _ := ev["pid"].(float64); pid == 1 && ev["ph"] == "X" {
+			sawWallPid = true
+		}
+	}
+	if !sawWallPid {
+		t.Fatal("chrome trace has no wall-clock (pid 1) events")
 	}
 }
 

@@ -23,10 +23,16 @@ type TraceEvent struct {
 	Dur   float64
 }
 
-// Trace accumulates events from all ranks of one run.
+// Trace accumulates events from all ranks of one run. Virtual-time and
+// wall-clock intervals are kept on separate timelines: virtual events
+// carry modeled seconds, wall events carry real measured seconds since
+// the cluster was created (recorded by Time/TimeScaled around the actual
+// work). The Chrome export shows them as two processes so modeled and
+// measured schedules can be compared side by side.
 type Trace struct {
 	mu     sync.Mutex
 	events []TraceEvent
+	wall   []TraceEvent
 }
 
 func (t *Trace) record(ev TraceEvent) {
@@ -35,49 +41,106 @@ func (t *Trace) record(ev TraceEvent) {
 	t.mu.Unlock()
 }
 
-// Events returns the recorded intervals sorted by (rank, start).
-func (t *Trace) Events() []TraceEvent {
+func (t *Trace) recordWall(ev TraceEvent) {
 	t.mu.Lock()
-	out := make([]TraceEvent, len(t.events))
-	copy(out, t.events)
+	t.wall = append(t.wall, ev)
 	t.mu.Unlock()
+}
+
+func sortEvents(out []TraceEvent) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Rank != out[j].Rank {
 			return out[i].Rank < out[j].Rank
 		}
 		return out[i].Start < out[j].Start
 	})
+}
+
+// Events returns the recorded virtual-time intervals sorted by
+// (rank, start).
+func (t *Trace) Events() []TraceEvent {
+	t.mu.Lock()
+	out := make([]TraceEvent, len(t.events))
+	copy(out, t.events)
+	t.mu.Unlock()
+	sortEvents(out)
+	return out
+}
+
+// WallEvents returns the recorded wall-clock intervals sorted by
+// (rank, start). Start is real seconds since cluster creation; Dur is the
+// measured duration of the work (unscaled).
+func (t *Trace) WallEvents() []TraceEvent {
+	t.mu.Lock()
+	out := make([]TraceEvent, len(t.wall))
+	copy(out, t.wall)
+	t.mu.Unlock()
+	sortEvents(out)
 	return out
 }
 
 // chromeEvent is the trace-event JSON schema (complete events, phase "X";
-// timestamps in microseconds).
+// timestamps in microseconds; metadata events, phase "M").
 type chromeEvent struct {
-	Name string  `json:"name"`
-	Ph   string  `json:"ph"`
-	Ts   float64 `json:"ts"`
-	Dur  float64 `json:"dur"`
-	Pid  int     `json:"pid"`
-	Tid  int     `json:"tid"`
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
 }
 
-// WriteChrome writes the trace in Chrome trace-event JSON. Load the file
-// in chrome://tracing or https://ui.perfetto.dev to inspect the timeline.
+// chromeTrace is the object form of the trace-event format: wrapping the
+// event array lets viewers (Perfetto in particular) pick up the display
+// unit, while the array stays readable inside "traceEvents".
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Chrome trace process ids: virtual-time events on pid 0, wall-clock
+// events on pid 1.
+const (
+	chromePidVirtual = 0
+	chromePidWall    = 1
+)
+
+// WriteChrome writes the trace in Chrome trace-event JSON (object form,
+// {"traceEvents": [...], "displayTimeUnit": "ms"}). Virtual-time events
+// appear under the "virtual time" process (pid 0), wall-clock spans under
+// "wall clock" (pid 1). Load the file in chrome://tracing or
+// https://ui.perfetto.dev to inspect the timeline.
 func (t *Trace) WriteChrome(w io.Writer) error {
 	evs := t.Events()
-	out := make([]chromeEvent, len(evs))
-	for i, ev := range evs {
-		out[i] = chromeEvent{
-			Name: string(ev.Category),
-			Ph:   "X",
-			Ts:   ev.Start * 1e6,
-			Dur:  ev.Dur * 1e6,
-			Pid:  0,
-			Tid:  ev.Rank,
+	wall := t.WallEvents()
+	out := make([]chromeEvent, 0, len(evs)+len(wall)+2)
+	out = append(out, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: chromePidVirtual,
+		Args: map[string]any{"name": "virtual time"},
+	})
+	if len(wall) > 0 {
+		out = append(out, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: chromePidWall,
+			Args: map[string]any{"name": "wall clock"},
+		})
+	}
+	emit := func(pid int, evs []TraceEvent) {
+		for _, ev := range evs {
+			out = append(out, chromeEvent{
+				Name: string(ev.Category),
+				Ph:   "X",
+				Ts:   ev.Start * 1e6,
+				Dur:  ev.Dur * 1e6,
+				Pid:  pid,
+				Tid:  ev.Rank,
+			})
 		}
 	}
+	emit(chromePidVirtual, evs)
+	emit(chromePidWall, wall)
 	enc := json.NewEncoder(w)
-	return enc.Encode(out)
+	return enc.Encode(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ms"})
 }
 
 // NewTraced creates a cluster whose ranks record every virtual-time

@@ -113,6 +113,13 @@ func (o Options) scale() float64 {
 // MTSpeedup.
 func (c Collectives) work(r *cluster.Rank, cat cluster.Category, rawBytes int, f func()) {
 	o := c.Opt
+	inner := f
+	h := stageHist(cat)
+	f = func() {
+		sp := h.Start()
+		inner()
+		sp.End()
+	}
 	if o.Rates == nil {
 		r.TimeScaled(cat, o.scale(), f)
 		return
@@ -191,7 +198,7 @@ func (c Collectives) ReduceScatterPlain(r *cluster.Rank, data []float32) ([]floa
 		s, e := BlockBounds(len(data), n, sendIdx)
 		var payload []byte
 		r.Quiesce(func() { payload = floatbytes.Bytes(acc[s:e]) })
-		got, err := r.SendRecv(next, payload, prev)
+		got, err := ringSendRecv(r, next, payload, prev, false)
 		if err != nil {
 			return nil, err
 		}
@@ -210,8 +217,9 @@ func (c Collectives) ReduceScatterPlain(r *cluster.Rank, data []float32) ([]floa
 }
 
 // allgatherBytes runs a ring allgather of opaque payloads. The result maps
-// origin rank → payload (own entry included).
-func allgatherBytes(r *cluster.Rank, own []byte) ([][]byte, error) {
+// origin rank → payload (own entry included). compressed labels the
+// payloads for the wire-byte telemetry split.
+func allgatherBytes(r *cluster.Rank, own []byte, compressed bool) ([][]byte, error) {
 	n := r.N
 	out := make([][]byte, n)
 	out[r.ID] = own
@@ -221,7 +229,7 @@ func allgatherBytes(r *cluster.Rank, own []byte) ([][]byte, error) {
 	next, prev := (r.ID+1)%n, (r.ID-1+n)%n
 	cur := own
 	for step := 0; step < n-1; step++ {
-		got, err := r.SendRecv(next, cur, prev)
+		got, err := ringSendRecv(r, next, cur, prev, compressed)
 		if err != nil {
 			return nil, err
 		}
@@ -241,7 +249,7 @@ func (c Collectives) AllreducePlain(r *cluster.Rank, data []float32) ([]float32,
 	}
 	var own []byte
 	r.Quiesce(func() { own = floatbytes.Bytes(block) })
-	gathered, err := allgatherBytes(r, own)
+	gathered, err := allgatherBytes(r, own, false)
 	if err != nil {
 		return nil, err
 	}
@@ -304,7 +312,7 @@ func (c Collectives) ReduceScatterCColl(r *cluster.Rank, data []float32) ([]floa
 		if cerr != nil {
 			return nil, cerr
 		}
-		got, err := r.SendRecv(next, payload, prev)
+		got, err := ringSendRecv(r, next, payload, prev, true)
 		if err != nil {
 			return nil, err
 		}
@@ -343,7 +351,7 @@ func (c Collectives) AllreduceCColl(r *cluster.Rank, data []float32) ([]float32,
 	if cerr != nil {
 		return nil, cerr
 	}
-	gathered, err := allgatherBytes(r, own)
+	gathered, err := allgatherBytes(r, own, true)
 	if err != nil {
 		return nil, err
 	}
@@ -388,7 +396,7 @@ func (c Collectives) reduceScatterHZCompressed(r *cluster.Rank, data []float32) 
 	for step := 0; step < n-1; step++ {
 		sendIdx := (r.ID - step + n) % n
 		recvIdx := (r.ID - step - 1 + n) % n
-		got, err := r.SendRecv(next, cblocks[sendIdx], prev)
+		got, err := ringSendRecv(r, next, cblocks[sendIdx], prev, true)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -436,7 +444,7 @@ func (c Collectives) AllreduceHZ(r *cluster.Rank, data []float32) ([]float32, *h
 	if err != nil {
 		return nil, nil, err
 	}
-	gathered, err := allgatherBytes(r, comp)
+	gathered, err := allgatherBytes(r, comp, true)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -473,7 +481,7 @@ func (c Collectives) AllreduceHZNaive(r *cluster.Rank, data []float32) ([]float3
 	if cerr != nil {
 		return nil, nil, cerr
 	}
-	gathered, err := allgatherBytes(r, own)
+	gathered, err := allgatherBytes(r, own, true)
 	if err != nil {
 		return nil, nil, err
 	}

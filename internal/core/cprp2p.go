@@ -44,7 +44,7 @@ func (c Collectives) AllreduceCPRP2P(r *cluster.Rank, data []float32) ([]float32
 		if cerr != nil {
 			return nil, cerr
 		}
-		got, err := r.SendRecv(next, payload, prev)
+		got, err := ringSendRecv(r, next, payload, prev, true)
 		if err != nil {
 			return nil, err
 		}

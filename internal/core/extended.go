@@ -288,7 +288,7 @@ func readU32(b []byte) uint32 {
 
 // AllgatherPlain gives every rank every other rank's data (rank-indexed).
 func (c Collectives) AllgatherPlain(r *cluster.Rank, data []float32) ([][]float32, error) {
-	gathered, err := allgatherBytes(r, floatbytes.Bytes(data))
+	gathered, err := allgatherBytes(r, floatbytes.Bytes(data), false)
 	if err != nil {
 		return nil, err
 	}
@@ -317,7 +317,7 @@ func (c Collectives) AllgatherCompressed(r *cluster.Rank, data []float32) ([][]f
 	if cerr != nil {
 		return nil, cerr
 	}
-	gathered, err := allgatherBytes(r, comp)
+	gathered, err := allgatherBytes(r, comp, true)
 	if err != nil {
 		return nil, err
 	}
@@ -485,7 +485,7 @@ func (c Collectives) alltoall(r *cluster.Rank, data []float32, compressed bool) 
 		} else {
 			r.Quiesce(func() { payload = floatbytes.Bytes(data[bs:be]) })
 		}
-		got, err := r.SendRecv(to, payload, from)
+		got, err := ringSendRecv(r, to, payload, from, compressed)
 		if err != nil {
 			return nil, err
 		}

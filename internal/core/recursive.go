@@ -94,7 +94,7 @@ func (c Collectives) AllreducePlainRecursive(r *cluster.Rank, data []float32) ([
 		}
 		ss, _ := BlockBounds(len(data), p2, sendLo)
 		_, se := BlockBounds(len(data), p2, sendHi-1)
-		got, err := r.SendRecv(partner, floatbytes.Bytes(acc[ss:se]), partner)
+		got, err := ringSendRecv(r, partner, floatbytes.Bytes(acc[ss:se]), partner, false)
 		if err != nil {
 			return nil, err
 		}
@@ -113,7 +113,7 @@ func (c Collectives) AllreducePlainRecursive(r *cluster.Rank, data []float32) ([
 		partner := oldRank(newrank^dist, n, p2)
 		ss, _ := BlockBounds(len(data), p2, lo)
 		_, se := BlockBounds(len(data), p2, hi-1)
-		got, err := r.SendRecv(partner, floatbytes.Bytes(acc[ss:se]), partner)
+		got, err := ringSendRecv(r, partner, floatbytes.Bytes(acc[ss:se]), partner, false)
 		if err != nil {
 			return nil, err
 		}
@@ -268,7 +268,7 @@ func (c Collectives) AllreduceHZRecursive(r *cluster.Rank, data []float32) ([]fl
 		} else {
 			keepLo, keepHi, sendLo, sendHi = mid, hi, lo, mid
 		}
-		got, err := r.SendRecv(partner, frameBlobs(cblocks[sendLo:sendHi]), partner)
+		got, err := ringSendRecv(r, partner, frameBlobs(cblocks[sendLo:sendHi]), partner, true)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -290,7 +290,7 @@ func (c Collectives) AllreduceHZRecursive(r *cluster.Rank, data []float32) ([]fl
 	// Recursive doubling allgather of compressed blocks.
 	for dist := 1; dist < p2; dist *= 2 {
 		partner := oldRank(newrank^dist, n, p2)
-		got, err := r.SendRecv(partner, frameBlobs(cblocks[lo:hi]), partner)
+		got, err := ringSendRecv(r, partner, frameBlobs(cblocks[lo:hi]), partner, true)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -99,6 +99,7 @@ func (c Collectives) ReduceScatterCCollSegmented(r *cluster.Rank, data []float32
 			if err := r.Send(next, payload); err != nil {
 				return nil, err
 			}
+			countRingBytes(payload, true)
 			if k > 0 {
 				got, err := r.Recv(prev)
 				if err != nil {
@@ -145,7 +146,7 @@ func (c Collectives) AllreduceCCollSegmented(r *cluster.Rank, data []float32) ([
 	if cerr != nil {
 		return nil, cerr
 	}
-	gathered, err := allgatherBytes(r, own)
+	gathered, err := allgatherBytes(r, own, true)
 	if err != nil {
 		return nil, err
 	}

@@ -161,7 +161,9 @@ func compressAny[T Float](data []T, p Params, wide bool) ([]byte, error) {
 		start, end := ChunkBounds(len(data), numChunks, i)
 		bufs[i] = getChunkBuf(worstChunkBytes(end-start, p.BlockSize))
 		buf := *bufs[i]
+		sp := mChunkEncodeNS.Start()
 		n, err := compressChunk(buf, data[start:end], recip, p.BlockSize)
+		sp.End()
 		chunks[i] = buf[:n]
 		errs[i] = err
 	}
@@ -178,6 +180,7 @@ func compressAny[T Float](data []T, p Params, wide bool) ([]byte, error) {
 	total := 0
 	for i, c := range chunks {
 		if errs[i] != nil {
+			mCompressErrs.Inc()
 			return nil, errs[i]
 		}
 		h.ChunkSizes[i] = uint32(len(c))
@@ -190,6 +193,10 @@ func compressAny[T Float](data []T, p Params, wide bool) ([]byte, error) {
 		o += copy(out[o:], c)
 		putChunkBuf(bufs[i])
 	}
+	mCompressCalls.Inc()
+	mCompressRaw.Add(int64(len(data) * elemBytes(wide)))
+	mCompressOut.Add(int64(o))
+	mCompressOutlier.Add(int64(numChunks)) // one raw outlier per chunk
 	return out[:o], nil
 }
 
@@ -333,7 +340,9 @@ func decompressIntoAny[T Float](comp []byte, h *Header, dst []T) error {
 	errs := make([]error, h.NumChunks)
 	work := func(i int) {
 		start, end := ChunkBounds(h.DataLen, h.NumChunks, i)
+		sp := mChunkDecodeNS.Start()
 		errs[i] = decompressChunk(comp[offs[i]:offs[i+1]], dst[start:end], eb2, h.BlockSize)
+		sp.End()
 	}
 	if h.NumChunks == 1 {
 		work(0)
@@ -347,9 +356,13 @@ func decompressIntoAny[T Float](comp []byte, h *Header, dst []T) error {
 	}
 	for _, e := range errs {
 		if e != nil {
+			mDecompressErrs.Inc()
 			return e
 		}
 	}
+	mDecompressCalls.Inc()
+	mDecompressRaw.Add(int64(h.DataLen * elemBytes(h.Float64)))
+	mDecompressIn.Add(int64(len(comp)))
 	return nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"hzccl/internal/fzlight"
 	"hzccl/internal/hzdyn"
 	"hzccl/internal/metrics"
+	"hzccl/internal/telemetry"
 )
 
 // Kernel numbering follows the paper's artifact:
@@ -210,9 +211,20 @@ const (
 	opAllreduce
 )
 
+// KernelRun is the outcome of one timed collective: the virtual-time
+// result plus the run's telemetry delta (counters, spans and pipeline
+// histograms attributable to the kept trial).
+type KernelRun struct {
+	*cluster.Result
+	// Telemetry holds the growth of the process-global telemetry registry
+	// over the kept (fastest) trial.
+	Telemetry telemetry.Snapshot
+}
+
 // runKernel executes one (kernel, op) on `nodes` ranks, each contributing
-// its own snapshot, and returns the virtual-time result.
-func runKernel(opt Options, op collectiveOp, kernel, nodes int, kind fieldKind, n int, eb float64, rates *core.Rates) (*cluster.Result, error) {
+// its own snapshot, and returns the virtual-time result with the per-run
+// telemetry delta.
+func runKernel(opt Options, op collectiveOp, kernel, nodes int, kind fieldKind, n int, eb float64, rates *core.Rates) (*KernelRun, error) {
 	mode := core.SingleThread
 	switch kernel {
 	case KernelCCollMT, KernelHZMT:
@@ -241,14 +253,15 @@ func runKernel(opt Options, op collectiveOp, kernel, nodes int, kind fieldKind, 
 		return err
 	}
 
-	var best *cluster.Result
+	var best *KernelRun
 	for trial := 0; trial < opt.Trials; trial++ {
+		before := telemetry.Capture()
 		res, err := cluster.Run(opt.clusterConfig(nodes), body)
 		if err != nil {
 			return nil, err
 		}
 		if best == nil || res.Time < best.Time {
-			best = res
+			best = &KernelRun{Result: res, Telemetry: telemetry.Capture().Delta(before)}
 		}
 	}
 	return best, nil

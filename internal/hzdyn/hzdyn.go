@@ -23,6 +23,20 @@ import (
 	"sync"
 
 	"hzccl/internal/fzlight"
+	"hzccl/internal/telemetry"
+)
+
+// Telemetry for the homomorphic reducer. Pipeline counts are tallied
+// locally per chunk (plain int64 in Stats) and folded into the global
+// histogram once per Add call, so the per-block hot loop carries no
+// atomic operations. The histogram buckets are the paper's case numbers
+// ①–④: bucket le=1 counts both-constant pairs, le=2 left-constant,
+// le=3 right-constant, le=4 both-encoded.
+var (
+	mAddCalls     = telemetry.C("hzdyn.add.calls")
+	mBlocks       = telemetry.C("hzdyn.blocks")
+	mOverflow     = telemetry.C("hzdyn.overflow_fallbacks")
+	mPipelineHist = telemetry.H("hzdyn.pipeline_case", telemetry.LinearBuckets(1, 1, 4))
 )
 
 // Errors returned by the reducer.
@@ -137,9 +151,17 @@ func add(a, b []byte, dynamic bool) ([]byte, Stats, error) {
 	out := fzlight.AssembleLike(ha, chunks)
 	for i := range errs {
 		if errs[i] != nil {
+			if errors.Is(errs[i], ErrOverflow) {
+				mOverflow.Inc()
+			}
 			return nil, stats, errs[i]
 		}
 		stats.add(chunkStats[i])
+	}
+	mAddCalls.Inc()
+	mBlocks.Add(stats.Blocks)
+	for p := PipelineBothConstant; p <= PipelineBothEncoded; p++ {
+		mPipelineHist.ObserveN(int64(p), stats.Pipeline[p])
 	}
 	return out, stats, nil
 }
@@ -278,6 +300,9 @@ func ScaleInt(comp []byte, k int32) ([]byte, error) {
 	wg.Wait()
 	for _, e := range errs {
 		if e != nil {
+			if errors.Is(e, ErrOverflow) {
+				mOverflow.Inc()
+			}
 			return nil, e
 		}
 	}

@@ -7,25 +7,35 @@ import "math"
 
 // ErrorStats summarizes the reconstruction error of recon against orig.
 type ErrorStats struct {
-	N      int
-	Min    float64 // min of the original data
-	Max    float64 // max of the original data
-	Range  float64 // Max - Min
-	MaxAbs float64 // max_i |orig_i - recon_i|
-	MaxRel float64 // MaxAbs / Range
-	MSE    float64
-	RMSE   float64
-	NRMSE  float64 // RMSE / Range
-	PSNR   float64 // 20·log10(Range/RMSE)
-	ErrStd float64 // standard deviation of the error, normalized by Range
+	N int
+	// Mismatched is set when the inputs had different lengths and the
+	// comparison was skipped; all other fields are zero in that case.
+	Mismatched bool
+	Min        float64 // min of the original data
+	Max        float64 // max of the original data
+	Range      float64 // Max - Min
+	MaxAbs     float64 // max_i |orig_i - recon_i|
+	MaxRel     float64 // MaxAbs / Range
+	MSE        float64
+	RMSE       float64
+	NRMSE      float64 // RMSE / Range
+	PSNR       float64 // 20·log10(Range/RMSE)
+	ErrStd     float64 // standard deviation of the error, normalized by Range
 }
 
 // Compare computes ErrorStats for a reconstruction. Both slices must have
-// the same length; an empty input yields a zero value.
+// the same length: on a length mismatch the comparison is skipped and the
+// result is a zero ErrorStats (N = 0) with Mismatched set, so callers
+// cannot misread a skipped comparison as a perfect one over len(orig)
+// values. An empty input yields a zero value.
 func Compare(orig, recon []float32) ErrorStats {
 	var s ErrorStats
+	if len(orig) != len(recon) {
+		s.Mismatched = true
+		return s
+	}
 	s.N = len(orig)
-	if len(orig) == 0 || len(orig) != len(recon) {
+	if len(orig) == 0 {
 		return s
 	}
 	s.Min, s.Max = float64(orig[0]), float64(orig[0])

@@ -44,11 +44,16 @@ func TestCompareKnownError(t *testing.T) {
 }
 
 func TestCompareDegenerate(t *testing.T) {
-	if s := Compare(nil, nil); s.N != 0 {
+	if s := Compare(nil, nil); s.N != 0 || s.Mismatched {
 		t.Fatal("empty input")
 	}
-	if s := Compare([]float32{1}, []float32{1, 2}); s.N != 1 || s.MaxAbs != 0 {
-		t.Fatal("length mismatch should yield zero stats")
+	// A length mismatch must not report N = len(orig): that would read as
+	// "compared N values, zero error" when nothing was compared at all.
+	if s := Compare([]float32{1}, []float32{1, 2}); s.N != 0 || !s.Mismatched {
+		t.Fatalf("length mismatch should yield N=0 and Mismatched, got %+v", s)
+	}
+	if s := Compare([]float32{1, 2}, []float32{1}); s.N != 0 || !s.Mismatched {
+		t.Fatalf("length mismatch should yield N=0 and Mismatched, got %+v", s)
 	}
 	// constant data: zero range
 	s := Compare([]float32{5, 5}, []float32{5, 6})

@@ -1,0 +1,217 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Exporters. Snapshot freezes the registry into plain data; WriteJSON
+// serves it in expvar-style JSON and WritePrometheus in the Prometheus
+// text exposition format. Snapshots subtract (Delta), which is how the
+// harness attributes metrics to individual runs on top of process-global
+// cumulative counters.
+
+// BucketSnapshot is one non-empty histogram bucket. Le is the inclusive
+// upper bound as a decimal string, or "+Inf" for the overflow bucket.
+type BucketSnapshot struct {
+	Le    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// HistogramSnapshot is the frozen state of one histogram. Only non-empty
+// buckets are listed.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     int64            `json:"sum"`
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// Mean returns the mean observed value (0 when empty).
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Snapshot is a point-in-time copy of a registry's metrics.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot freezes the registry's current state. Gauges are evaluated at
+// snapshot time.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	gauges := make(map[string]func() float64, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	r.mu.Unlock()
+
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(counters)),
+		Gauges:     make(map[string]float64, len(gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+	}
+	for name, c := range counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, f := range gauges {
+		s.Gauges[name] = f()
+	}
+	for name, h := range hists {
+		hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+		for i := range h.counts {
+			n := h.counts[i].Load()
+			if n == 0 {
+				continue
+			}
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = fmt.Sprint(h.bounds[i])
+			}
+			hs.Buckets = append(hs.Buckets, BucketSnapshot{Le: le, Count: n})
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// Capture snapshots the default registry.
+func Capture() Snapshot { return defaultRegistry.Snapshot() }
+
+// Delta returns s minus prev: counter and histogram values become the
+// growth since prev; gauges keep their value at s (they are derived, not
+// cumulative). Metrics absent from prev count from zero.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]float64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for name, v := range s.Counters {
+		out.Counters[name] = v - prev.Counters[name]
+	}
+	for name, v := range s.Gauges {
+		out.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		p := prev.Histograms[name]
+		prevBuckets := make(map[string]int64, len(p.Buckets))
+		for _, b := range p.Buckets {
+			prevBuckets[b.Le] = b.Count
+		}
+		d := HistogramSnapshot{Count: h.Count - p.Count, Sum: h.Sum - p.Sum}
+		for _, b := range h.Buckets {
+			if n := b.Count - prevBuckets[b.Le]; n != 0 {
+				d.Buckets = append(d.Buckets, BucketSnapshot{Le: b.Le, Count: n})
+			}
+		}
+		out.Histograms[name] = d
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON (the expvar-style form
+// the -metrics CLI flag dumps).
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// promName maps a dotted metric name to Prometheus form: characters
+// outside [a-zA-Z0-9_:] become underscores.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms as cumulative _bucket/_sum/_count series.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, name := range sortedKeys(s.Counters) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", pn, pn, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for _, b := range h.Buckets {
+			if b.Le == "+Inf" {
+				continue // folded into the mandatory +Inf sample below
+			}
+			cum += b.Count
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", pn, b.Le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			pn, h.Count, pn, h.Sum, pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON snapshots the registry and writes it as JSON.
+func (r *Registry) WriteJSON(w io.Writer) error { return r.Snapshot().WriteJSON(w) }
+
+// WritePrometheus snapshots the registry and writes it in Prometheus text
+// format.
+func (r *Registry) WritePrometheus(w io.Writer) error { return r.Snapshot().WritePrometheus(w) }
+
+// PublishExpvar publishes the default registry under the given expvar
+// name, so processes serving /debug/vars expose the live snapshot.
+// Publishing the same name twice panics (an expvar rule), so call it once
+// per process.
+func PublishExpvar(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return Capture() }))
+}

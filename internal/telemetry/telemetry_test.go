@@ -1,0 +1,231 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("same-name counters are distinct")
+	}
+	h1 := r.Histogram("h", LinearBuckets(1, 1, 4))
+	h2 := r.Histogram("h", LinearBuckets(100, 100, 2)) // layout ignored on re-get
+	if h1 != h2 {
+		t.Fatal("same-name histograms are distinct")
+	}
+	h1.Observe(3)
+	if h2.Count() != 1 {
+		t.Fatal("shared histogram did not record")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]int64{10, 100, 1000})
+	h.Observe(5)  // bucket le=10
+	h.Observe(10) // bucket le=10 (inclusive)
+	h.Observe(11) // bucket le=100
+	h.ObserveN(50, 3)
+	h.Observe(5000) // overflow
+	if got := h.BucketCount(10); got != 2 {
+		t.Fatalf("bucket le=10 = %d, want 2", got)
+	}
+	if got := h.BucketCount(100); got != 4 {
+		t.Fatalf("bucket le=100 = %d, want 4", got)
+	}
+	if got := h.Count(); got != 7 {
+		t.Fatalf("count = %d, want 7", got)
+	}
+	if got := h.Sum(); got != 5+10+11+150+5000 {
+		t.Fatalf("sum = %d", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram(DurationBuckets())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(int64(g*1000 + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+}
+
+func TestSpanRecordsDuration(t *testing.T) {
+	h := newHistogram(DurationBuckets())
+	sp := h.Start()
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	if h.Count() != 1 {
+		t.Fatalf("span count = %d, want 1", h.Count())
+	}
+	if h.Sum() < int64(time.Millisecond) {
+		t.Fatalf("span sum = %dns, want >= 1ms", h.Sum())
+	}
+}
+
+func TestDisableIsNop(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h", DurationBuckets())
+	SetEnabled(false)
+	defer SetEnabled(true)
+	c.Add(5)
+	h.Observe(100)
+	sp := h.Start()
+	sp.End()
+	if c.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("disabled telemetry still recorded: counter=%d hist=%d", c.Value(), h.Count())
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("bytes")
+	h := r.Histogram("lat", []int64{10, 100})
+	r.Gauge("ratio", func() float64 { return float64(c.Value()) })
+
+	c.Add(100)
+	h.Observe(5)
+	before := r.Snapshot()
+
+	c.Add(23)
+	h.Observe(50)
+	h.Observe(7)
+	after := r.Snapshot()
+
+	d := after.Delta(before)
+	if d.Counters["bytes"] != 23 {
+		t.Fatalf("delta counter = %d, want 23", d.Counters["bytes"])
+	}
+	hd := d.Histograms["lat"]
+	if hd.Count != 2 || hd.Sum != 57 {
+		t.Fatalf("delta hist = %+v, want count 2 sum 57", hd)
+	}
+	if d.Gauges["ratio"] != 123 {
+		t.Fatalf("delta gauge = %g, want current value 123", d.Gauges["ratio"])
+	}
+	var le10 int64
+	for _, b := range hd.Buckets {
+		if b.Le == "10" {
+			le10 = b.Count
+		}
+	}
+	if le10 != 1 {
+		t.Fatalf("delta bucket le=10 = %d, want 1", le10)
+	}
+}
+
+func TestResetPreservesIdentity(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h", []int64{10})
+	c.Add(7)
+	h.Observe(3)
+	r.Reset()
+	if c.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("reset left residue")
+	}
+	c.Inc()
+	if r.Counter("c").Value() != 1 {
+		t.Fatal("pointer identity lost after reset")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pkg.calls").Add(3)
+	r.Histogram("pkg.ns", []int64{1000}).Observe(42)
+	r.Gauge("pkg.ratio", func() float64 { return 2.5 })
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	if s.Counters["pkg.calls"] != 3 {
+		t.Fatalf("JSON counter = %d", s.Counters["pkg.calls"])
+	}
+	if s.Gauges["pkg.ratio"] != 2.5 {
+		t.Fatalf("JSON gauge = %g", s.Gauges["pkg.ratio"])
+	}
+	if h := s.Histograms["pkg.ns"]; h.Count != 1 || h.Sum != 42 {
+		t.Fatalf("JSON histogram = %+v", s.Histograms["pkg.ns"])
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fzlight.compress.raw_bytes").Add(4096)
+	r.Gauge("fzlight.compress.achieved_ratio", func() float64 { return 8 })
+	h := r.Histogram("core.stage.compress_ns", []int64{1000, 2000})
+	h.Observe(500)  // le 1000
+	h.Observe(1500) // le 2000
+	h.Observe(9999) // +Inf
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE fzlight_compress_raw_bytes counter",
+		"fzlight_compress_raw_bytes 4096",
+		"# TYPE fzlight_compress_achieved_ratio gauge",
+		"fzlight_compress_achieved_ratio 8",
+		"# TYPE core_stage_compress_ns histogram",
+		`core_stage_compress_ns_bucket{le="1000"} 1`,
+		`core_stage_compress_ns_bucket{le="2000"} 2`,
+		`core_stage_compress_ns_bucket{le="+Inf"} 3`,
+		"core_stage_compress_ns_sum 11999",
+		"core_stage_compress_ns_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	if got := promName("fzlight.compress.raw_bytes"); got != "fzlight_compress_raw_bytes" {
+		t.Fatalf("promName = %q", got)
+	}
+	if got := promName("9leading"); got != "_leading" {
+		t.Fatalf("promName = %q", got)
+	}
+}
