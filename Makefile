@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench
+.PHONY: build test check bench fuzz conformance
 
 build:
 	$(GO) build ./...
@@ -16,3 +16,15 @@ check:
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
+
+# fuzz runs every native fuzz target for FUZZTIME each (default 10s, a
+# CI smoke; FUZZTIME=5m makes it a real session). Committed seed corpora
+# under */testdata/fuzz/ always replay as part of `make test`.
+fuzz:
+	sh scripts/fuzz.sh
+
+# conformance runs the differential oracles: in-repo unit/edge-shape
+# suites plus the CLI gate over the synthetic dataset catalog.
+conformance:
+	$(GO) test ./internal/conformance ./internal/core -run 'Oracle|Conformance|EdgeShapes' -count=1
+	$(GO) run ./cmd/hzccl-conformance

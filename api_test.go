@@ -428,3 +428,27 @@ func TestChecksumFrame(t *testing.T) {
 		t.Fatal("short frame accepted")
 	}
 }
+
+func TestPublicBreakdownSharesOrder(t *testing.T) {
+	res := &hzccl.RunResult{Breakdown: map[string]float64{
+		"MPI": 3, "CPR": 1, "OTHER": 0.5, "DPR": 0.5,
+	}}
+	shares := res.BreakdownShares()
+	wantOrder := []string{"CPR", "DPR", "CPT", "HPR", "MPI", "OTHER"}
+	if len(shares) != len(wantOrder) {
+		t.Fatalf("got %d shares, want %d", len(shares), len(wantOrder))
+	}
+	totalFrac := 0.0
+	for i, s := range shares {
+		if s.Category != wantOrder[i] {
+			t.Fatalf("share %d is %s, want %s", i, s.Category, wantOrder[i])
+		}
+		totalFrac += s.Fraction
+	}
+	if math.Abs(totalFrac-1) > 1e-12 {
+		t.Fatalf("fractions sum to %g, want 1", totalFrac)
+	}
+	if shares[4].Seconds != 3 || shares[4].Fraction != 0.6 {
+		t.Fatalf("MPI share = %+v", shares[4])
+	}
+}

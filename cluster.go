@@ -91,8 +91,38 @@ type RunResult struct {
 	// RankSeconds holds each rank's final virtual clock.
 	RankSeconds []float64
 	// Breakdown sums virtual time per category across ranks; keys are
-	// "CPR", "DPR", "CPT", "HPR", "MPI", "OTHER".
+	// "CPR", "DPR", "CPT", "HPR", "MPI", "OTHER". Range over
+	// BreakdownShares instead when printing: map iteration order varies
+	// run to run.
 	Breakdown map[string]float64
+}
+
+// BreakdownShare is one category's absolute and fractional share of a
+// run's summed virtual time.
+type BreakdownShare struct {
+	Category string
+	Seconds  float64
+	Fraction float64
+}
+
+// BreakdownShares returns the per-category shares in the fixed display
+// order CPR, DPR, CPT, HPR, MPI, OTHER. Unlike ranging over the Breakdown
+// map, iteration order is deterministic, so printed breakdowns (and any
+// golden text derived from them) are reproducible run to run.
+func (r *RunResult) BreakdownShares() []BreakdownShare {
+	total := 0.0
+	for _, v := range r.Breakdown {
+		total += v
+	}
+	out := make([]BreakdownShare, 0, len(cluster.Categories))
+	for _, cat := range cluster.Categories {
+		s := BreakdownShare{Category: string(cat), Seconds: r.Breakdown[string(cat)]}
+		if total > 0 {
+			s.Fraction = s.Seconds / total
+		}
+		out = append(out, s)
+	}
+	return out
 }
 
 // Rank is one simulated process inside RunCluster. Its methods must only

@@ -1,0 +1,180 @@
+// Command hzccl-conformance runs the differential conformance oracles
+// (internal/conformance) on real data: raw little-endian float32 files
+// (the SDRBench convention) or the synthetic dataset catalog.
+//
+// Usage:
+//
+//	hzccl-conformance [-eb 1e-3] [-ranks 5] [-oracles compressor,homomorphic,collective] [file.f32 ...]
+//
+// With no file arguments every catalog dataset is checked at -n elements.
+// The exit status is non-zero if any oracle reports a contract violation,
+// making the command usable as a CI gate over real dataset files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hzccl/internal/conformance"
+	"hzccl/internal/core"
+	"hzccl/internal/datasets"
+	"hzccl/internal/floatbytes"
+	"hzccl/internal/fzlight"
+	"hzccl/internal/metrics"
+)
+
+type input struct {
+	name string
+	data []float32
+}
+
+func loadInputs(args []string, n int) ([]input, error) {
+	if len(args) > 0 {
+		out := make([]input, 0, len(args))
+		for _, path := range args {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				return nil, err
+			}
+			vals := floatbytes.Floats(raw)
+			if len(vals) == 0 {
+				return nil, fmt.Errorf("%s: no float32 values", path)
+			}
+			for i, v := range vals {
+				f64 := float64(v)
+				if math.IsNaN(f64) || math.IsInf(f64, 0) {
+					return nil, fmt.Errorf("%s: non-finite value at element %d", path, i)
+				}
+			}
+			out = append(out, input{name: filepath.Base(path), data: vals})
+		}
+		return out, nil
+	}
+	names := datasets.Names()
+	out := make([]input, 0, len(names))
+	for _, name := range names {
+		data, err := datasets.Field(name, 0, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, input{name: name, data: data})
+	}
+	return out, nil
+}
+
+// rotate returns data shifted left by k elements (wrapping), giving each
+// simulated rank a distinct but statistically identical input.
+func rotate(data []float32, k int) []float32 {
+	n := len(data)
+	out := make([]float32, n)
+	if n == 0 {
+		return out
+	}
+	k %= n
+	copy(out, data[k:])
+	copy(out[n-k:], data[:k])
+	return out
+}
+
+func main() {
+	var (
+		eb      = flag.Float64("eb", 1e-3, "error bound, relative to each input's value range (the SDRBench convention)")
+		abs     = flag.Bool("abs", false, "treat -eb as an absolute bound instead")
+		threads = flag.Int("threads", 2, "compression threads")
+		ranks   = flag.Int("ranks", 5, "simulated ranks for the collective oracle")
+		n       = flag.Int("n", 1<<16, "elements per synthetic dataset (catalog mode)")
+		which   = flag.String("oracles", "compressor,homomorphic,collective",
+			"comma-separated oracle subset to run")
+		verbose = flag.Bool("v", false, "print per-input pass lines")
+	)
+	flag.Parse()
+	if err := run(*eb, *abs, *threads, *ranks, *n, *which, *verbose, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "hzccl-conformance: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(eb float64, abs bool, threads, ranks, n int, which string, verbose bool, args []string) error {
+	if eb <= 0 {
+		return fmt.Errorf("-eb must be positive")
+	}
+	enabled := map[string]bool{}
+	for _, w := range strings.Split(which, ",") {
+		enabled[strings.TrimSpace(w)] = true
+	}
+	inputs, err := loadInputs(args, n)
+	if err != nil {
+		return err
+	}
+
+	totalChecks, totalFailures := 0, 0
+	report := func(inputName, oracle string, rep *conformance.Report) {
+		totalChecks += rep.Checks
+		totalFailures += len(rep.Failures)
+		if rep.OK() {
+			if verbose {
+				fmt.Printf("ok   %-12s %-12s %d checks\n", oracle, inputName, rep.Checks)
+			}
+			return
+		}
+		for i, f := range rep.Failures {
+			if i == 5 {
+				fmt.Printf("FAIL %-12s %-12s ... and %d more failures\n", oracle, inputName, len(rep.Failures)-i)
+				break
+			}
+			fmt.Printf("FAIL %-12s %-12s %v\n", oracle, inputName, f)
+		}
+	}
+
+	for _, in := range inputs {
+		// Per-input absolute bound: relative bounds follow each dataset's
+		// value range, so NYX-scale magnitudes stay inside every codec's
+		// quantization range.
+		ebAbs := eb
+		if !abs {
+			ebAbs = metrics.AbsBound(eb, in.data)
+			if ebAbs == 0 { // constant input: any positive bound works
+				ebAbs = eb
+			}
+		}
+		if enabled["compressor"] {
+			rep := conformance.CompressorOracle{Threads: threads}.Check(in.data, ebAbs)
+			report(in.name, "compressor", rep)
+		}
+		if enabled["homomorphic"] {
+			o := conformance.HomomorphicOracle{Params: fzlight.Params{ErrorBound: ebAbs, Threads: threads}}
+			half := len(in.data) / 2
+			res, err := o.Check(in.data[:half], in.data[half:2*half])
+			if err != nil {
+				return fmt.Errorf("%s: homomorphic oracle: %w", in.name, err)
+			}
+			report(in.name, "homomorphic", res.Report)
+		}
+		if enabled["collective"] {
+			o := conformance.CollectiveOracle{Opt: core.Options{ErrorBound: ebAbs}}
+			gen := func(rank int) []float32 {
+				return rotate(in.data, rank*len(in.data)/ranks)
+			}
+			rep, err := o.CheckReduceScatter(ranks, gen)
+			if err != nil {
+				return fmt.Errorf("%s: collective oracle (reduce_scatter): %w", in.name, err)
+			}
+			report(in.name, "collective/rs", rep)
+			rep, err = o.CheckAllreduce(ranks, gen)
+			if err != nil {
+				return fmt.Errorf("%s: collective oracle (allreduce): %w", in.name, err)
+			}
+			report(in.name, "collective/ar", rep)
+		}
+	}
+
+	fmt.Printf("%d inputs, %d checks, %d failures\n", len(inputs), totalChecks, totalFailures)
+	if totalFailures > 0 {
+		return fmt.Errorf("%d contract violations", totalFailures)
+	}
+	return nil
+}

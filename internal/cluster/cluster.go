@@ -60,6 +60,14 @@ type Config struct {
 	// goroutines — on a single-core machine the work is serialized anyway
 	// and this makes measurements clean.
 	ParallelCompute bool
+	// Fault, when non-nil, is consulted for every point-to-point message
+	// and may drop, duplicate, corrupt or delay it (see fault.go). Leave
+	// nil for a healthy fabric.
+	Fault Fault
+	// RecvTimeout bounds the wall-clock time Recv waits for a message.
+	// 0 (the default) waits forever. Set it in fault-injection runs so a
+	// dropped message surfaces as ErrRecvTimeout instead of a deadlock.
+	RecvTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -127,9 +135,44 @@ func (r *Result) BreakdownFractions() map[Category]float64 {
 	return out
 }
 
+// BreakdownShare is one category's absolute and fractional share of a
+// run's summed virtual time.
+type BreakdownShare struct {
+	Category Category
+	Seconds  float64
+	Fraction float64
+}
+
+// BreakdownShares returns the per-category shares in the fixed display
+// order of Categories. Unlike ranging over the Breakdown map, iteration
+// order is deterministic, so printed breakdowns are reproducible run to
+// run (golden text outputs in results/ depend on this).
+func (r *Result) BreakdownShares() []BreakdownShare {
+	total := 0.0
+	for _, v := range r.Breakdown {
+		total += v
+	}
+	out := make([]BreakdownShare, 0, len(Categories))
+	for _, cat := range Categories {
+		s := BreakdownShare{Category: cat, Seconds: r.Breakdown[cat]}
+		if total > 0 {
+			s.Fraction = s.Seconds / total
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
 type message struct {
 	data   []byte
 	sentAt float64
+	// from is the sender rank, seq its 0-based ordinal on the (from, to)
+	// link, sum the payload crc32c and delay extra modeled in-flight
+	// seconds (fault injection).
+	from  int
+	seq   int
+	sum   uint32
+	delay float64
 }
 
 // Cluster owns the mailboxes and barrier state for one run.
@@ -229,7 +272,10 @@ func (c *Cluster) Run(body func(*Rank) error) (*Result, error) {
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for i := 0; i < n; i++ {
-		r := &Rank{ID: i, N: n, c: c, breakdown: make(map[Category]float64)}
+		r := &Rank{
+			ID: i, N: n, c: c, breakdown: make(map[Category]float64),
+			sendSeq: make([]int, n), recvSeq: make([]int, n),
+		}
 		ranks[i] = r
 		go func(r *Rank, i int) {
 			defer wg.Done()
@@ -259,12 +305,24 @@ func (c *Cluster) Run(body func(*Rank) error) (*Result, error) {
 			res.Breakdown[k] += v
 		}
 	}
+	// Prefer a root-cause error over the ErrPeerFailed cascade it triggers
+	// on other ranks: when one rank aborts (e.g. on a checksum mismatch),
+	// its peers observe closed channels, and reporting those would mask
+	// the rank that actually detected the problem.
+	var peerErr error
 	for _, e := range errs {
-		if e != nil {
-			return res, e
+		if e == nil {
+			continue
 		}
+		if errors.Is(e, ErrPeerFailed) {
+			if peerErr == nil {
+				peerErr = e
+			}
+			continue
+		}
+		return res, e
 	}
-	return res, nil
+	return res, peerErr
 }
 
 // Rank is one simulated process. All methods must be called only from the
@@ -276,6 +334,11 @@ type Rank struct {
 	c         *Cluster
 	now       float64
 	breakdown map[Category]float64
+	// sendSeq[to] / recvSeq[from] count messages per link, backing the
+	// sequence-number integrity check. Only touched from the rank's own
+	// goroutine.
+	sendSeq []int
+	recvSeq []int
 }
 
 // ErrBadPeer is returned when a peer rank index is out of range.
@@ -360,6 +423,10 @@ func (r *Rank) Quiesce(f func()) {
 // may reuse its buffer immediately. Sending is asynchronous (eager): the
 // sender's clock does not advance; transfer time is charged on the
 // receiver, which models the overlapped sends of a ring pipeline.
+//
+// Each message carries a crc32c checksum and a per-link sequence number,
+// verified by Recv; a configured Fault hook may drop, duplicate, corrupt
+// or delay the message before it is enqueued.
 func (r *Rank) Send(to int, data []byte) error {
 	if to < 0 || to >= r.N {
 		return fmt.Errorf("%w: send to %d of %d", ErrBadPeer, to, r.N)
@@ -367,18 +434,33 @@ func (r *Rank) Send(to int, data []byte) error {
 	if to == r.ID {
 		return fmt.Errorf("%w: self-send", ErrBadPeer)
 	}
-	var cp []byte
+	m := message{sentAt: r.now, from: r.ID, seq: r.sendSeq[to]}
+	r.sendSeq[to]++
 	r.Quiesce(func() {
-		cp = make([]byte, len(data))
-		copy(cp, data)
+		m.data = make([]byte, len(data))
+		copy(m.data, data)
+		m.sum = checksum(m.data)
 	})
-	r.c.chanFor(r.ID, to) <- message{data: cp, sentAt: r.now}
+	copies, dropped := r.c.applyFault(&m, to)
+	if dropped {
+		return nil
+	}
+	ch := r.c.chanFor(r.ID, to)
+	for i := 0; i < copies; i++ {
+		ch <- m
+	}
 	return nil
 }
 
 // Recv blocks until a message from peer `from` arrives and returns its
 // payload. The rank's clock advances to the modeled arrival time
 // max(now, sentAt + α + len/β), with the advance charged to MPI.
+//
+// Recv verifies message integrity: a checksum mismatch returns
+// ErrMessageCorrupt, a sequence gap ErrMessageLost and a replayed
+// sequence number ErrMessageDuplicate. With Config.RecvTimeout set, a
+// message that never arrives returns ErrRecvTimeout instead of blocking
+// forever.
 func (r *Rank) Recv(from int) ([]byte, error) {
 	if from < 0 || from >= r.N {
 		return nil, fmt.Errorf("%w: recv from %d of %d", ErrBadPeer, from, r.N)
@@ -386,17 +468,36 @@ func (r *Rank) Recv(from int) ([]byte, error) {
 	if from == r.ID {
 		return nil, fmt.Errorf("%w: self-recv", ErrBadPeer)
 	}
-	m, ok := <-r.c.chanFor(from, r.ID)
+	m, ok, err := r.c.recvMessage(r.c.chanFor(from, r.ID))
+	if err != nil {
+		return nil, fmt.Errorf("%w: from rank %d after %v", err, from, r.c.cfg.RecvTimeout)
+	}
 	if !ok {
 		return nil, fmt.Errorf("%w: rank %d", ErrPeerFailed, from)
 	}
-	arrive := m.sentAt + r.c.cfg.Latency.Seconds() + float64(len(m.data))/r.c.cfg.BandwidthBytes
+	arrive := m.sentAt + m.delay + r.c.cfg.Latency.Seconds() + float64(len(m.data))/r.c.cfg.BandwidthBytes
 	if arrive > r.now {
 		if tr := r.c.trace; tr != nil {
 			tr.record(TraceEvent{Rank: r.ID, Category: CatMPI, Start: r.now, Dur: arrive - r.now})
 		}
 		r.breakdown[CatMPI] += arrive - r.now
 		r.now = arrive
+	}
+	// The bytes moved (and were charged) regardless; integrity failures
+	// surface after the clock advance so timing stays physical.
+	want := r.recvSeq[from]
+	switch {
+	case m.seq < want:
+		return nil, fmt.Errorf("%w: from rank %d, seq %d already consumed", ErrMessageDuplicate, from, m.seq)
+	case m.seq > want:
+		r.recvSeq[from] = m.seq + 1
+		return nil, fmt.Errorf("%w: from rank %d, expected seq %d got %d", ErrMessageLost, from, want, m.seq)
+	}
+	r.recvSeq[from] = m.seq + 1
+	var sum uint32
+	r.Quiesce(func() { sum = checksum(m.data) })
+	if sum != m.sum {
+		return nil, fmt.Errorf("%w: from rank %d, seq %d, %d bytes", ErrMessageCorrupt, from, m.seq, len(m.data))
 	}
 	return m.data, nil
 }

@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"errors"
+	"hash/crc32"
+	"time"
+)
+
+// Fault injection and message integrity.
+//
+// Every point-to-point message carries a crc32c checksum and a per-pair
+// sequence number. The receiver verifies both, so a corrupted, lost or
+// duplicated message surfaces as a clear error at the first rank that
+// observes it instead of silently propagating wrong bytes into a
+// collective's result.
+//
+// A Cluster can additionally be configured with a Fault hook that decides,
+// per message, whether the fabric delivers it intact, drops it, duplicates
+// it, corrupts it in flight, or delays it. Conformance and robustness
+// tests use the hook to prove that the integrity layer actually catches
+// each failure mode on real collective traffic.
+
+// Integrity errors returned by Recv.
+var (
+	// ErrMessageCorrupt means the payload no longer matches its checksum:
+	// the message was damaged in flight.
+	ErrMessageCorrupt = errors.New("cluster: message checksum mismatch (corruption detected)")
+	// ErrMessageLost means a sequence gap was observed: an earlier message
+	// from the same sender never arrived.
+	ErrMessageLost = errors.New("cluster: message sequence gap (message lost in flight)")
+	// ErrMessageDuplicate means a message with an already-consumed sequence
+	// number arrived.
+	ErrMessageDuplicate = errors.New("cluster: duplicate message sequence")
+	// ErrRecvTimeout means no message arrived within Config.RecvTimeout of
+	// wall-clock time. It is the backstop that turns a dropped-message
+	// deadlock into a diagnosable failure.
+	ErrRecvTimeout = errors.New("cluster: receive timed out")
+)
+
+// FaultAction is the fate the fault hook assigns to one message.
+type FaultAction int
+
+// Fault actions.
+const (
+	// FaultDeliver delivers the message unchanged (the default).
+	FaultDeliver FaultAction = iota
+	// FaultDrop discards the message. The receiver observes either a
+	// sequence gap (if a later message arrives), ErrPeerFailed (if the
+	// sender exits) or ErrRecvTimeout.
+	FaultDrop
+	// FaultDuplicate delivers the message twice. The second copy fails the
+	// receiver's sequence check.
+	FaultDuplicate
+	// FaultCorrupt flips a payload bit in flight. The receiver's checksum
+	// verification fails.
+	FaultCorrupt
+	// FaultDelay delivers the message with extra latency (the hook's
+	// second return value, in seconds, added to the modeled arrival time).
+	FaultDelay
+)
+
+// FaultContext identifies one point-to-point message for the fault hook.
+type FaultContext struct {
+	// From and To are the sender and receiver ranks.
+	From, To int
+	// Seq is the 0-based ordinal of this message on the (From, To) link.
+	// In a ring collective it equals the round number.
+	Seq int
+	// Len is the payload size in bytes.
+	Len int
+}
+
+// Fault decides the fate of each message. It runs on the sender's
+// goroutine and must be safe for concurrent use from all ranks. The
+// returned seconds are only used with FaultDelay.
+type Fault func(FaultContext) (FaultAction, float64)
+
+// FaultOn builds a fault hook that applies action (with the given delay
+// seconds, for FaultDelay) to every message matching the predicate and
+// delivers everything else.
+func FaultOn(pred func(FaultContext) bool, action FaultAction, delay float64) Fault {
+	return func(fc FaultContext) (FaultAction, float64) {
+		if pred(fc) {
+			return action, delay
+		}
+		return FaultDeliver, 0
+	}
+}
+
+// OnLink is a predicate matching one message on one link: the seq-th
+// message from rank `from` to rank `to`.
+func OnLink(from, to, seq int) func(FaultContext) bool {
+	return func(fc FaultContext) bool {
+		return fc.From == from && fc.To == to && fc.Seq == seq
+	}
+}
+
+var msgTable = crc32.MakeTable(crc32.Castagnoli)
+
+// checksum is the per-message integrity sum (crc32c, hardware-accelerated
+// on amd64/arm64).
+func checksum(data []byte) uint32 { return crc32.Checksum(data, msgTable) }
+
+// applyFault runs the configured hook (if any) on a message about to be
+// enqueued and returns how many copies to deliver plus the extra delay.
+// Corruption mutates the (already checksummed) payload copy, so the
+// receiver's verification fails — or, for an empty payload, poisons the
+// stored checksum directly.
+func (c *Cluster) applyFault(m *message, to int) (copies int, drop bool) {
+	if c.cfg.Fault == nil {
+		return 1, false
+	}
+	action, delay := c.cfg.Fault(FaultContext{From: m.from, To: to, Seq: m.seq, Len: len(m.data)})
+	switch action {
+	case FaultDrop:
+		return 0, true
+	case FaultDuplicate:
+		return 2, false
+	case FaultCorrupt:
+		if len(m.data) > 0 {
+			m.data[len(m.data)/2] ^= 0x20
+		} else {
+			m.sum ^= 0xdeadbeef
+		}
+		return 1, false
+	case FaultDelay:
+		m.delay += delay
+		return 1, false
+	}
+	return 1, false
+}
+
+// recvMessage pulls the next message from ch, honouring the configured
+// wall-clock timeout.
+func (c *Cluster) recvMessage(ch chan message) (message, bool, error) {
+	if c.cfg.RecvTimeout <= 0 {
+		m, ok := <-ch
+		return m, ok, nil
+	}
+	timer := time.NewTimer(c.cfg.RecvTimeout)
+	defer timer.Stop()
+	select {
+	case m, ok := <-ch:
+		return m, ok, nil
+	case <-timer.C:
+		return message{}, false, ErrRecvTimeout
+	}
+}

@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// twoRankExchange runs a 2-rank cluster where rank 0 sends one message to
+// rank 1 and returns rank 1's Recv error (nil when delivery succeeded).
+func twoRankExchange(t *testing.T, cfg Config, payload []byte) error {
+	t.Helper()
+	cfg.Ranks = 2
+	var recvErr error
+	_, err := Run(cfg, func(r *Rank) error {
+		if r.ID == 0 {
+			return r.Send(1, payload)
+		}
+		_, recvErr = r.Recv(0)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	return recvErr
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	err := twoRankExchange(t, Config{
+		Fault: FaultOn(OnLink(0, 1, 0), FaultCorrupt, 0),
+	}, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	if !errors.Is(err, ErrMessageCorrupt) {
+		t.Fatalf("corrupted message not detected: err = %v", err)
+	}
+}
+
+func TestChecksumDetectsCorruptionOfEmptyPayload(t *testing.T) {
+	err := twoRankExchange(t, Config{
+		Fault: FaultOn(OnLink(0, 1, 0), FaultCorrupt, 0),
+	}, nil)
+	if !errors.Is(err, ErrMessageCorrupt) {
+		t.Fatalf("corrupted empty message not detected: err = %v", err)
+	}
+}
+
+func TestHealthyFabricDelivers(t *testing.T) {
+	if err := twoRankExchange(t, Config{}, []byte{9, 9, 9}); err != nil {
+		t.Fatalf("healthy delivery failed: %v", err)
+	}
+}
+
+func TestDropDetectedBySequenceGap(t *testing.T) {
+	// Rank 0 sends two messages; the first is dropped. Rank 1's first Recv
+	// sees seq 1 where it expected seq 0.
+	var recvErr error
+	_, err := Run(Config{
+		Ranks: 2,
+		Fault: FaultOn(OnLink(0, 1, 0), FaultDrop, 0),
+	}, func(r *Rank) error {
+		if r.ID == 0 {
+			if err := r.Send(1, []byte("first")); err != nil {
+				return err
+			}
+			return r.Send(1, []byte("second"))
+		}
+		_, recvErr = r.Recv(0)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if !errors.Is(recvErr, ErrMessageLost) {
+		t.Fatalf("dropped message not detected as loss: err = %v", recvErr)
+	}
+}
+
+func TestDropDetectedByTimeout(t *testing.T) {
+	// The only message is dropped and the sender stays alive, so only the
+	// wall-clock timeout can unblock the receiver.
+	var recvErr error
+	_, err := Run(Config{
+		Ranks:       2,
+		Fault:       FaultOn(OnLink(0, 1, 0), FaultDrop, 0),
+		RecvTimeout: 50 * time.Millisecond,
+	}, func(r *Rank) error {
+		if r.ID == 0 {
+			if err := r.Send(1, []byte("vanishes")); err != nil {
+				return err
+			}
+			time.Sleep(300 * time.Millisecond)
+			return nil
+		}
+		_, recvErr = r.Recv(0)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if !errors.Is(recvErr, ErrRecvTimeout) {
+		t.Fatalf("dropped message did not time out: err = %v", recvErr)
+	}
+}
+
+func TestDuplicateDetected(t *testing.T) {
+	var first, second error
+	_, err := Run(Config{
+		Ranks: 2,
+		Fault: FaultOn(OnLink(0, 1, 0), FaultDuplicate, 0),
+	}, func(r *Rank) error {
+		if r.ID == 0 {
+			return r.Send(1, []byte("once"))
+		}
+		_, first = r.Recv(0)
+		_, second = r.Recv(0)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if first != nil {
+		t.Fatalf("first copy rejected: %v", first)
+	}
+	if !errors.Is(second, ErrMessageDuplicate) {
+		t.Fatalf("duplicate not detected: err = %v", second)
+	}
+}
+
+func TestDelayChargesExtraLatency(t *testing.T) {
+	const extra = 0.25 // seconds
+	var mpi float64
+	_, err := Run(Config{
+		Ranks: 2,
+		Fault: FaultOn(OnLink(0, 1, 0), FaultDelay, extra),
+	}, func(r *Rank) error {
+		if r.ID == 0 {
+			return r.Send(1, []byte{1})
+		}
+		if _, err := r.Recv(0); err != nil {
+			return err
+		}
+		mpi = r.Breakdown()[CatMPI]
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if mpi < extra {
+		t.Fatalf("delay not charged: MPI time %g < %g", mpi, extra)
+	}
+}
+
+func TestBreakdownSharesDeterministicOrder(t *testing.T) {
+	res := &Result{Breakdown: map[Category]float64{
+		CatMPI: 1, CatCPR: 2, CatHPR: 1,
+	}}
+	shares := res.BreakdownShares()
+	if len(shares) != len(Categories) {
+		t.Fatalf("got %d shares, want %d", len(shares), len(Categories))
+	}
+	for i, s := range shares {
+		if s.Category != Categories[i] {
+			t.Fatalf("share %d is %s, want %s", i, s.Category, Categories[i])
+		}
+	}
+	if shares[0].Category != CatCPR || shares[0].Fraction != 0.5 {
+		t.Fatalf("CPR share wrong: %+v", shares[0])
+	}
+}

@@ -1,0 +1,67 @@
+package conformance
+
+import (
+	"hzccl/internal/fzlight"
+	"hzccl/internal/ompszp"
+	"hzccl/internal/szx"
+)
+
+// Codec is one error-bounded compressor under test. Compress receives the
+// absolute error bound; both directions must be pure functions of their
+// inputs.
+type Codec struct {
+	// Name identifies the codec in failure reports.
+	Name string
+	// BlockSize is the codec's small-block length, used to localize a
+	// divergent element to its block.
+	BlockSize int
+	// Lossless marks codecs whose non-constant blocks round-trip exactly
+	// (SZx raw passthrough); they get the tighter idempotence check.
+	Lossless bool
+	// QuantLimit is the codec's documented quantization range: inputs with
+	// |v|/(2·eb) at or beyond it may be rejected (ErrRange) rather than
+	// compressed, and the oracle skips the codec instead of failing it.
+	// 0 means unlimited (SZx stores raw float32 passthrough blocks).
+	QuantLimit float64
+	Compress   func(data []float32, eb float64) ([]byte, error)
+	Decode     func(comp []byte) ([]float32, error)
+}
+
+// Codecs returns the full registry: fZ-light (the paper's co-designed
+// compressor), ompSZp (the cuSZp-port baseline) and SZx (the
+// constant-block design). threads configures fZ-light's chunk count; the
+// other two are checked single-threaded, which exercises the same format.
+func Codecs(threads int) []Codec {
+	if threads < 1 {
+		threads = 1
+	}
+	return []Codec{
+		{
+			Name:       "fzlight",
+			BlockSize:  fzlight.DefaultBlockSize,
+			QuantLimit: 1 << 29,
+			Compress: func(data []float32, eb float64) ([]byte, error) {
+				return fzlight.Compress(data, fzlight.Params{ErrorBound: eb, Threads: threads})
+			},
+			Decode: fzlight.Decompress,
+		},
+		{
+			Name:       "ompszp",
+			BlockSize:  ompszp.DefaultBlockSize,
+			QuantLimit: 1 << 21,
+			Compress: func(data []float32, eb float64) ([]byte, error) {
+				return ompszp.Compress(data, ompszp.Params{ErrorBound: eb})
+			},
+			Decode: ompszp.Decompress,
+		},
+		{
+			Name:      "szx",
+			BlockSize: szx.DefaultBlockSize,
+			Lossless:  true,
+			Compress: func(data []float32, eb float64) ([]byte, error) {
+				return szx.Compress(data, szx.Params{ErrorBound: eb})
+			},
+			Decode: szx.Decompress,
+		},
+	}
+}

@@ -1,0 +1,285 @@
+package conformance
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hzccl/internal/cluster"
+	"hzccl/internal/core"
+)
+
+// CollectiveOracle runs the same reduction through the Plain (uncompressed
+// ring), C-Coll (compress-transfer-decompress-operate) and hZCCL
+// (homomorphic) flavors on the cluster substrate and asserts cross-flavor
+// agreement against an exact float64 reference. With a Fault installed the
+// run error — not silent divergence — is the expected outcome, and it is
+// returned to the caller for assertion.
+type CollectiveOracle struct {
+	// Opt configures the collectives under test (ErrorBound required).
+	Opt core.Options
+	// Latency and BandwidthBytes parameterize the fabric; zero selects the
+	// cluster defaults.
+	Latency        time.Duration
+	BandwidthBytes float64
+	// Fault, when non-nil, is installed on the fabric (see cluster.Fault).
+	Fault cluster.Fault
+	// RecvTimeout bounds Recv waits; set it alongside drop faults.
+	RecvTimeout time.Duration
+}
+
+func (o CollectiveOracle) config(ranks int) cluster.Config {
+	return cluster.Config{
+		Ranks:          ranks,
+		Latency:        o.Latency,
+		BandwidthBytes: o.BandwidthBytes,
+		Fault:          o.Fault,
+		RecvTimeout:    o.RecvTimeout,
+	}
+}
+
+type collectiveKind int
+
+const (
+	kindReduceScatter collectiveKind = iota
+	kindAllreduce
+)
+
+func (k collectiveKind) String() string {
+	if k == kindAllreduce {
+		return "allreduce"
+	}
+	return "reduce_scatter"
+}
+
+// flavorRun adapts one collective flavor to a uniform signature.
+type flavorRun struct {
+	name       string
+	compressed bool
+	run        func(c core.Collectives, r *cluster.Rank, data []float32) ([]float32, error)
+}
+
+func flavors(kind collectiveKind) []flavorRun {
+	if kind == kindAllreduce {
+		return []flavorRun{
+			{"plain", false, func(c core.Collectives, r *cluster.Rank, d []float32) ([]float32, error) {
+				return c.AllreducePlain(r, d)
+			}},
+			{"ccoll", true, func(c core.Collectives, r *cluster.Rank, d []float32) ([]float32, error) {
+				return c.AllreduceCColl(r, d)
+			}},
+			{"hz", true, func(c core.Collectives, r *cluster.Rank, d []float32) ([]float32, error) {
+				out, _, err := c.AllreduceHZ(r, d)
+				return out, err
+			}},
+		}
+	}
+	return []flavorRun{
+		{"plain", false, func(c core.Collectives, r *cluster.Rank, d []float32) ([]float32, error) {
+			return c.ReduceScatterPlain(r, d)
+		}},
+		{"ccoll", true, func(c core.Collectives, r *cluster.Rank, d []float32) ([]float32, error) {
+			return c.ReduceScatterCColl(r, d)
+		}},
+		{"hz", true, func(c core.Collectives, r *cluster.Rank, d []float32) ([]float32, error) {
+			out, _, err := c.ReduceScatterHZ(r, d)
+			return out, err
+		}},
+	}
+}
+
+// CheckReduceScatter runs all three Reduce_scatter flavors over ranks
+// processes, with gen(rank) producing each rank's (deterministic) input,
+// and verifies every rank's owned block against the exact reference. The
+// returned error is a run failure (e.g. an injected fault being detected);
+// contract violations land in the Report.
+func (o CollectiveOracle) CheckReduceScatter(ranks int, gen func(rank int) []float32) (*Report, error) {
+	return o.check(kindReduceScatter, ranks, gen)
+}
+
+// CheckAllreduce is CheckReduceScatter for Allreduce: every rank must hold
+// the full reduced vector, bitwise identical across ranks per flavor.
+func (o CollectiveOracle) CheckAllreduce(ranks int, gen func(rank int) []float32) (*Report, error) {
+	return o.check(kindAllreduce, ranks, gen)
+}
+
+func (o CollectiveOracle) check(kind collectiveKind, ranks int, gen func(int) []float32) (*Report, error) {
+	rep := &Report{}
+	inputs := make([][]float32, ranks)
+	for i := range inputs {
+		inputs[i] = gen(i)
+		if len(inputs[i]) != len(inputs[0]) {
+			return nil, fmt.Errorf("conformance: rank %d input length %d != rank 0 length %d",
+				i, len(inputs[i]), len(inputs[0]))
+		}
+	}
+	n := len(inputs[0])
+
+	// Exact reference: element-wise float64 sum across ranks.
+	ref := make([]float64, n)
+	maxIn := 0.0
+	for _, in := range inputs {
+		for i, v := range in {
+			ref[i] += float64(v)
+		}
+		if a := maxAbs32(in); a > maxIn {
+			maxIn = a
+		}
+	}
+
+	R := float64(ranks)
+	eb := o.Opt.ErrorBound
+	// Plain ring: R−1 float32 additions, each rounding a partial sum of
+	// magnitude up to R·maxIn. The bound must scale with the summands, not
+	// the final sum — cancellation can leave a reference far smaller than
+	// the intermediate values whose roundings accumulate.
+	plainTol := (R + 1) * R * (maxIn + 1e-300) * math.Pow(2, -23)
+	// Compressed flavors: one quantization per input plus one per C-Coll
+	// round, each bounded by eb, on top of the float32 accumulation error.
+	compTol := 2*R*eb + plainTol
+
+	outputs := map[string][][]float32{}
+	for _, f := range flavors(kind) {
+		outs, err := o.runFlavor(ranks, inputs, f)
+		if err != nil {
+			return rep, fmt.Errorf("%s %s: %w", kind, f.name, err)
+		}
+		outputs[f.name] = outs
+		tol := plainTol
+		if f.compressed {
+			tol = compTol
+		}
+		o.checkFlavor(rep, kind, f.name, ranks, n, outs, ref, tol)
+	}
+
+	// Direct cross-flavor differential between the two compressed paths:
+	// the paper's claim is that the homomorphic flavor matches C-Coll
+	// within the accumulated bound, not merely that both track the exact
+	// sum loosely.
+	o.crossFlavor(rep, kind, ranks, n, outputs["ccoll"], outputs["hz"], 2*compTol)
+	return rep, nil
+}
+
+// runFlavor executes one flavor on a fresh cluster and collects per-rank
+// outputs.
+func (o CollectiveOracle) runFlavor(ranks int, inputs [][]float32, f flavorRun) ([][]float32, error) {
+	col := core.New(o.Opt)
+	outs := make([][]float32, ranks)
+	_, err := cluster.Run(o.config(ranks), func(r *cluster.Rank) error {
+		data := make([]float32, len(inputs[r.ID]))
+		copy(data, inputs[r.ID])
+		out, err := f.run(col, r, data)
+		if err != nil {
+			return err
+		}
+		outs[r.ID] = out
+		return nil
+	})
+	return outs, err
+}
+
+// checkFlavor verifies one flavor's outputs against the reference.
+func (o CollectiveOracle) checkFlavor(rep *Report, kind collectiveKind, name string, ranks, n int, outs [][]float32, ref []float64, tol float64) {
+	subject := fmt.Sprintf("%s/%s", kind, name)
+	for rank := 0; rank < ranks; rank++ {
+		var want []float64
+		base := 0
+		if kind == kindAllreduce {
+			want = ref
+		} else {
+			k := core.BlockOwned(rank, ranks)
+			start, end := core.BlockBounds(n, ranks, k)
+			want = ref[start:end]
+			base = start
+		}
+		got := outs[rank]
+		if len(got) != len(want) {
+			rep.fail(Failure{
+				Oracle: "collective", Subject: subject, Check: "length",
+				Index: -1, Block: rank,
+				Got: float64(len(got)), Want: float64(len(want)),
+				Detail: fmt.Sprintf("rank %d output length", rank),
+			})
+			continue
+		}
+		rep.pass()
+		bad := -1
+		for i := range got {
+			if math.Abs(float64(got[i])-want[i]) > tol {
+				bad = i
+				break
+			}
+		}
+		if bad >= 0 {
+			rep.fail(Failure{
+				Oracle: "collective", Subject: subject, Check: "agreement",
+				Index: base + bad, Block: rank,
+				Got: float64(got[bad]), Want: want[bad],
+				Detail: fmt.Sprintf("rank %d diverges from exact reference beyond %g", rank, tol),
+			})
+		} else {
+			rep.pass()
+		}
+	}
+	// Allreduce must leave every rank with the bitwise-identical vector:
+	// each block is reduced once by one rank and broadcast, so even
+	// float32 non-associativity cannot excuse a mismatch.
+	if kind == kindAllreduce && ranks > 1 {
+		base := outs[0]
+		for rank := 1; rank < ranks; rank++ {
+			if idx := firstBitDifference(base, outs[rank]); idx >= 0 {
+				rep.fail(Failure{
+					Oracle: "collective", Subject: subject, Check: "replication",
+					Index: idx, Block: rank,
+					Got: float64(outs[rank][idx]), Want: float64(base[idx]),
+					Detail: fmt.Sprintf("rank %d disagrees bitwise with rank 0", rank),
+				})
+			} else {
+				rep.pass()
+			}
+		}
+	}
+}
+
+// crossFlavor compares the two compressed flavors element-wise.
+func (o CollectiveOracle) crossFlavor(rep *Report, kind collectiveKind, ranks, n int, ccoll, hz [][]float32, tol float64) {
+	if ccoll == nil || hz == nil {
+		return
+	}
+	subject := fmt.Sprintf("%s/ccoll vs hz", kind)
+	for rank := 0; rank < ranks; rank++ {
+		a, b := ccoll[rank], hz[rank]
+		if len(a) != len(b) {
+			rep.fail(Failure{
+				Oracle: "collective", Subject: subject, Check: "length",
+				Index: -1, Block: rank,
+				Got: float64(len(b)), Want: float64(len(a)),
+			})
+			continue
+		}
+		if idx := firstDivergence(a, b, tol); idx >= 0 {
+			rep.fail(Failure{
+				Oracle: "collective", Subject: subject, Check: "cross",
+				Index: idx, Block: rank,
+				Got: float64(b[idx]), Want: float64(a[idx]),
+				Detail: fmt.Sprintf("rank %d: compressed flavors disagree beyond %g", rank, tol),
+			})
+		} else {
+			rep.pass()
+		}
+	}
+}
+
+// firstBitDifference returns the first index where two float32 slices are
+// not bitwise identical, or -1. Lengths must match.
+func firstBitDifference(a, b []float32) int {
+	if len(a) != len(b) {
+		return 0
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return i
+		}
+	}
+	return -1
+}

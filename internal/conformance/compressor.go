@@ -1,0 +1,162 @@
+package conformance
+
+import (
+	"math"
+)
+
+// CompressorOracle round-trips inputs through every registered codec and
+// checks each codec's contract plus pairwise cross-codec agreement.
+type CompressorOracle struct {
+	// Codecs under test; nil selects Codecs(Threads).
+	Codecs []Codec
+	// Threads configures fZ-light's chunk count when Codecs is nil.
+	Threads int
+}
+
+// expansionCeiling bounds the acceptable compressed size: an
+// error-bounded codec may expand small inputs (headers) but never by more
+// than ~5 bytes/value plus bounded metadata.
+func expansionCeiling(n int) int { return 6*n + 4096 }
+
+// idempotenceExactLimit is the quantization magnitude below which a
+// second round-trip must reproduce the first reconstruction bit-for-bit:
+// for |q| < 2^21 the at-most-three float32 roundings between 2·eb·q and
+// its re-quantization move the value by < 0.5 cells, so it cannot cross a
+// quantization boundary. Above it the check is skipped rather than
+// loosened, so it stays sharp where it is valid.
+const idempotenceExactLimit = 1 << 21
+
+// Check round-trips data through every codec at absolute error bound eb
+// and reports all contract violations. data must be finite (no NaN/Inf)
+// and eb > 0; the caller sanitizes fuzzer input.
+func (o CompressorOracle) Check(data []float32, eb float64) *Report {
+	rep := &Report{}
+	codecs := o.Codecs
+	if codecs == nil {
+		codecs = Codecs(o.Threads)
+	}
+	maxAbs := maxAbs32(data)
+	// Float32 representation slack: the reconstruction 2·eb·q is rounded
+	// to float32, so the realized error can exceed eb by one ulp of the
+	// value's magnitude.
+	slack := (maxAbs + eb) * math.Pow(2, -23)
+	recons := make([][]float32, 0, len(codecs))
+	names := make([]string, 0, len(codecs))
+
+	for _, c := range codecs {
+		recon := o.checkCodec(rep, c, data, eb, maxAbs, slack)
+		if recon != nil {
+			recons = append(recons, recon)
+			names = append(names, c.Name)
+		}
+	}
+
+	// Cross-codec differential: two independent implementations of the
+	// same contract must agree within the sum of their bounds.
+	crossTol := 2*eb + 2*slack
+	for i := 0; i < len(recons); i++ {
+		for j := i + 1; j < len(recons); j++ {
+			if idx := firstDivergence(recons[i], recons[j], crossTol); idx >= 0 {
+				rep.fail(Failure{
+					Oracle:  "compressor",
+					Subject: names[i] + " vs " + names[j],
+					Check:   "cross",
+					Index:   idx,
+					Block:   -1,
+					Got:     float64(recons[i][idx]),
+					Want:    float64(recons[j][idx]),
+					Detail:  "independent codecs disagree beyond 2·eb",
+				})
+			} else {
+				rep.pass()
+			}
+		}
+	}
+	return rep
+}
+
+// checkCodec runs the per-codec contract and returns the reconstruction
+// (nil when the round trip itself failed).
+func (o CompressorOracle) checkCodec(rep *Report, c Codec, data []float32, eb, maxAbs, slack float64) []float32 {
+	fail := func(check string, idx int, got, want float64, detail string) {
+		block := -1
+		if idx >= 0 && c.BlockSize > 0 {
+			block = idx / c.BlockSize
+		}
+		rep.fail(Failure{
+			Oracle: "compressor", Subject: c.Name, Check: check,
+			Index: idx, Block: block, Got: got, Want: want, Detail: detail,
+		})
+	}
+
+	// Inputs at or near the codec's quantization range are outside its
+	// contract (it may reject them with ErrRange); skip rather than fail,
+	// so the oracle stays sharp inside the documented range.
+	if c.QuantLimit > 0 && maxAbs >= 2*eb*c.QuantLimit*0.99 {
+		return nil
+	}
+
+	comp, err := c.Compress(data, eb)
+	if err != nil {
+		fail("compress", -1, 0, 0, err.Error())
+		return nil
+	}
+	rep.pass()
+
+	// Ratio sanity: no pathological expansion, never empty.
+	if len(comp) == 0 || len(comp) > expansionCeiling(len(data)) {
+		fail("ratio", -1, float64(len(comp)), float64(expansionCeiling(len(data))),
+			"compressed size outside sane range")
+	} else {
+		rep.pass()
+	}
+
+	recon, err := c.Decode(comp)
+	if err != nil {
+		fail("decompress", -1, 0, 0, err.Error())
+		return nil
+	}
+	rep.pass()
+	if len(recon) != len(data) {
+		fail("length", -1, float64(len(recon)), float64(len(data)), "decoded length mismatch")
+		return nil
+	}
+	rep.pass()
+
+	// Error-bound contract, diffed to the first violating element.
+	tol := eb + slack
+	if idx := firstDivergence(data, recon, tol); idx >= 0 {
+		fail("bound", idx, float64(recon[idx]), float64(data[idx]),
+			"reconstruction error exceeds eb")
+	} else {
+		rep.pass()
+	}
+
+	// decode(encode(x)) idempotence: recompressing a reconstruction must
+	// reproduce it exactly. Valid whenever quantized magnitudes stay small
+	// enough that float32 rounding cannot cross a cell boundary; SZx is
+	// exact unconditionally (midpoints and raw passthrough).
+	if c.Lossless || maxAbs/(2*eb) < idempotenceExactLimit {
+		comp2, err := c.Compress(recon, eb)
+		if err != nil {
+			fail("idempotence", -1, 0, 0, "recompression failed: "+err.Error())
+			return recon
+		}
+		recon2, err := c.Decode(comp2)
+		if err != nil {
+			fail("idempotence", -1, 0, 0, "second decode failed: "+err.Error())
+			return recon
+		}
+		if len(recon2) != len(recon) {
+			fail("idempotence", -1, float64(len(recon2)), float64(len(recon)), "length changed")
+			return recon
+		}
+		if idx := firstDivergence(recon, recon2, 0); idx >= 0 {
+			fail("idempotence", idx, float64(recon2[idx]), float64(recon[idx]),
+				"second round trip moved a value")
+		} else {
+			rep.pass()
+		}
+	}
+	return recon
+}

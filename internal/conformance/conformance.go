@@ -1,0 +1,143 @@
+// Package conformance is the differential-testing subsystem of this
+// repository: machine-checkable correctness contracts for the compressors,
+// the homomorphic reducer and the collectives, checked against independent
+// reference implementations rather than hand-picked fixtures.
+//
+// It provides three oracles:
+//
+//   - CompressorOracle round-trips arbitrary inputs through every codec
+//     (fZ-light, ompSZp, SZx) and asserts the error-bound contract, ratio
+//     sanity, decode(encode(x)) idempotence, and cross-codec agreement —
+//     the cuSZp-style cross-validation methodology. Failures are diffed
+//     down to the first divergent element and block.
+//
+//   - HomomorphicOracle checks the paper's central claim on every input:
+//     Decompress(HomomorphicAdd(c1, c2)) must equal
+//     Decompress(c1) + Decompress(c2) up to float32 rounding, across all
+//     four hZ-dynamic pipelines, with the decompress-operate-compress
+//     (DOC) workflow as the fallback reference when the quantized sum
+//     overflows.
+//
+//   - CollectiveOracle runs Plain, C-Coll and hZCCL ring Reduce_scatter
+//     and Allreduce on the cluster substrate and asserts cross-flavor
+//     agreement — including odd rank counts, buffer sizes not divisible by
+//     the rank count, and fault-injected fabrics where corruption must be
+//     *detected* rather than silently folded into the result.
+//
+// Each oracle returns a Report whose Failures localize the first
+// divergence; the fuzz targets in this package drive the oracles with
+// arbitrary inputs, and cmd/hzccl-conformance runs them on real dataset
+// files.
+package conformance
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Failure is one violated contract, localized to the first divergent
+// element and block where that is meaningful.
+type Failure struct {
+	// Oracle is "compressor", "homomorphic" or "collective".
+	Oracle string
+	// Subject names what was being checked: a codec, a pipeline case, a
+	// collective flavor pair.
+	Subject string
+	// Check is the specific contract: "bound", "idempotence", "cross",
+	// "homomorphism", "ratio", "length", "agreement", ...
+	Check string
+	// Index is the first divergent element (-1 when not applicable).
+	Index int
+	// Block is the block containing Index (-1 when not applicable).
+	Block int
+	// Got and Want are the diverging values at Index.
+	Got, Want float64
+	// Detail carries any extra context (error text, tolerances).
+	Detail string
+}
+
+// Error formats the failure for humans; Failure satisfies error so single
+// failures can propagate through error-shaped plumbing.
+func (f Failure) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s oracle: %s: %s check failed", f.Oracle, f.Subject, f.Check)
+	if f.Index >= 0 {
+		fmt.Fprintf(&b, " at element %d", f.Index)
+		if f.Block >= 0 {
+			fmt.Fprintf(&b, " (block %d)", f.Block)
+		}
+		fmt.Fprintf(&b, ": got %g want %g", f.Got, f.Want)
+	}
+	if f.Detail != "" {
+		fmt.Fprintf(&b, " [%s]", f.Detail)
+	}
+	return b.String()
+}
+
+// Report aggregates the outcome of one oracle invocation.
+type Report struct {
+	// Checks counts individual contracts evaluated.
+	Checks int
+	// Failures holds every violated contract, in evaluation order.
+	Failures []Failure
+}
+
+// OK reports whether every contract held.
+func (r *Report) OK() bool { return len(r.Failures) == 0 }
+
+// Err returns nil when the report is clean, or an error summarizing the
+// first failure (and the total count) otherwise.
+func (r *Report) Err() error {
+	if r.OK() {
+		return nil
+	}
+	if len(r.Failures) == 1 {
+		return r.Failures[0]
+	}
+	return fmt.Errorf("%w (and %d more failures)", r.Failures[0], len(r.Failures)-1)
+}
+
+// merge folds another report into r.
+func (r *Report) merge(o *Report) {
+	r.Checks += o.Checks
+	r.Failures = append(r.Failures, o.Failures...)
+}
+
+// pass records a successfully evaluated contract.
+func (r *Report) pass() { r.Checks++ }
+
+// fail records a violated contract.
+func (r *Report) fail(f Failure) {
+	r.Checks++
+	r.Failures = append(r.Failures, f)
+}
+
+// firstDivergence scans two equal-length reconstructions and returns the
+// first index where they differ by more than tol, or -1.
+func firstDivergence(a, b []float32, tol float64) int {
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > tol {
+			return i
+		}
+	}
+	return -1
+}
+
+// maxAbs32 returns max |v| over data.
+func maxAbs32(data []float32) float64 {
+	m := 0.0
+	for _, v := range data {
+		a := float64(v)
+		if a < 0 {
+			a = -a
+		}
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}

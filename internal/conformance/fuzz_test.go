@@ -1,0 +1,86 @@
+package conformance
+
+import (
+	"math"
+	"testing"
+
+	"hzccl/internal/core"
+	"hzccl/internal/floatbytes"
+	"hzccl/internal/fzlight"
+)
+
+// Native fuzz targets driving the oracles with arbitrary inputs. `go test`
+// replays the committed seed corpus under testdata/fuzz/ on every run;
+// `make fuzz` explores further.
+
+// sanitize turns arbitrary bytes into a finite, bounded float32 vector the
+// codecs are contractually required to accept.
+func sanitize(raw []byte, limit float64) []float32 {
+	vals := floatbytes.Floats(raw)
+	out := make([]float32, 0, len(vals))
+	for _, v := range vals {
+		f64 := float64(v)
+		if math.IsNaN(f64) || math.IsInf(f64, 0) || math.Abs(f64) > limit {
+			v = 0
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func FuzzCompressorOracle(f *testing.F) {
+	f.Add([]byte{0, 0, 128, 63, 0, 0, 0, 64, 0, 0, 64, 64}, uint8(1))
+	f.Add([]byte{}, uint8(0))
+	f.Fuzz(func(t *testing.T, raw []byte, ebSel uint8) {
+		data := sanitize(raw, 1e4)
+		eb := []float64{1e-1, 1e-2, 1e-3, 1e-4}[ebSel%4]
+		rep := CompressorOracle{Threads: 1 + int(ebSel)%3}.Check(data, eb)
+		if err := rep.Err(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func FuzzHomomorphicOracle(f *testing.F) {
+	f.Add([]byte{0, 0, 128, 63, 0, 0, 64, 64}, []byte{0, 0, 0, 64, 0, 0, 128, 64})
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		a := sanitize(rawA, 1e4)
+		b := sanitize(rawB, 1e4)
+		if len(a) > len(b) {
+			a = a[:len(b)]
+		} else {
+			b = b[:len(a)]
+		}
+		o := HomomorphicOracle{Params: fzlight.Params{ErrorBound: 1e-2}}
+		res, err := o.Check(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Report.Err(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzCollectiveShapes keeps inputs tiny (the collective oracle spins up a
+// full simulated cluster per flavor) but explores rank counts and buffer
+// lengths the table tests do not enumerate.
+func FuzzCollectiveShapes(f *testing.F) {
+	f.Add(uint8(3), uint8(97), int64(1))
+	f.Add(uint8(5), uint8(0), int64(2))
+	f.Fuzz(func(t *testing.T, ranksSel, nSel uint8, seed int64) {
+		ranks := 1 + int(ranksSel)%7
+		n := int(nSel)
+		o := CollectiveOracle{Opt: core.Options{ErrorBound: 1e-3}}
+		gen := func(rank int) []float32 {
+			return randomField(n, seed+int64(rank)*101, 1)
+		}
+		rep, err := o.CheckReduceScatter(ranks, gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.Err(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

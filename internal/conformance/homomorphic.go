@@ -1,0 +1,368 @@
+package conformance
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hzccl/internal/fzlight"
+	"hzccl/internal/hzdyn"
+)
+
+// HomomorphicOracle checks the paper's central correctness claim:
+// decompressing a homomorphic sum must equal the sum of the individual
+// reconstructions (the values the decompress-operate-compress workflow
+// operates on), up to float32 rounding of the reference sum itself —
+// hZ-dynamic adds NO error of its own. When the quantized sum overflows
+// int32, the oracle instead verifies the DOC fallback contract: one fresh
+// quantization error of at most eb.
+type HomomorphicOracle struct {
+	// Params configures compression of raw inputs (ErrorBound required).
+	Params fzlight.Params
+	// Add is the reducer under test; nil selects hzdyn.Add. Tests inject
+	// buggy implementations here to prove the oracle catches them.
+	Add func(a, b []byte) ([]byte, hzdyn.Stats, error)
+}
+
+// HomomorphicResult carries the oracle verdict plus the evidence needed to
+// assert pipeline coverage.
+type HomomorphicResult struct {
+	Report *Report
+	// Stats is the reducer's pipeline selection for this pair.
+	Stats hzdyn.Stats
+	// FellBack reports that the quantized sum overflowed and the DOC
+	// fallback path was verified instead.
+	FellBack bool
+}
+
+func (o HomomorphicOracle) add(a, b []byte) ([]byte, hzdyn.Stats, error) {
+	if o.Add != nil {
+		return o.Add(a, b)
+	}
+	return hzdyn.Add(a, b)
+}
+
+// Check compresses a and b and verifies the homomorphic contract on the
+// pair. Inputs must be finite and equal-length.
+func (o HomomorphicOracle) Check(a, b []float32) (*HomomorphicResult, error) {
+	ca, err := fzlight.Compress(a, o.Params)
+	if err != nil {
+		return nil, fmt.Errorf("conformance: compressing left operand: %w", err)
+	}
+	cb, err := fzlight.Compress(b, o.Params)
+	if err != nil {
+		return nil, fmt.Errorf("conformance: compressing right operand: %w", err)
+	}
+	return o.CheckCompressed(ca, cb)
+}
+
+// CheckCompressed verifies the homomorphic contract on two already
+// compressed streams (which may themselves be outputs of earlier Adds —
+// the path that can overflow).
+func (o HomomorphicOracle) CheckCompressed(ca, cb []byte) (*HomomorphicResult, error) {
+	res := &HomomorphicResult{Report: &Report{}}
+	rep := res.Report
+
+	da, err := fzlight.Decompress(ca)
+	if err != nil {
+		return nil, fmt.Errorf("conformance: decompressing left operand: %w", err)
+	}
+	db, err := fzlight.Decompress(cb)
+	if err != nil {
+		return nil, fmt.Errorf("conformance: decompressing right operand: %w", err)
+	}
+	if len(da) != len(db) {
+		return nil, fmt.Errorf("conformance: operand lengths %d != %d", len(da), len(db))
+	}
+	// The DOC reference: the values decompress-operate-compress would sum.
+	want := make([]float64, len(da))
+	for i := range da {
+		want[i] = float64(da[i]) + float64(db[i])
+	}
+
+	ha, err := fzlight.ParseHeader(ca)
+	if err != nil {
+		return nil, err
+	}
+
+	sum, stats, err := o.add(ca, cb)
+	res.Stats = stats
+	switch {
+	case err == nil:
+		o.checkExact(rep, ha, sum, want, da, db)
+	case errors.Is(err, hzdyn.ErrOverflow):
+		res.FellBack = true
+		o.checkFallback(rep, ca, cb, want)
+	default:
+		rep.fail(Failure{
+			Oracle: "homomorphic", Subject: "add", Check: "add",
+			Index: -1, Block: -1, Detail: err.Error(),
+		})
+	}
+	return res, nil
+}
+
+// checkExact verifies a successful homomorphic sum against the DOC
+// reference values.
+func (o HomomorphicOracle) checkExact(rep *Report, ha *fzlight.Header, sum []byte, want []float64, da, db []float32) {
+	blockOf := func(i int) int {
+		if ha.BlockSize > 0 {
+			return i / ha.BlockSize
+		}
+		return -1
+	}
+
+	hs, err := fzlight.ParseHeader(sum)
+	if err != nil {
+		rep.fail(Failure{
+			Oracle: "homomorphic", Subject: "add", Check: "geometry",
+			Index: -1, Block: -1, Detail: "sum does not parse: " + err.Error(),
+		})
+		return
+	}
+	if !fzlight.SameGeometry(ha, hs) {
+		rep.fail(Failure{
+			Oracle: "homomorphic", Subject: "add", Check: "geometry",
+			Index: -1, Block: -1, Detail: "sum geometry differs from operands",
+		})
+		return
+	}
+	rep.pass()
+
+	got, err := fzlight.Decompress(sum)
+	if err != nil {
+		rep.fail(Failure{
+			Oracle: "homomorphic", Subject: "add", Check: "decode",
+			Index: -1, Block: -1, Detail: "sum does not decompress: " + err.Error(),
+		})
+		return
+	}
+	rep.pass()
+	if len(got) != len(want) {
+		rep.fail(Failure{
+			Oracle: "homomorphic", Subject: "add", Check: "length",
+			Index: -1, Block: -1, Got: float64(len(got)), Want: float64(len(want)),
+		})
+		return
+	}
+	rep.pass()
+
+	// The homomorphic sum is exact in the quantized domain; the only
+	// admissible divergence from da+db is the float32 rounding the two
+	// reference reconstructions carry themselves. An off-by-one in the
+	// quantized domain shows up as a full 2·eb step, far above this.
+	eb := ha.ErrorBound
+	for i := range got {
+		ulps := (math.Abs(float64(da[i])) + math.Abs(float64(db[i]))) * math.Pow(2, -22)
+		tol := ulps + 1e-3*eb
+		if d := math.Abs(float64(got[i]) - want[i]); d > tol {
+			rep.fail(Failure{
+				Oracle: "homomorphic", Subject: "add", Check: "homomorphism",
+				Index: i, Block: blockOf(i), Got: float64(got[i]), Want: want[i],
+				Detail: fmt.Sprintf("|got-want| = %g > tol %g", d, tol),
+			})
+			return
+		}
+	}
+	rep.pass()
+}
+
+// checkFallback verifies the production overflow handling after the
+// reducer under test reported ErrOverflow: AddWithFallback must produce a
+// DOC result within the (possibly widened) error bound recorded in its own
+// header. An Add overflow means the summed quantized magnitudes exceed the
+// codec's range, so the fallback is allowed to widen the bound — but only
+// by the factor its result header declares.
+func (o HomomorphicOracle) checkFallback(rep *Report, ca, cb []byte, want []float64) {
+	sum, fellBack, _, err := hzdyn.AddWithFallback(ca, cb)
+	if err != nil {
+		rep.fail(Failure{
+			Oracle: "homomorphic", Subject: "fallback", Check: "add",
+			Index: -1, Block: -1, Detail: err.Error(),
+		})
+		return
+	}
+	if !fellBack {
+		// The reducer under test overflowed where the real Add does not:
+		// a spurious overflow. The exact homomorphic contract must hold.
+		rep.fail(Failure{
+			Oracle: "homomorphic", Subject: "fallback", Check: "spurious-overflow",
+			Index: -1, Block: -1,
+			Detail: "reducer reported ErrOverflow but hzdyn.Add succeeds on the same pair",
+		})
+		return
+	}
+	rep.pass()
+
+	hs, err := fzlight.ParseHeader(sum)
+	if err != nil {
+		rep.fail(Failure{
+			Oracle: "homomorphic", Subject: "fallback", Check: "geometry",
+			Index: -1, Block: -1, Detail: "fallback sum does not parse: " + err.Error(),
+		})
+		return
+	}
+	got, err := fzlight.Decompress(sum)
+	if err != nil {
+		rep.fail(Failure{
+			Oracle: "homomorphic", Subject: "fallback", Check: "decode",
+			Index: -1, Block: -1, Detail: err.Error(),
+		})
+		return
+	}
+	rep.pass()
+	if len(got) != len(want) {
+		rep.fail(Failure{
+			Oracle: "homomorphic", Subject: "fallback", Check: "length",
+			Index: -1, Block: -1, Got: float64(len(got)), Want: float64(len(want)),
+		})
+		return
+	}
+
+	eb := hs.ErrorBound // the widened bound the fallback declared
+	maxAbs := 0.0
+	for _, v := range want {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	tol := eb + (maxAbs+eb)*math.Pow(2, -23)
+	for i := range got {
+		if d := math.Abs(float64(got[i]) - want[i]); d > tol {
+			rep.fail(Failure{
+				Oracle: "homomorphic", Subject: "fallback", Check: "bound",
+				Index: i, Block: i / hs.BlockSize, Got: float64(got[i]), Want: want[i],
+				Detail: fmt.Sprintf("DOC fallback error %g > declared bound %g", d, eb),
+			})
+			return
+		}
+	}
+	rep.pass()
+}
+
+// CaseVector is one input pair engineered to steer hZ-dynamic into a
+// specific pipeline (or the overflow fallback when folded — see
+// CheckAllCases).
+type CaseVector struct {
+	Name string
+	A, B []float32
+	// WantPipeline is the pipeline every full block of the pair must take
+	// (0 = no single expectation).
+	WantPipeline hzdyn.Pipeline
+}
+
+// CaseVectors builds input pairs covering the four hZ-dynamic pipelines
+// at n elements and absolute bound eb. n should be a multiple of the
+// block size so expectations hold for every block.
+func CaseVectors(eb float64, n int) []CaseVector {
+	constant := func(v float32) []float32 {
+		out := make([]float32, n)
+		for i := range out {
+			out[i] = v
+		}
+		return out
+	}
+	varying := func(phase float64) []float32 {
+		out := make([]float32, n)
+		step := 8 * eb // well above one quantum, so deltas are non-zero
+		for i := range out {
+			out[i] = float32(step * float64(i%13) * math.Sin(phase+float64(i)/7))
+		}
+		return out
+	}
+	return []CaseVector{
+		{Name: "both-constant", A: constant(1), B: constant(2), WantPipeline: hzdyn.PipelineBothConstant},
+		{Name: "left-constant", A: constant(3), B: varying(0.1), WantPipeline: hzdyn.PipelineLeftConstant},
+		{Name: "right-constant", A: varying(0.2), B: constant(-1), WantPipeline: hzdyn.PipelineRightConstant},
+		{Name: "both-encoded", A: varying(0.3), B: varying(1.7), WantPipeline: hzdyn.PipelineBothEncoded},
+	}
+}
+
+// CheckAllCases drives the oracle through every pipeline case and asserts
+// both the homomorphic contract and that the intended pipeline actually
+// ran, then exercises the overflow fallback by folding extreme-magnitude
+// streams until the quantized sum no longer fits in int32.
+func (o HomomorphicOracle) CheckAllCases(n int) (*Report, error) {
+	rep := &Report{}
+	eb := o.Params.ErrorBound
+	for _, cv := range CaseVectors(eb, n) {
+		res, err := o.Check(cv.A, cv.B)
+		if err != nil {
+			return nil, fmt.Errorf("case %s: %w", cv.Name, err)
+		}
+		rep.merge(res.Report)
+		if cv.WantPipeline != 0 && res.Stats.Blocks > 0 &&
+			res.Stats.Pipeline[cv.WantPipeline] == 0 {
+			rep.fail(Failure{
+				Oracle: "homomorphic", Subject: cv.Name, Check: "pipeline-coverage",
+				Index: -1, Block: -1,
+				Detail: fmt.Sprintf("pipeline %d never selected (stats %v)", cv.WantPipeline, res.Stats.Pipeline),
+			})
+		} else {
+			rep.pass()
+		}
+	}
+
+	fellBack, err := o.checkOverflowFold(rep, n)
+	if err != nil {
+		return nil, err
+	}
+	if !fellBack {
+		rep.fail(Failure{
+			Oracle: "homomorphic", Subject: "overflow", Check: "coverage",
+			Index: -1, Block: -1, Detail: "fold never triggered the overflow fallback",
+		})
+	} else {
+		rep.pass()
+	}
+	return rep, nil
+}
+
+// checkOverflowFold folds copies of an extreme-magnitude stream until Add
+// overflows, verifying every intermediate result; it reports whether the
+// fallback path was reached.
+func (o HomomorphicOracle) checkOverflowFold(rep *Report, n int) (bool, error) {
+	eb := o.Params.ErrorBound
+	// Alternate at |q| = 2^28 so in-chunk deltas are ±2^29 per operand;
+	// folding the fourth copy pushes deltas to 2^31, which overflows int32.
+	extreme := make([]float32, n)
+	mag := eb * float64(uint32(1)<<29) // v = 2·eb·2^28, i.e. |q| = 2^28
+	for i := range extreme {
+		if i%2 == 0 {
+			extreme[i] = float32(mag)
+		} else {
+			extreme[i] = float32(-mag)
+		}
+	}
+	comp, err := fzlight.Compress(extreme, o.Params)
+	if err != nil {
+		return false, fmt.Errorf("conformance: compressing overflow vector: %w", err)
+	}
+	acc := comp
+	for fold := 0; fold < 4; fold++ {
+		res, err := o.CheckCompressed(acc, comp)
+		if err != nil {
+			return false, err
+		}
+		rep.merge(res.Report)
+		if res.FellBack {
+			return true, nil
+		}
+		if !res.Report.OK() {
+			return false, nil
+		}
+		acc, _, err = hzdyn.Add(acc, comp)
+		if err != nil {
+			// The oracle's own Add (possibly buggy) already validated this
+			// pair; the real reducer overflowing here still counts as
+			// fallback coverage via AddWithFallback.
+			sum, fellBack, _, ferr := hzdyn.AddWithFallback(acc, comp)
+			if ferr != nil {
+				return false, ferr
+			}
+			_ = sum
+			return fellBack, nil
+		}
+	}
+	return false, nil
+}

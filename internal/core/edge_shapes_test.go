@@ -1,0 +1,74 @@
+// Edge-shape conformance tests for the core collectives, in an external
+// test package so they can drive internal/conformance (which itself
+// imports core).
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"hzccl/internal/conformance"
+	"hzccl/internal/core"
+)
+
+// TestCollectiveEdgeShapes runs every flavor of Reduce_scatter and
+// Allreduce through the conformance oracle at the shapes ring collectives
+// historically get wrong: single-rank "rings", odd rank counts, buffer
+// lengths not divisible by the rank count, zero-length and all-constant
+// buffers (the constant-block fast paths).
+func TestCollectiveEdgeShapes(t *testing.T) {
+	oracle := conformance.CollectiveOracle{Opt: core.Options{ErrorBound: 1e-3}}
+
+	varying := func(n int) func(rank int) []float32 {
+		return func(rank int) []float32 {
+			out := make([]float32, n)
+			for i := range out {
+				out[i] = float32(math.Sin(float64(rank+1) * float64(i+1) / 17))
+			}
+			return out
+		}
+	}
+	constant := func(n int) func(rank int) []float32 {
+		return func(rank int) []float32 {
+			out := make([]float32, n)
+			for i := range out {
+				out[i] = 0.5 * float32(rank+1)
+			}
+			return out
+		}
+	}
+
+	shapes := []struct {
+		name string
+		n    int
+		gen  func(n int) func(rank int) []float32
+	}{
+		{"zero-length", 0, varying},
+		{"one-element", 1, varying},
+		{"non-divisible", 37, varying}, // 37 is prime: never divisible by ranks > 1
+		{"non-divisible-large", 101, varying},
+		{"all-constant", 96, constant},
+	}
+
+	for _, ranks := range []int{1, 2, 3, 5, 7} {
+		for _, sh := range shapes {
+			gen := sh.gen(sh.n)
+			t.Run(sh.name, func(t *testing.T) {
+				rep, err := oracle.CheckReduceScatter(ranks, gen)
+				if err != nil {
+					t.Fatalf("reduce_scatter ranks=%d n=%d: %v", ranks, sh.n, err)
+				}
+				if err := rep.Err(); err != nil {
+					t.Fatalf("reduce_scatter ranks=%d n=%d: %v", ranks, sh.n, err)
+				}
+				rep, err = oracle.CheckAllreduce(ranks, gen)
+				if err != nil {
+					t.Fatalf("allreduce ranks=%d n=%d: %v", ranks, sh.n, err)
+				}
+				if err := rep.Err(); err != nil {
+					t.Fatalf("allreduce ranks=%d n=%d: %v", ranks, sh.n, err)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,26 @@
+#!/bin/sh
+# fuzz.sh — run every Go native fuzz target for FUZZTIME each (default a
+# short smoke suitable for CI; set FUZZTIME=5m for a real session).
+# Targets run one at a time because `go test -fuzz` accepts a single
+# match per invocation. `make fuzz` runs this.
+set -eu
+cd "$(dirname "$0")/.."
+
+FUZZTIME=${FUZZTIME:-10s}
+
+run() {
+    pkg=$1
+    target=$2
+    echo "== fuzz $pkg.$target ($FUZZTIME) =="
+    go test "$pkg" -run '^$' -fuzz "^${target}\$" -fuzztime "$FUZZTIME"
+}
+
+run ./internal/fzlight FuzzDecompress
+run ./internal/fzlight FuzzCompressRoundTrip
+run ./internal/hzdyn FuzzAdd
+run ./internal/hzdyn FuzzHomomorphism
+run ./internal/conformance FuzzCompressorOracle
+run ./internal/conformance FuzzHomomorphicOracle
+run ./internal/conformance FuzzCollectiveShapes
+
+echo "fuzz: OK"

@@ -1,0 +1,184 @@
+// Command gencorpus regenerates the committed fuzz seed corpora under the
+// testdata/fuzz/ directories of internal/fzlight, internal/hzdyn and
+// internal/conformance. Run it from the repository root after changing the
+// on-disk format or the fuzz target signatures:
+//
+//	go run ./scripts/gencorpus
+//
+// The seeds are chosen to pin known-tricky paths: chunk outliers (the raw
+// first quantized value each chunk carries), the hZ-dynamic overflow
+// fallback (a folded stream whose next Add overflows int32), 2D/3D and
+// float64 containers, and truncated/corrupt streams.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hzccl/internal/fzlight"
+	"hzccl/internal/hzdyn"
+)
+
+// entry renders one corpus file in the "go test fuzz v1" encoding.
+func entry(args ...any) string {
+	var b strings.Builder
+	b.WriteString("go test fuzz v1\n")
+	for _, a := range args {
+		switch v := a.(type) {
+		case []byte:
+			fmt.Fprintf(&b, "[]byte(%q)\n", v)
+		case uint8:
+			fmt.Fprintf(&b, "uint8(%d)\n", v)
+		case int64:
+			fmt.Fprintf(&b, "int64(%d)\n", v)
+		default:
+			log.Fatalf("unsupported corpus arg type %T", a)
+		}
+	}
+	return b.String()
+}
+
+func write(dir, name string, content string) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// floatsToBytes encodes float32 values little-endian, the layout
+// floatbytes.Floats decodes.
+func floatsToBytes(vals []float32) []byte {
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		u := math.Float32bits(v)
+		out[4*i] = byte(u)
+		out[4*i+1] = byte(u >> 8)
+		out[4*i+2] = byte(u >> 16)
+		out[4*i+3] = byte(u >> 24)
+	}
+	return out
+}
+
+func sine(n int, phase float64) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(math.Sin(phase + float64(i)/9))
+	}
+	return out
+}
+
+// outlierField is small everywhere except a large first value per chunk,
+// exercising the outlier (raw first quantized value) path.
+func outlierField(n int) []float32 {
+	out := sine(n, 0.2)
+	out[0] = 9000
+	if n > 64 {
+		out[n/2] = -8500
+	}
+	return out
+}
+
+func mustCompress(data []float32, p fzlight.Params) []byte {
+	comp, err := fzlight.Compress(data, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return comp
+}
+
+func main() {
+	eb := 1e-3
+
+	// --- internal/fzlight: FuzzDecompress([]byte) ---
+	dir := "internal/fzlight/testdata/fuzz/FuzzDecompress"
+	c1d := mustCompress(sine(200, 0), fzlight.Params{ErrorBound: eb, Threads: 3})
+	write(dir, "seed-1d-multichunk", entry(c1d))
+	write(dir, "seed-outlier", entry(mustCompress(outlierField(128), fzlight.Params{ErrorBound: eb})))
+	c2d, err := fzlight.Compress2D(sine(96, 0.5), 8, 12, fzlight.Params{ErrorBound: eb})
+	if err != nil {
+		log.Fatal(err)
+	}
+	write(dir, "seed-2d", entry(c2d))
+	c3d, err := fzlight.Compress3D(sine(120, 1), 4, 5, 6, fzlight.Params{ErrorBound: eb})
+	if err != nil {
+		log.Fatal(err)
+	}
+	write(dir, "seed-3d", entry(c3d))
+	d64 := make([]float64, 80)
+	for i := range d64 {
+		d64[i] = math.Cos(float64(i) / 11)
+	}
+	c64, err := fzlight.Compress64(d64, fzlight.Params{ErrorBound: eb})
+	if err != nil {
+		log.Fatal(err)
+	}
+	write(dir, "seed-float64", entry(c64))
+	write(dir, "seed-truncated", entry(c1d[:len(c1d)/2]))
+
+	// --- internal/fzlight: FuzzCompressRoundTrip([]byte, uint8, uint8) ---
+	dir = "internal/fzlight/testdata/fuzz/FuzzCompressRoundTrip"
+	write(dir, "seed-outlier", entry(floatsToBytes(outlierField(96)), uint8(2), uint8(3)))
+	write(dir, "seed-alternating", entry(floatsToBytes([]float32{100, -100, 100, -100, 0.5, -0.5}), uint8(1), uint8(0)))
+
+	// --- internal/hzdyn: FuzzAdd([]byte, []byte) ---
+	dir = "internal/hzdyn/testdata/fuzz/FuzzAdd"
+	p := fzlight.Params{ErrorBound: eb}
+	write(dir, "seed-self", entry(c1d, c1d))
+	write(dir, "seed-outlier-pair", entry(
+		mustCompress(outlierField(128), p),
+		mustCompress(sine(128, 2), p)))
+	// Overflow regression: fold an extreme alternating stream until the
+	// next Add's quantized deltas exceed int32 — this pair makes Add
+	// return ErrOverflow and AddWithFallback take the DOC path.
+	extreme := make([]float32, 96)
+	mag := float32(eb * float64(uint32(1)<<29))
+	for i := range extreme {
+		if i%2 == 0 {
+			extreme[i] = mag
+		} else {
+			extreme[i] = -mag
+		}
+	}
+	comp := mustCompress(extreme, p)
+	acc := comp
+	for {
+		next, _, err := hzdyn.Add(acc, comp)
+		if err != nil {
+			break // acc+comp overflows: that's the pair to pin
+		}
+		acc = next
+	}
+	write(dir, "seed-overflow-fallback", entry(acc, comp))
+	write(dir, "seed-geometry-mismatch", entry(c1d, mustCompress(sine(64, 0), p)))
+
+	// --- internal/hzdyn: FuzzHomomorphism([]byte, []byte) ---
+	dir = "internal/hzdyn/testdata/fuzz/FuzzHomomorphism"
+	write(dir, "seed-outlier", entry(
+		floatsToBytes(outlierField(64)),
+		floatsToBytes(sine(64, 0.7))))
+	write(dir, "seed-cancellation", entry(
+		floatsToBytes([]float32{5000, -5000, 2500, -2500}),
+		floatsToBytes([]float32{-5000, 5000, -2500, 2500})))
+
+	// --- internal/conformance ---
+	dir = "internal/conformance/testdata/fuzz/FuzzCompressorOracle"
+	write(dir, "seed-outlier", entry(floatsToBytes(outlierField(96)), uint8(2)))
+	write(dir, "seed-sine", entry(floatsToBytes(sine(128, 0.1)), uint8(1)))
+
+	dir = "internal/conformance/testdata/fuzz/FuzzHomomorphicOracle"
+	write(dir, "seed-outlier", entry(
+		floatsToBytes(outlierField(64)),
+		floatsToBytes(outlierField(64))))
+
+	dir = "internal/conformance/testdata/fuzz/FuzzCollectiveShapes"
+	write(dir, "seed-odd-ranks", entry(uint8(6), uint8(101), int64(3)))
+	write(dir, "seed-empty", entry(uint8(4), uint8(0), int64(4)))
+
+	fmt.Println("corpora regenerated")
+}
