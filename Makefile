@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench fuzz conformance
+.PHONY: build test check bench fuzz conformance chaos
 
 build:
 	$(GO) build ./...
@@ -28,3 +28,11 @@ fuzz:
 conformance:
 	$(GO) test ./internal/conformance ./internal/core -run 'Oracle|Conformance|EdgeShapes' -count=1
 	$(GO) run ./cmd/hzccl-conformance
+
+# chaos exercises the self-healing transport: race-enabled robustness
+# suites (reliable delivery, degradation, chaos schedules), then the
+# conformance oracle and a demo Allreduce on a seeded faulty fabric.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Reliable|Degrad|Barrier|Agree|Corrupt|Fault' . ./internal/cluster ./internal/conformance
+	$(GO) run ./cmd/hzccl-conformance -oracles collective -ranks 4 -n 32768 -chaos 1 -chaos-rate 0.05
+	$(GO) run ./cmd/hzccl-collective -chaos 5 -nodes 6 -message 262144

@@ -20,6 +20,27 @@ type ClusterConfig struct {
 	// 0 selects 12.5e9 (100 Gbps line rate). The experiment harness uses
 	// a lower, calibrated effective bandwidth; see DESIGN.md.
 	BandwidthBytes float64
+	// Fault, when non-nil, is consulted for every point-to-point message
+	// and may drop, duplicate, corrupt or delay it (see Fault, NewChaos).
+	// Leave nil for a healthy fabric.
+	Fault Fault
+	// Corrupt shapes FaultCorrupt injections (nil = single-bit default).
+	Corrupt *CorruptPattern
+	// RecvTimeout bounds the wall-clock time a receive waits for a
+	// message. 0 waits forever; set it in fault-injection runs so a
+	// dropped message surfaces as ErrRecvTimeout instead of a deadlock.
+	RecvTimeout time.Duration
+	// Reliable enables NACK-driven retransmission: corrupted or lost
+	// messages are replayed from a bounded per-link sender window and
+	// duplicates are silently deduplicated, so collectives complete with
+	// correct results on a faulty fabric (at a physically modeled time
+	// cost). Defaults RecvTimeout to 500ms when unset.
+	Reliable bool
+	// RetryBudget caps recovery attempts per message (0 = 8).
+	RetryBudget int
+	// RetryBackoff is the exponential-backoff base charged after each
+	// failed recovery attempt (0 = 20µs of virtual time).
+	RetryBackoff time.Duration
 }
 
 // Backend selects a collective implementation.
@@ -67,6 +88,14 @@ type CollectiveOptions struct {
 	// once per-message latency matters. Supported by BackendMPI and
 	// BackendHZCCL; BackendCColl always rings.
 	Recursive bool
+	// Degrade, when non-nil, enables graceful backend degradation: if the
+	// collective fails (retry budget exhausted, receive timeout), all
+	// ranks agree to retry and, persistently failing, fall back down the
+	// policy's ladder (HZCCL → C-Coll → MPI by default). Requires
+	// ClusterConfig.RecvTimeout > 0. Downgrades are recorded in
+	// RunResult.Degradations and the collective.degradations counter.
+	// Supported by Allreduce, ReduceScatter and Reduce.
+	Degrade *DegradePolicy
 }
 
 func (o CollectiveOptions) core() core.Options {
@@ -95,6 +124,9 @@ type RunResult struct {
 	// BreakdownShares instead when printing: map iteration order varies
 	// run to run.
 	Breakdown map[string]float64
+	// Degradations records every backend downgrade a DegradePolicy
+	// performed during the run, ordered by rank then occurrence.
+	Degradations []Degradation
 }
 
 // BreakdownShare is one category's absolute and fractional share of a
@@ -128,7 +160,8 @@ func (r *RunResult) BreakdownShares() []BreakdownShare {
 // Rank is one simulated process inside RunCluster. Its methods must only
 // be called from the rank's own body function.
 type Rank struct {
-	r *cluster.Rank
+	r   *cluster.Rank
+	rec *degradeRecorder
 }
 
 // ID returns this rank's index in [0, Size).
@@ -143,8 +176,11 @@ func (r *Rank) Send(to int, data []byte) error { return r.r.Send(to, data) }
 // Recv blocks for the next message from a peer.
 func (r *Rank) Recv(from int) ([]byte, error) { return r.r.Recv(from) }
 
-// Barrier synchronizes all ranks and their virtual clocks.
-func (r *Rank) Barrier() { r.r.Barrier() }
+// Barrier synchronizes all ranks and their virtual clocks. If a peer
+// rank exits before reaching the barrier, the remaining ranks abort with
+// an error (wrapping ErrPeerFailed) instead of waiting forever; with
+// RecvTimeout set the wait is additionally deadline-bounded.
+func (r *Rank) Barrier() error { return r.r.Barrier() }
 
 // Quiesce runs f without charging virtual time, serialized against other
 // ranks' measured compute. Stage inputs and post-process outputs inside
@@ -156,6 +192,13 @@ func (r *Rank) Quiesce(f func()) { r.r.Quiesce(f) }
 // reduced vector, using the selected backend. All ranks must call it with
 // equal-length data.
 func (r *Rank) Allreduce(data []float32, b Backend, opt CollectiveOptions) ([]float32, error) {
+	if opt.Degrade != nil {
+		return r.runDegradable(b, opt, "allreduce", func(eff Backend) ([]float32, error) {
+			o := opt
+			o.Degrade = nil
+			return r.Allreduce(data, eff, o)
+		})
+	}
 	c := core.New(opt.core())
 	switch b {
 	case BackendCColl:
@@ -181,6 +224,13 @@ func (r *Rank) Allreduce(data []float32, b Backend, opt CollectiveOptions) ([]fl
 // ReduceScatter sums data element-wise across all ranks and returns this
 // rank's owned block of the result (see OwnedBlock for its index).
 func (r *Rank) ReduceScatter(data []float32, b Backend, opt CollectiveOptions) ([]float32, error) {
+	if opt.Degrade != nil {
+		return r.runDegradable(b, opt, "reduce_scatter", func(eff Backend) ([]float32, error) {
+			o := opt
+			o.Degrade = nil
+			return r.ReduceScatter(data, eff, o)
+		})
+	}
 	c := core.New(opt.core())
 	switch b {
 	case BackendCColl:
@@ -208,20 +258,28 @@ func (r *Rank) OwnedBlock(dataLen int) (index, start, end int) {
 // returns the virtual-time result. If any rank's body returns an error,
 // RunCluster returns the first one after all ranks finish.
 func RunCluster(cfg ClusterConfig, body func(*Rank) error) (*RunResult, error) {
+	rec := &degradeRecorder{}
 	res, err := cluster.Run(cluster.Config{
 		Ranks:          cfg.Ranks,
 		Latency:        cfg.Latency,
 		BandwidthBytes: cfg.BandwidthBytes,
+		Fault:          cfg.Fault,
+		Corrupt:        cfg.Corrupt,
+		RecvTimeout:    cfg.RecvTimeout,
+		Reliable:       cfg.Reliable,
+		RetryBudget:    cfg.RetryBudget,
+		RetryBackoff:   cfg.RetryBackoff,
 	}, func(cr *cluster.Rank) error {
-		return body(&Rank{r: cr})
+		return body(&Rank{r: cr, rec: rec})
 	})
 	if res == nil {
 		return nil, err
 	}
 	out := &RunResult{
-		Seconds:     res.Time,
-		RankSeconds: res.RankTimes,
-		Breakdown:   make(map[string]float64, len(res.Breakdown)),
+		Seconds:      res.Time,
+		RankSeconds:  res.RankTimes,
+		Breakdown:    make(map[string]float64, len(res.Breakdown)),
+		Degradations: rec.take(),
 	}
 	for k, v := range res.Breakdown {
 		out.Breakdown[string(k)] = v

@@ -18,7 +18,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
+	"hzccl/internal/cluster"
 	"hzccl/internal/conformance"
 	"hzccl/internal/core"
 	"hzccl/internal/datasets"
@@ -89,18 +91,37 @@ func main() {
 		n       = flag.Int("n", 1<<16, "elements per synthetic dataset (catalog mode)")
 		which   = flag.String("oracles", "compressor,homomorphic,collective",
 			"comma-separated oracle subset to run")
-		verbose = flag.Bool("v", false, "print per-input pass lines")
+		verbose   = flag.Bool("v", false, "print per-input pass lines")
+		chaosSeed = flag.Int64("chaos", 0, "run the collective oracle over a faulty fabric seeded with this value (0 = healthy fabric)")
+		chaosRate = flag.Float64("chaos-rate", 0.03, "per-class fault probability (drop/corrupt/duplicate/delay) for -chaos")
 	)
 	flag.Parse()
-	if err := run(*eb, *abs, *threads, *ranks, *n, *which, *verbose, flag.Args()); err != nil {
+	if err := run(*eb, *abs, *threads, *ranks, *n, *which, *verbose, *chaosSeed, *chaosRate, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "hzccl-conformance: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(eb float64, abs bool, threads, ranks, n int, which string, verbose bool, args []string) error {
+func run(eb float64, abs bool, threads, ranks, n int, which string, verbose bool, chaosSeed int64, chaosRate float64, args []string) error {
 	if eb <= 0 {
 		return fmt.Errorf("-eb must be positive")
+	}
+	if chaosRate < 0 || chaosRate > 0.2 {
+		return fmt.Errorf("-chaos-rate must be in [0, 0.2] (four classes share one draw)")
+	}
+	// With -chaos the collective oracle runs over a seeded faulty fabric
+	// with reliable delivery on: the contract must hold anyway, proving the
+	// self-healing transport end to end on real data.
+	var chaos *cluster.Chaos
+	if chaosSeed != 0 {
+		chaos = cluster.NewChaos(cluster.ChaosSpec{
+			Seed:            chaosSeed,
+			DropRate:        chaosRate,
+			CorruptRate:     chaosRate,
+			DuplicateRate:   chaosRate,
+			DelayRate:       chaosRate,
+			MaxDelaySeconds: 20e-6,
+		})
 	}
 	enabled := map[string]bool{}
 	for _, w := range strings.Split(which, ",") {
@@ -156,6 +177,12 @@ func run(eb float64, abs bool, threads, ranks, n int, which string, verbose bool
 		}
 		if enabled["collective"] {
 			o := conformance.CollectiveOracle{Opt: core.Options{ErrorBound: ebAbs}}
+			if chaos != nil {
+				o.Fault = chaos.Fault()
+				o.Reliable = true
+				o.RecvTimeout = 200 * time.Millisecond
+				o.Corrupt = &cluster.CorruptPattern{Spray: true, Burst: 2}
+			}
 			gen := func(rank int) []float32 {
 				return rotate(in.data, rank*len(in.data)/ranks)
 			}
@@ -172,6 +199,11 @@ func run(eb float64, abs bool, threads, ranks, n int, which string, verbose bool
 		}
 	}
 
+	if chaos != nil {
+		c := chaos.Counts()
+		fmt.Printf("chaos: %d faults injected (%d drops, %d corrupts, %d duplicates, %d delays), all healed\n",
+			c.Total(), c.Drops, c.Corrupts, c.Duplicates, c.Delays)
+	}
 	fmt.Printf("%d inputs, %d checks, %d failures\n", len(inputs), totalChecks, totalFailures)
 	if totalFailures > 0 {
 		return fmt.Errorf("%d contract violations", totalFailures)

@@ -28,6 +28,13 @@ func (r *Rank) Broadcast(data []float32, root int, b Backend, opt CollectiveOpti
 // Reduce sums data element-wise across ranks at root. Only the root
 // receives a non-nil result.
 func (r *Rank) Reduce(data []float32, root int, b Backend, opt CollectiveOptions) ([]float32, error) {
+	if opt.Degrade != nil {
+		return r.runDegradable(b, opt, "reduce", func(eff Backend) ([]float32, error) {
+			o := opt
+			o.Degrade = nil
+			return r.Reduce(data, root, eff, o)
+		})
+	}
 	c := core.New(opt.core())
 	switch b {
 	case BackendMPI:

@@ -1,0 +1,183 @@
+package hzccl
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"hzccl/internal/cluster"
+	"hzccl/internal/telemetry"
+)
+
+// Graceful degradation: when a compressed backend repeatedly fails on a
+// faulty fabric (retry budgets exhaust, peers time out), the collective
+// falls back one rung down a backend ladder — BackendHZCCL → BackendCColl
+// → BackendMPI by default — and retries the whole operation. All ranks
+// must take the fallback together or the collective diverges (a ring can
+// complete on some ranks while others fail), so each attempt ends with a
+// message-free max-consensus over the per-rank outcome (AgreeMax, built
+// on barrier machinery and therefore immune to injected message faults):
+// every rank proposes ok / retry / abort, all adopt the maximum, and a
+// retry advances the message epoch so stale traffic from the abandoned
+// attempt is discarded rather than confused with the new attempt's.
+
+// mDegradations counts every backend downgrade performed by a
+// DegradePolicy, across all ranks and runs.
+var mDegradations = telemetry.C("collective.degradations")
+
+// DegradePolicy enables graceful backend degradation for a collective
+// call (set it as CollectiveOptions.Degrade).
+type DegradePolicy struct {
+	// Ladder is the ordered fallback sequence, starting at the requested
+	// backend. Empty selects the default ladder for the requested backend:
+	// HZCCL → C-Coll → MPI (shorter for lower starting rungs).
+	Ladder []Backend
+	// AttemptsPerBackend is how many times each rung is retried before
+	// descending (0 = 2). Retries on the same rung handle transient
+	// faults; descending handles persistent ones.
+	AttemptsPerBackend int
+}
+
+// Degradation records one backend downgrade performed during a run.
+type Degradation struct {
+	// Rank is the rank that recorded the downgrade (all ranks degrade
+	// together; each records its own entry).
+	Rank int
+	// Op names the collective ("allreduce", "reduce_scatter", "reduce").
+	Op string
+	// From and To are the rungs descended between.
+	From, To Backend
+	// Reason is the error that drove the final attempt on From, if this
+	// rank observed one ("peer-driven" when only a peer failed).
+	Reason string
+}
+
+func (d Degradation) String() string {
+	return fmt.Sprintf("rank %d %s: %s → %s (%s)", d.Rank, d.Op, d.From, d.To, d.Reason)
+}
+
+// degradeRecorder collects Degradation records from all ranks of one run.
+type degradeRecorder struct {
+	mu  sync.Mutex
+	log []Degradation
+}
+
+func (rec *degradeRecorder) record(d Degradation) {
+	mDegradations.Inc()
+	rec.mu.Lock()
+	rec.log = append(rec.log, d)
+	rec.mu.Unlock()
+}
+
+// take returns the records ordered by rank (then occurrence).
+func (rec *degradeRecorder) take() []Degradation {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	out := make([]Degradation, len(rec.log))
+	copy(out, rec.log)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out
+}
+
+// defaultLadder is the fallback sequence starting at b: each rung trades
+// compression benefit for simpler, more robust data movement.
+func defaultLadder(b Backend) []Backend {
+	switch b {
+	case BackendHZCCL:
+		return []Backend{BackendHZCCL, BackendCColl, BackendMPI}
+	case BackendCColl:
+		return []Backend{BackendCColl, BackendMPI}
+	default:
+		return []Backend{BackendMPI}
+	}
+}
+
+// Per-attempt outcome statuses agreed across ranks; the maximum wins.
+const (
+	agreeOK    = 0 // attempt succeeded everywhere → deliver results
+	agreeRetry = 1 // someone failed recoverably → retry / descend
+	agreeAbort = 2 // someone failed non-degradably → abort the collective
+)
+
+// degradable reports whether failing with err should trigger a retry on
+// a lower rung (true) or abort the collective outright (false).
+func degradable(err error) bool {
+	// A structural misuse (bad peer index, mismatched epochs) will fail
+	// identically on every rung; retrying just burns the ladder.
+	return !errors.Is(err, cluster.ErrBadPeer)
+}
+
+// runDegradable runs one collective under a DegradePolicy: attempt,
+// agree on the outcome with all ranks, and retry or descend the ladder
+// until a rung succeeds everywhere or the ladder is exhausted.
+func (r *Rank) runDegradable(b Backend, opt CollectiveOptions, op string, run func(Backend) ([]float32, error)) ([]float32, error) {
+	pol := opt.Degrade
+	ladder := pol.Ladder
+	if len(ladder) == 0 {
+		ladder = defaultLadder(b)
+	}
+	attempts := pol.AttemptsPerBackend
+	if attempts <= 0 {
+		attempts = 2
+	}
+	if r.r.Config().RecvTimeout <= 0 {
+		// Without a receive deadline a rank that abandons an attempt
+		// leaves its peers blocked forever; refuse rather than deadlock.
+		return nil, fmt.Errorf("hzccl: DegradePolicy requires ClusterConfig.RecvTimeout > 0 (an abandoned attempt must time out, not deadlock)")
+	}
+
+	rung, tries := 0, 0
+	var lastErr error
+	for {
+		out, err := run(ladder[rung])
+		lastErr = err
+		status := agreeOK
+		if err != nil {
+			status = agreeRetry
+			if !degradable(err) {
+				status = agreeAbort
+			}
+		}
+		agreed, aerr := r.r.AgreeMax(status)
+		if aerr != nil {
+			// Consensus itself failed (peer exited): nothing to salvage.
+			if err != nil {
+				return nil, fmt.Errorf("hzccl: %s degradation consensus failed: %v (local error: %w)", op, aerr, err)
+			}
+			return nil, fmt.Errorf("hzccl: %s degradation consensus failed: %w", op, aerr)
+		}
+		switch agreed {
+		case agreeOK:
+			return out, nil
+		case agreeAbort:
+			if err == nil {
+				err = fmt.Errorf("hzccl: %s aborted by a peer's non-degradable failure", op)
+			}
+			return nil, err
+		}
+		// agreeRetry: discard the abandoned attempt's in-flight traffic,
+		// then either retry this rung or descend.
+		r.r.AdvanceEpoch()
+		tries++
+		if tries >= attempts {
+			if rung+1 >= len(ladder) {
+				if err == nil {
+					err = fmt.Errorf("hzccl: %s failed on every backend in the ladder (last rung %s)", op, ladder[rung])
+				}
+				return nil, fmt.Errorf("hzccl: %s degradation ladder exhausted: %w", op, err)
+			}
+			reason := "peer-driven"
+			if lastErr != nil {
+				reason = lastErr.Error()
+			}
+			if r.rec != nil {
+				r.rec.record(Degradation{Rank: r.ID(), Op: op, From: ladder[rung], To: ladder[rung+1], Reason: reason})
+			} else {
+				mDegradations.Inc()
+			}
+			rung++
+			tries = 0
+		}
+	}
+}

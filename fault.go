@@ -1,0 +1,79 @@
+package hzccl
+
+import "hzccl/internal/cluster"
+
+// Fault injection, message integrity and chaos testing at the public API.
+//
+// These are aliases of the cluster substrate's types, so fault hooks,
+// corruption patterns and chaos schedules written against the public API
+// interoperate with the internal test oracles. Install a hook via
+// ClusterConfig.Fault; enable recovery via ClusterConfig.Reliable.
+
+// Fault decides the fate of each point-to-point message. It runs on the
+// sender's goroutine and must be safe for concurrent use from all ranks.
+// The returned seconds are only used with FaultDelay.
+type Fault = cluster.Fault
+
+// FaultContext identifies one point-to-point message for the fault hook.
+type FaultContext = cluster.FaultContext
+
+// FaultAction is the fate a fault hook assigns to one message.
+type FaultAction = cluster.FaultAction
+
+// Fault actions.
+const (
+	FaultDeliver   = cluster.FaultDeliver
+	FaultDrop      = cluster.FaultDrop
+	FaultDuplicate = cluster.FaultDuplicate
+	FaultCorrupt   = cluster.FaultCorrupt
+	FaultDelay     = cluster.FaultDelay
+)
+
+// CorruptPattern configures how FaultCorrupt damages payloads (byte
+// offset, XOR mask, multi-byte bursts, or deterministic spray).
+type CorruptPattern = cluster.CorruptPattern
+
+// ChaosSpec configures a seeded probabilistic fault schedule.
+type ChaosSpec = cluster.ChaosSpec
+
+// Chaos is a reusable seeded fault schedule with injection counters.
+type Chaos = cluster.Chaos
+
+// ChaosCounts tallies the faults a Chaos actually injected.
+type ChaosCounts = cluster.ChaosCounts
+
+// NewChaos builds a chaos schedule; install its Fault() as
+// ClusterConfig.Fault.
+func NewChaos(spec ChaosSpec) *Chaos { return cluster.NewChaos(spec) }
+
+// FaultOn builds a hook applying action (with the given delay seconds,
+// for FaultDelay) to every message matching the predicate.
+func FaultOn(pred func(FaultContext) bool, action FaultAction, delay float64) Fault {
+	return cluster.FaultOn(pred, action, delay)
+}
+
+// OnLink is a predicate matching the seq-th message from rank `from` to
+// rank `to`.
+func OnLink(from, to, seq int) func(FaultContext) bool { return cluster.OnLink(from, to, seq) }
+
+// Transport errors surfaced by runs over a faulty fabric. Match with
+// errors.Is.
+var (
+	// ErrMessageCorrupt: a payload no longer matches its checksum.
+	ErrMessageCorrupt = cluster.ErrMessageCorrupt
+	// ErrMessageLost: a sequence gap was observed.
+	ErrMessageLost = cluster.ErrMessageLost
+	// ErrMessageDuplicate: an already-consumed sequence number arrived
+	// (strict mode only; reliable mode dedups silently).
+	ErrMessageDuplicate = cluster.ErrMessageDuplicate
+	// ErrRecvTimeout: no message arrived within ClusterConfig.RecvTimeout.
+	ErrRecvTimeout = cluster.ErrRecvTimeout
+	// ErrPeerFailed: the sending rank exited before providing a message.
+	ErrPeerFailed = cluster.ErrPeerFailed
+	// ErrRetryBudgetExhausted: reliable delivery gave up on a message
+	// after ClusterConfig.RetryBudget recovery attempts.
+	ErrRetryBudgetExhausted = cluster.ErrRetryBudgetExhausted
+	// ErrRetransmitGone: a NACKed message was already evicted from the
+	// sender's bounded retransmit window.
+	ErrRetransmitGone = cluster.ErrRetransmitGone
+)

@@ -1,0 +1,139 @@
+package cluster
+
+// Chaos: seeded, probabilistic fault schedules for robustness testing.
+//
+// A Chaos assigns every message (identified by link, sequence number,
+// epoch and delivery attempt) a fate drawn from configurable loss,
+// corruption, duplication and delay rates. The draw is a pure hash of
+// the seed and the message identity — no shared RNG state — so a
+// schedule is exactly reproducible regardless of goroutine interleaving,
+// and a retransmission of a faulted message gets an independent draw
+// (otherwise a dropped message would be dropped on every replay and no
+// retry budget could ever recover it).
+
+import "sync/atomic"
+
+// ChaosSpec configures a probabilistic fault schedule.
+type ChaosSpec struct {
+	// Seed selects the schedule; the same seed reproduces the same fate
+	// for every message identity.
+	Seed int64
+	// DropRate, CorruptRate, DuplicateRate and DelayRate are independent
+	// probabilities in [0, 1]; their sum must be ≤ 1 (one uniform draw is
+	// matched against the cumulative ranges, so at most one fault applies
+	// per delivery attempt).
+	DropRate, CorruptRate, DuplicateRate, DelayRate float64
+	// MaxDelaySeconds bounds injected delays: a delayed message arrives up
+	// to this many (virtual) seconds late, uniform in (0, MaxDelaySeconds].
+	// 0 selects 100µs.
+	MaxDelaySeconds float64
+	// MaxFaults caps the total number of injected faults across the run
+	// (0 = unlimited). Useful to bound worst-case recovery time in tests.
+	MaxFaults int64
+}
+
+// ChaosCounts tallies the faults a Chaos actually injected.
+type ChaosCounts struct {
+	Drops, Corrupts, Duplicates, Delays int64
+}
+
+// Total returns the combined number of injected faults.
+func (c ChaosCounts) Total() int64 {
+	return c.Drops + c.Corrupts + c.Duplicates + c.Delays
+}
+
+// Chaos is a reusable fault schedule; install Fault() as Config.Fault.
+// It is safe for concurrent use from all ranks.
+type Chaos struct {
+	spec                                ChaosSpec
+	drops, corrupts, duplicates, delays atomic.Int64
+}
+
+// NewChaos builds a chaos schedule from the spec.
+func NewChaos(spec ChaosSpec) *Chaos {
+	if spec.MaxDelaySeconds == 0 {
+		spec.MaxDelaySeconds = 100e-6
+	}
+	return &Chaos{spec: spec}
+}
+
+// Counts returns the faults injected so far.
+func (x *Chaos) Counts() ChaosCounts {
+	return ChaosCounts{
+		Drops:      x.drops.Load(),
+		Corrupts:   x.corrupts.Load(),
+		Duplicates: x.duplicates.Load(),
+		Delays:     x.delays.Load(),
+	}
+}
+
+// take consumes one slot of the MaxFaults cap, reporting whether the
+// fault may be injected.
+func (x *Chaos) take() bool {
+	if x.spec.MaxFaults <= 0 {
+		return true
+	}
+	total := x.drops.Load() + x.corrupts.Load() + x.duplicates.Load() + x.delays.Load()
+	return total < x.spec.MaxFaults
+}
+
+// Fault returns the fault hook implementing the schedule.
+func (x *Chaos) Fault() Fault {
+	s := x.spec
+	return func(fc FaultContext) (FaultAction, float64) {
+		h := chaosHash(s.Seed, fc)
+		u := u01(h)
+		switch {
+		case u < s.DropRate:
+			if !x.take() {
+				return FaultDeliver, 0
+			}
+			x.drops.Add(1)
+			return FaultDrop, 0
+		case u < s.DropRate+s.CorruptRate:
+			if !x.take() {
+				return FaultDeliver, 0
+			}
+			x.corrupts.Add(1)
+			return FaultCorrupt, 0
+		case u < s.DropRate+s.CorruptRate+s.DuplicateRate:
+			if !x.take() {
+				return FaultDeliver, 0
+			}
+			x.duplicates.Add(1)
+			return FaultDuplicate, 0
+		case u < s.DropRate+s.CorruptRate+s.DuplicateRate+s.DelayRate:
+			if !x.take() {
+				return FaultDeliver, 0
+			}
+			x.delays.Add(1)
+			return FaultDelay, s.MaxDelaySeconds * u01(splitmix64(h))
+		}
+		return FaultDeliver, 0
+	}
+}
+
+// splitmix64 is the SplitMix64 mixing function: a cheap, well-distributed
+// 64-bit permutation.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// chaosHash derives a reproducible 64-bit value from a seed and one
+// message identity (link, sequence, epoch, attempt).
+func chaosHash(seed int64, fc FaultContext) uint64 {
+	x := uint64(seed)
+	for _, v := range [...]uint64{
+		uint64(fc.From), uint64(fc.To), uint64(fc.Seq),
+		uint64(fc.Epoch), uint64(fc.Attempt),
+	} {
+		x = splitmix64(x ^ splitmix64(v))
+	}
+	return splitmix64(x)
+}
+
+// u01 maps a 64-bit hash onto [0, 1).
+func u01(h uint64) float64 { return float64(h>>11) / (1 << 53) }

@@ -68,6 +68,27 @@ type Config struct {
 	// 0 (the default) waits forever. Set it in fault-injection runs so a
 	// dropped message surfaces as ErrRecvTimeout instead of a deadlock.
 	RecvTimeout time.Duration
+	// Corrupt shapes FaultCorrupt injections. Nil keeps the legacy
+	// single-bit pattern (bit 5 of the middle byte); see CorruptPattern.
+	Corrupt *CorruptPattern
+	// Reliable enables the NACK-driven retransmission layer (reliable.go):
+	// senders keep a bounded per-link replay window, the receiver recovers
+	// corrupted/lost messages by requesting a replay (with exponential
+	// backoff and a retry budget), and duplicate sequence numbers are
+	// silently deduplicated instead of erroring. Drop recovery requires
+	// RecvTimeout; enabling Reliable defaults it to 500ms when unset.
+	Reliable bool
+	// RetryBudget is the maximum number of recovery attempts per message
+	// before Recv gives up with ErrRetryBudgetExhausted. 0 selects 8.
+	RetryBudget int
+	// RetryBackoff is the base of the exponential backoff charged (as MPI
+	// virtual time, on the stalled receiver) after each failed recovery
+	// attempt: attempt k waits RetryBackoff·2^(k−1). 0 selects 20µs.
+	RetryBackoff time.Duration
+	// RetxWindow is how many recent messages each sender retains per link
+	// for replay. A NACK for an evicted message fails with
+	// ErrRetransmitGone. 0 selects 128.
+	RetxWindow int
 }
 
 func (c Config) withDefaults() Config {
@@ -77,7 +98,30 @@ func (c Config) withDefaults() Config {
 	if c.BandwidthBytes == 0 {
 		c.BandwidthBytes = 12.5e9
 	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 8
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 20 * time.Microsecond
+	}
+	if c.RetxWindow == 0 {
+		c.RetxWindow = 128
+	}
+	if c.Reliable && c.RecvTimeout == 0 {
+		c.RecvTimeout = 500 * time.Millisecond
+	}
 	return c
+}
+
+// agreeTimeout bounds Barrier/AgreeMax waits: a peer may legitimately
+// spend up to RetryBudget receive timeouts in recovery before arriving,
+// so the deadline scales with the budget. 0 (no RecvTimeout) waits until
+// a rank exits.
+func (c Config) agreeTimeout() time.Duration {
+	if c.RecvTimeout <= 0 {
+		return 0
+	}
+	return c.RecvTimeout * time.Duration(c.RetryBudget+2)
 }
 
 // Result aggregates a finished run.
@@ -168,11 +212,13 @@ type message struct {
 	sentAt float64
 	// from is the sender rank, seq its 0-based ordinal on the (from, to)
 	// link, sum the payload crc32c and delay extra modeled in-flight
-	// seconds (fault injection).
+	// seconds (fault injection). epoch tags the message with the sender's
+	// AdvanceEpoch generation so aborted-attempt traffic can be discarded.
 	from  int
 	seq   int
 	sum   uint32
 	delay float64
+	epoch int
 }
 
 // Cluster owns the mailboxes and barrier state for one run.
@@ -187,6 +233,22 @@ type Cluster struct {
 	barrierGen  int
 	barrierIn   int
 	barrierMax  float64
+	// barrierVal accumulates the max of the values contributed to the
+	// in-progress AgreeMax generation; barrierOutMax/barrierOutVal latch
+	// the released generation's results so late leavers are not affected
+	// by ranks already entering the next one.
+	barrierVal    int
+	barrierOutMax float64
+	barrierOutVal int
+	// exited counts ranks whose body has returned. A positive count while
+	// a barrier generation is incomplete means it can never complete, so
+	// waiters abort instead of hanging.
+	exited int
+
+	// retx holds the per-link sender-side retransmit windows of the
+	// reliable-delivery layer (reliable.go).
+	retxMu sync.Mutex
+	retx   map[[2]int]*retxWindow
 
 	// trace, when non-nil, records every virtual-time advance (set by
 	// NewTraced).
@@ -200,16 +262,22 @@ type Cluster struct {
 }
 
 // closeOutgoing marks rank id as finished and closes every mailbox it
-// feeds.
+// feeds. It also wakes barrier waiters: a barrier generation missing an
+// exited rank can never complete, so waiting on it would deadlock.
 func (c *Cluster) closeOutgoing(id int) {
 	c.mailMu.Lock()
-	defer c.mailMu.Unlock()
 	c.done[id] = true
 	for key, ch := range c.mail {
 		if key[0] == id {
 			close(ch)
 		}
 	}
+	c.mailMu.Unlock()
+
+	c.barrierMu.Lock()
+	c.exited++
+	c.barrierCond.Broadcast()
+	c.barrierMu.Unlock()
 }
 
 // New creates a cluster with the given configuration.
@@ -221,6 +289,7 @@ func New(cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		cfg:   cfg,
 		mail:  make(map[[2]int]chan message),
+		retx:  make(map[[2]int]*retxWindow),
 		epoch: time.Now(),
 		done:  make([]bool, cfg.Ranks),
 	}
@@ -275,6 +344,7 @@ func (c *Cluster) Run(body func(*Rank) error) (*Result, error) {
 		r := &Rank{
 			ID: i, N: n, c: c, breakdown: make(map[Category]float64),
 			sendSeq: make([]int, n), recvSeq: make([]int, n),
+			pending: make([]map[int]message, n),
 		}
 		ranks[i] = r
 		go func(r *Rank, i int) {
@@ -339,7 +409,18 @@ type Rank struct {
 	// goroutine.
 	sendSeq []int
 	recvSeq []int
+	// epoch is this rank's AdvanceEpoch generation; messages from older
+	// epochs are silently discarded by Recv.
+	epoch int
+	// pending[from] retains messages that arrived ahead of the expected
+	// sequence number (a loss was detected before them) so they can be
+	// redelivered in order instead of being sacrificed with the lost one.
+	pending []map[int]message
 }
+
+// Config returns the cluster configuration (with defaults applied) the
+// rank is running under.
+func (r *Rank) Config() Config { return r.c.cfg }
 
 // ErrBadPeer is returned when a peer rank index is out of range.
 var ErrBadPeer = errors.New("cluster: peer rank out of range")
@@ -434,13 +515,18 @@ func (r *Rank) Send(to int, data []byte) error {
 	if to == r.ID {
 		return fmt.Errorf("%w: self-send", ErrBadPeer)
 	}
-	m := message{sentAt: r.now, from: r.ID, seq: r.sendSeq[to]}
+	m := message{sentAt: r.now, from: r.ID, seq: r.sendSeq[to], epoch: r.epoch}
 	r.sendSeq[to]++
 	r.Quiesce(func() {
 		m.data = make([]byte, len(data))
 		copy(m.data, data)
 		m.sum = checksum(m.data)
 	})
+	if r.c.cfg.Reliable {
+		// Record the pristine payload in the per-link replay window before
+		// the fault hook can damage or drop it.
+		r.c.recordRetx(r.ID, to, m.seq, m.epoch, m.data, m.sum)
+	}
 	copies, dropped := r.c.applyFault(&m, to)
 	if dropped {
 		return nil
@@ -456,11 +542,17 @@ func (r *Rank) Send(to int, data []byte) error {
 // payload. The rank's clock advances to the modeled arrival time
 // max(now, sentAt + α + len/β), with the advance charged to MPI.
 //
-// Recv verifies message integrity: a checksum mismatch returns
-// ErrMessageCorrupt, a sequence gap ErrMessageLost and a replayed
-// sequence number ErrMessageDuplicate. With Config.RecvTimeout set, a
-// message that never arrives returns ErrRecvTimeout instead of blocking
-// forever.
+// In the default (strict) mode Recv verifies message integrity and
+// surfaces every violation: a checksum mismatch returns
+// ErrMessageCorrupt, a sequence gap ErrMessageLost (the later message is
+// retained and redelivered by the next Recv) and a replayed sequence
+// number ErrMessageDuplicate. With Config.RecvTimeout set, a message
+// that never arrives returns ErrRecvTimeout instead of blocking forever.
+//
+// With Config.Reliable set, Recv instead *recovers*: corrupted or lost
+// messages are NACKed and replayed from the sender's retransmit window
+// (bounded by RetryBudget, with exponential backoff), and duplicates are
+// silently deduplicated. See reliable.go.
 func (r *Rank) Recv(from int) ([]byte, error) {
 	if from < 0 || from >= r.N {
 		return nil, fmt.Errorf("%w: recv from %d of %d", ErrBadPeer, from, r.N)
@@ -468,13 +560,58 @@ func (r *Rank) Recv(from int) ([]byte, error) {
 	if from == r.ID {
 		return nil, fmt.Errorf("%w: self-recv", ErrBadPeer)
 	}
-	m, ok, err := r.c.recvMessage(r.c.chanFor(from, r.ID))
-	if err != nil {
-		return nil, fmt.Errorf("%w: from rank %d after %v", err, from, r.c.cfg.RecvTimeout)
+	if r.c.cfg.Reliable {
+		return r.recvReliable(from)
 	}
-	if !ok {
-		return nil, fmt.Errorf("%w: rank %d", ErrPeerFailed, from)
+	return r.recvStrict(from)
+}
+
+// recvStrict is the fail-fast receive path: every integrity violation is
+// reported to the caller.
+func (r *Rank) recvStrict(from int) ([]byte, error) {
+	want := r.recvSeq[from]
+	if m, ok := r.takePending(from, want); ok {
+		r.recvSeq[from] = want + 1
+		return r.verifyPayload(m, from)
 	}
+	ch := r.c.chanFor(from, r.ID)
+	for {
+		m, ok, err := r.c.recvMessage(ch)
+		if err != nil {
+			return nil, fmt.Errorf("%w: from rank %d after %v", err, from, r.c.cfg.RecvTimeout)
+		}
+		if !ok {
+			return nil, fmt.Errorf("%w: rank %d", ErrPeerFailed, from)
+		}
+		// The bytes moved (and were charged) regardless; integrity failures
+		// surface after the clock advance so timing stays physical.
+		r.chargeArrival(m)
+		if m.epoch != r.epoch {
+			if m.epoch < r.epoch {
+				mDedups.Inc() // stale traffic from an aborted attempt
+				continue
+			}
+			return nil, fmt.Errorf("cluster: rank %d got epoch %d message from rank %d while in epoch %d (AdvanceEpoch must be globally synchronized)",
+				r.ID, m.epoch, from, r.epoch)
+		}
+		switch {
+		case m.seq < want:
+			return nil, fmt.Errorf("%w: from rank %d, seq %d already consumed", ErrMessageDuplicate, from, m.seq)
+		case m.seq > want:
+			// Retain the later message: only the lost one is sacrificed,
+			// and the next Recv redelivers this payload in order.
+			r.stashPending(from, m)
+			r.recvSeq[from] = want + 1
+			return nil, fmt.Errorf("%w: from rank %d, expected seq %d got %d (later message retained)", ErrMessageLost, from, want, m.seq)
+		}
+		r.recvSeq[from] = want + 1
+		return r.verifyPayload(m, from)
+	}
+}
+
+// chargeArrival advances the virtual clock to the modeled arrival time of
+// m, charging the advance to MPI.
+func (r *Rank) chargeArrival(m message) {
 	arrive := m.sentAt + m.delay + r.c.cfg.Latency.Seconds() + float64(len(m.data))/r.c.cfg.BandwidthBytes
 	if arrive > r.now {
 		if tr := r.c.trace; tr != nil {
@@ -483,23 +620,56 @@ func (r *Rank) Recv(from int) ([]byte, error) {
 		r.breakdown[CatMPI] += arrive - r.now
 		r.now = arrive
 	}
-	// The bytes moved (and were charged) regardless; integrity failures
-	// surface after the clock advance so timing stays physical.
-	want := r.recvSeq[from]
-	switch {
-	case m.seq < want:
-		return nil, fmt.Errorf("%w: from rank %d, seq %d already consumed", ErrMessageDuplicate, from, m.seq)
-	case m.seq > want:
-		r.recvSeq[from] = m.seq + 1
-		return nil, fmt.Errorf("%w: from rank %d, expected seq %d got %d", ErrMessageLost, from, want, m.seq)
-	}
-	r.recvSeq[from] = m.seq + 1
+}
+
+// verifyPayload checks m's checksum and returns its payload.
+func (r *Rank) verifyPayload(m message, from int) ([]byte, error) {
 	var sum uint32
 	r.Quiesce(func() { sum = checksum(m.data) })
 	if sum != m.sum {
 		return nil, fmt.Errorf("%w: from rank %d, seq %d, %d bytes", ErrMessageCorrupt, from, m.seq, len(m.data))
 	}
 	return m.data, nil
+}
+
+// stashPending retains an ahead-of-sequence message for in-order
+// redelivery. Only current-epoch messages are stashed.
+func (r *Rank) stashPending(from int, m message) {
+	if r.pending[from] == nil {
+		r.pending[from] = make(map[int]message)
+	}
+	r.pending[from][m.seq] = m
+}
+
+// takePending removes and returns the retained message with the given
+// sequence number, if any.
+func (r *Rank) takePending(from, seq int) (message, bool) {
+	m, ok := r.pending[from][seq]
+	if ok {
+		delete(r.pending[from], seq)
+	}
+	return m, ok
+}
+
+// AdvanceEpoch moves this rank into the next message epoch: per-link
+// sequence numbers reset, in-flight messages from older epochs are
+// silently discarded by Recv, and this rank's retransmit windows are
+// cleared. Collectives use it to retry on a clean slate after a failed
+// attempt. All ranks must advance together at a synchronization point
+// (Barrier or AgreeMax) — an epoch from the future observed by Recv is a
+// protocol error.
+func (r *Rank) AdvanceEpoch() {
+	r.epoch++
+	for i := range r.sendSeq {
+		r.sendSeq[i] = 0
+	}
+	for i := range r.recvSeq {
+		r.recvSeq[i] = 0
+	}
+	for i := range r.pending {
+		r.pending[i] = nil
+	}
+	r.c.clearRetx(r.ID)
 }
 
 // SendRecv posts a send to `to` and then receives from `from`, the
@@ -512,16 +682,42 @@ func (r *Rank) SendRecv(to int, data []byte, from int) ([]byte, error) {
 }
 
 // Barrier synchronizes all ranks and their clocks: everyone leaves at
-// max(clock) + α·ceil(log2 N), the cost of a tree barrier. Unlike Recv,
-// Barrier has no failure propagation: if a peer exits before reaching it,
-// the remaining ranks wait forever — barrier after a possible failure is
-// an application-protocol error.
-func (r *Rank) Barrier() {
+// max(clock) + α·ceil(log2 N), the cost of a tree barrier. If a peer
+// exits (its body returns) before reaching the barrier, the remaining
+// ranks abort with an ErrPeerFailed-wrapped error instead of waiting
+// forever; with Config.RecvTimeout set, the wait is additionally bounded
+// by a deadline scaled to the retry budget.
+func (r *Rank) Barrier() error {
+	_, err := r.AgreeMax(0)
+	return err
+}
+
+// AgreeMax is a Barrier that additionally agrees on a value: every rank
+// contributes v, all ranks leave together (clocks synchronized exactly
+// like Barrier, with the same α·ceil(log2 N) tree cost), and each
+// receives the maximum contributed value. Because it runs over the
+// barrier machinery rather than point-to-point messages, it is immune to
+// injected fabric faults — the collectives use it as the control plane
+// for agreeing to retry or degrade after a failed attempt.
+func (r *Rank) AgreeMax(v int) (int, error) {
 	c := r.c
+	var deadline time.Time
+	if d := c.cfg.agreeTimeout(); d > 0 {
+		deadline = time.Now().Add(d)
+		wake := time.AfterFunc(d, func() {
+			c.barrierMu.Lock()
+			c.barrierCond.Broadcast()
+			c.barrierMu.Unlock()
+		})
+		defer wake.Stop()
+	}
 	c.barrierMu.Lock()
 	gen := c.barrierGen
 	if r.now > c.barrierMax {
 		c.barrierMax = r.now
+	}
+	if v > c.barrierVal {
+		c.barrierVal = v
 	}
 	c.barrierIn++
 	if c.barrierIn == r.N {
@@ -530,15 +726,29 @@ func (r *Rank) Barrier() {
 			cost = c.cfg.Latency.Seconds() * math.Ceil(math.Log2(float64(r.N)))
 		}
 		c.barrierMax += cost
+		// Latch this generation's results: a fast rank may re-enter the
+		// next barrier (and mutate barrierMax/barrierVal) before slow
+		// leavers have read theirs.
+		c.barrierOutMax = c.barrierMax
+		c.barrierOutVal = c.barrierVal
 		c.barrierIn = 0
+		c.barrierVal = 0
 		c.barrierGen++
 		c.barrierCond.Broadcast()
 	} else {
 		for gen == c.barrierGen {
+			if c.exited > 0 {
+				c.barrierMu.Unlock()
+				return 0, fmt.Errorf("%w: barrier aborted, a rank exited before reaching it", ErrPeerFailed)
+			}
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				c.barrierMu.Unlock()
+				return 0, fmt.Errorf("%w: barrier, peers missing after %v", ErrRecvTimeout, c.cfg.agreeTimeout())
+			}
 			c.barrierCond.Wait()
 		}
 	}
-	leave := c.barrierMax
+	leave, agreed := c.barrierOutMax, c.barrierOutVal
 	c.barrierMu.Unlock()
 	if leave > r.now {
 		if tr := c.trace; tr != nil {
@@ -547,4 +757,5 @@ func (r *Rank) Barrier() {
 		r.breakdown[CatMPI] += leave - r.now
 		r.now = leave
 	}
+	return agreed, nil
 }

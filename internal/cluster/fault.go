@@ -68,6 +68,15 @@ type FaultContext struct {
 	Seq int
 	// Len is the payload size in bytes.
 	Len int
+	// Epoch is the sender's AdvanceEpoch generation (0 until a collective
+	// retries). Hooks can scope faults to the first attempt of a degrading
+	// run by matching Epoch == 0.
+	Epoch int
+	// Attempt is 0 for the original send and k ≥ 1 for the k-th
+	// retransmission of this message by the reliable-delivery layer. Hooks
+	// that return the same action regardless of Attempt make a message
+	// unrecoverable and exhaust the retry budget.
+	Attempt int
 }
 
 // Fault decides the fate of each message. It runs on the sender's
@@ -95,6 +104,55 @@ func OnLink(from, to, seq int) func(FaultContext) bool {
 	}
 }
 
+// CorruptPattern configures how FaultCorrupt damages a payload. The
+// legacy behavior (Config.Corrupt == nil) flips bit 5 of the middle byte;
+// a pattern makes the damage shape explicit so the checksum path is
+// exercised beyond a single fixed bit.
+type CorruptPattern struct {
+	// Offset is the byte offset of the first damaged byte, clamped into
+	// the payload. Ignored when Spray is set.
+	Offset int
+	// Mask is XORed into each damaged byte. 0 selects 0x20 (one bit).
+	Mask byte
+	// Burst is the number of consecutive bytes damaged (multi-bit burst
+	// errors). Values below 1 select 1.
+	Burst int
+	// Spray derives the offset deterministically from the message identity
+	// (link, sequence, epoch, attempt) instead of Offset, so a fault
+	// schedule damages a different location in every message while staying
+	// reproducible.
+	Spray bool
+}
+
+// apply damages data in place according to the pattern. Empty payloads
+// are handled by the caller (checksum poisoning).
+func (p CorruptPattern) apply(data []byte, fc FaultContext) {
+	if len(data) == 0 {
+		return
+	}
+	off := p.Offset
+	if p.Spray {
+		off = int(chaosHash(0x5eed, fc) % uint64(len(data)))
+	}
+	if off < 0 {
+		off = 0
+	}
+	if off >= len(data) {
+		off = len(data) - 1
+	}
+	mask := p.Mask
+	if mask == 0 {
+		mask = 0x20
+	}
+	burst := p.Burst
+	if burst < 1 {
+		burst = 1
+	}
+	for i := 0; i < burst && off+i < len(data); i++ {
+		data[off+i] ^= mask
+	}
+}
+
 var msgTable = crc32.MakeTable(crc32.Castagnoli)
 
 // checksum is the per-message integrity sum (crc32c, hardware-accelerated
@@ -107,10 +165,17 @@ func checksum(data []byte) uint32 { return crc32.Checksum(data, msgTable) }
 // receiver's verification fails — or, for an empty payload, poisons the
 // stored checksum directly.
 func (c *Cluster) applyFault(m *message, to int) (copies int, drop bool) {
+	return c.applyFaultAttempt(m, to, 0)
+}
+
+// applyFaultAttempt is applyFault for a specific delivery attempt
+// (attempt 0 is the original send, k ≥ 1 the k-th retransmission).
+func (c *Cluster) applyFaultAttempt(m *message, to, attempt int) (copies int, drop bool) {
 	if c.cfg.Fault == nil {
 		return 1, false
 	}
-	action, delay := c.cfg.Fault(FaultContext{From: m.from, To: to, Seq: m.seq, Len: len(m.data)})
+	fc := FaultContext{From: m.from, To: to, Seq: m.seq, Len: len(m.data), Epoch: m.epoch, Attempt: attempt}
+	action, delay := c.cfg.Fault(fc)
 	switch action {
 	case FaultDrop:
 		return 0, true
@@ -118,7 +183,11 @@ func (c *Cluster) applyFault(m *message, to int) (copies int, drop bool) {
 		return 2, false
 	case FaultCorrupt:
 		if len(m.data) > 0 {
-			m.data[len(m.data)/2] ^= 0x20
+			if p := c.cfg.Corrupt; p != nil {
+				p.apply(m.data, fc)
+			} else {
+				m.data[len(m.data)/2] ^= 0x20
+			}
 		} else {
 			m.sum ^= 0xdeadbeef
 		}

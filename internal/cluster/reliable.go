@@ -1,0 +1,245 @@
+package cluster
+
+// Reliable delivery: NACK-driven retransmission over the faulty fabric.
+//
+// With Config.Reliable set, every sender keeps a bounded per-link window
+// of recently sent messages (pristine copies, recorded before the fault
+// hook can damage them). When the receiver detects a damaged or missing
+// message — checksum mismatch, sequence gap, or receive timeout — it
+// issues a NACK and the sender replays the message from its window. A
+// replay passes through the fault hook again (with FaultContext.Attempt
+// set), so recovery itself can fail; each failed attempt charges an
+// exponentially growing backoff, and after Config.RetryBudget attempts
+// Recv gives up with ErrRetryBudgetExhausted. Duplicate sequence numbers
+// are silently deduplicated instead of erroring.
+//
+// All recovery traffic is charged through the same (α, β) virtual-time
+// model as regular traffic, on the receiver (the rank that actually
+// stalls): a NACK is a control message costing α, the replay costs
+// α + bytes/β (plus any injected delay), and backoff is charged to MPI.
+// Degraded-fabric runs therefore show physically meaningful slowdowns in
+// BreakdownShares and Chrome traces.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Reliable-delivery errors.
+var (
+	// ErrRetryBudgetExhausted means a message could not be recovered
+	// within Config.RetryBudget NACK/replay attempts.
+	ErrRetryBudgetExhausted = errors.New("cluster: retransmission retry budget exhausted")
+	// ErrRetransmitGone means the sender's retransmit window no longer
+	// holds the NACKed message (it was evicted by newer traffic).
+	ErrRetransmitGone = errors.New("cluster: message evicted from retransmit window")
+)
+
+// errNotYetSent reports that a NACKed sequence number has not been sent
+// at all: the sender is merely slow, so the receiver should keep waiting
+// rather than treat the message as lost.
+var errNotYetSent = errors.New("cluster: message not yet sent")
+
+// retxEntry is one replayable message: the pristine payload and its
+// original checksum.
+type retxEntry struct {
+	data []byte
+	sum  uint32
+}
+
+// retxWindow is the sender-side bounded replay buffer for one link.
+type retxWindow struct {
+	mu    sync.Mutex
+	epoch int
+	next  int // next sequence number to be recorded
+	buf   map[int]retxEntry
+}
+
+func (c *Cluster) retxFor(from, to int) *retxWindow {
+	key := [2]int{from, to}
+	c.retxMu.Lock()
+	defer c.retxMu.Unlock()
+	w, ok := c.retx[key]
+	if !ok {
+		w = &retxWindow{buf: make(map[int]retxEntry)}
+		c.retx[key] = w
+	}
+	return w
+}
+
+// recordRetx stores a pristine copy of an outgoing message in the link's
+// replay window, evicting entries older than Config.RetxWindow.
+func (c *Cluster) recordRetx(from, to, seq, epoch int, data []byte, sum uint32) {
+	w := c.retxFor(from, to)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if epoch != w.epoch {
+		// First send of a new epoch: old-epoch entries are unreachable.
+		w.epoch = epoch
+		w.buf = make(map[int]retxEntry)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	w.buf[seq] = retxEntry{data: cp, sum: sum}
+	w.next = seq + 1
+	if old := seq - c.cfg.RetxWindow; old >= 0 {
+		delete(w.buf, old)
+	}
+}
+
+// lookupRetx fetches a fresh copy of a windowed message for replay.
+func (c *Cluster) lookupRetx(from, to, seq, epoch int) (data []byte, sum uint32, err error) {
+	w := c.retxFor(from, to)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.epoch < epoch || seq >= w.next {
+		return nil, 0, errNotYetSent
+	}
+	if w.epoch > epoch {
+		// The sender already moved to a newer epoch; the old attempt's
+		// traffic is unrecoverable.
+		mRetxEvictions.Inc()
+		return nil, 0, fmt.Errorf("%w: link %d→%d seq %d (sender in epoch %d, wanted %d)", ErrRetransmitGone, from, to, seq, w.epoch, epoch)
+	}
+	e, ok := w.buf[seq]
+	if !ok {
+		mRetxEvictions.Inc()
+		return nil, 0, fmt.Errorf("%w: link %d→%d seq %d (window %d)", ErrRetransmitGone, from, to, seq, c.cfg.RetxWindow)
+	}
+	cp := make([]byte, len(e.data))
+	copy(cp, e.data)
+	return cp, e.sum, nil
+}
+
+// clearRetx drops every replay window fed by rank `from` (epoch change:
+// the retained traffic belongs to an abandoned attempt).
+func (c *Cluster) clearRetx(from int) {
+	c.retxMu.Lock()
+	defer c.retxMu.Unlock()
+	for key := range c.retx {
+		if key[0] == from {
+			delete(c.retx, key)
+		}
+	}
+}
+
+// recvReliable is the recovering receive path (Config.Reliable).
+func (r *Rank) recvReliable(from int) ([]byte, error) {
+	ch := r.c.chanFor(from, r.ID)
+	timeouts := 0
+	for {
+		want := r.recvSeq[from]
+		if m, ok := r.takePending(from, want); ok {
+			return r.deliverReliable(m, from, want)
+		}
+		m, ok, err := r.c.recvMessage(ch)
+		if err != nil {
+			// Timeout: the message was likely dropped in flight — recover
+			// from the sender's window. If it simply has not been sent yet
+			// the sender is slow, so wait again (bounded by the budget).
+			data, rerr := r.recover(from, want, err)
+			if rerr == nil {
+				r.recvSeq[from] = want + 1
+				return data, nil
+			}
+			if errors.Is(rerr, errNotYetSent) {
+				timeouts++
+				if timeouts > r.c.cfg.RetryBudget {
+					return nil, fmt.Errorf("%w: from rank %d after %d waits of %v", ErrRecvTimeout, from, timeouts, r.c.cfg.RecvTimeout)
+				}
+				continue
+			}
+			return nil, rerr
+		}
+		if !ok {
+			// Sender exited; its replay window survives, so messages it
+			// sent before exiting can still be salvaged.
+			data, rerr := r.recover(from, want, ErrPeerFailed)
+			if rerr == nil {
+				r.recvSeq[from] = want + 1
+				return data, nil
+			}
+			return nil, fmt.Errorf("%w: rank %d", ErrPeerFailed, from)
+		}
+		r.chargeArrival(m)
+		if m.epoch != r.epoch {
+			if m.epoch < r.epoch {
+				mDedups.Inc() // stale traffic from an abandoned attempt
+				continue
+			}
+			return nil, fmt.Errorf("cluster: rank %d got epoch %d message from rank %d while in epoch %d (AdvanceEpoch must be globally synchronized)",
+				r.ID, m.epoch, from, r.epoch)
+		}
+		switch {
+		case m.seq < want:
+			mDedups.Inc() // duplicate delivery: silently dedup
+			continue
+		case m.seq > want:
+			// A gap means `want` was dropped: retain the later message for
+			// in-order delivery and recover the missing one right away.
+			r.stashPending(from, m)
+			data, rerr := r.recover(from, want, fmt.Errorf("%w: from rank %d, expected seq %d got %d", ErrMessageLost, from, want, m.seq))
+			if rerr != nil {
+				return nil, rerr
+			}
+			r.recvSeq[from] = want + 1
+			return data, nil
+		}
+		return r.deliverReliable(m, from, want)
+	}
+}
+
+// deliverReliable verifies an in-sequence message and, on corruption,
+// drives the NACK/replay recovery.
+func (r *Rank) deliverReliable(m message, from, want int) ([]byte, error) {
+	data, err := r.verifyPayload(m, from)
+	if err == nil {
+		r.recvSeq[from] = want + 1
+		return data, nil
+	}
+	if !errors.Is(err, ErrMessageCorrupt) {
+		return nil, err
+	}
+	data, rerr := r.recover(from, want, err)
+	if rerr != nil {
+		return nil, rerr
+	}
+	r.recvSeq[from] = want + 1
+	return data, nil
+}
+
+// recover drives the NACK → replay → backoff loop for one damaged or
+// missing message and returns its recovered payload.
+func (r *Rank) recover(from, want int, cause error) ([]byte, error) {
+	cfg := r.c.cfg
+	alpha := cfg.Latency.Seconds()
+	for attempt := 1; attempt <= cfg.RetryBudget; attempt++ {
+		mNacks.Inc()
+		// The NACK control message flies back to the sender: one α.
+		r.Elapse(CatMPI, alpha)
+		data, sum, err := r.c.lookupRetx(from, r.ID, want, r.epoch)
+		if err != nil {
+			if errors.Is(err, errNotYetSent) {
+				return nil, errNotYetSent
+			}
+			return nil, fmt.Errorf("%w (root cause: %v)", err, cause)
+		}
+		m := message{data: data, sentAt: r.now, from: from, seq: want, sum: sum, epoch: r.epoch}
+		// The replay crosses the same faulty fabric as the original.
+		_, dropped := r.c.applyFaultAttempt(&m, r.ID, attempt)
+		if !dropped {
+			mRetransmits.Inc()
+			r.chargeArrival(m) // α + bytes/β (+ injected delay)
+			var s uint32
+			r.Quiesce(func() { s = checksum(m.data) })
+			if s == m.sum {
+				return m.data, nil
+			}
+		}
+		// Failed attempt: exponential backoff before the next NACK.
+		r.Elapse(CatMPI, cfg.RetryBackoff.Seconds()*float64(uint64(1)<<uint(attempt-1)))
+	}
+	return nil, fmt.Errorf("%w: link %d→%d seq %d after %d attempts (root cause: %w)",
+		ErrRetryBudgetExhausted, from, r.ID, want, cfg.RetryBudget, cause)
+}

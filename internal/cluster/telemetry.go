@@ -1,0 +1,16 @@
+package cluster
+
+import "hzccl/internal/telemetry"
+
+// Recovery telemetry. The reliable-delivery layer counts every NACK it
+// issues, every replay actually delivered, every silently deduplicated
+// message (duplicate sequence numbers and stale-epoch traffic from
+// abandoned attempts), and every replay request that missed the sender's
+// bounded window. Together with the collective-level degradation counter
+// these drive the acceptance checks for self-healing runs.
+var (
+	mRetransmits   = telemetry.C("cluster.retransmits")
+	mNacks         = telemetry.C("cluster.nacks")
+	mDedups        = telemetry.C("cluster.dedups")
+	mRetxEvictions = telemetry.C("cluster.retx_window_evictions")
+)

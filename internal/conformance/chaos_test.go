@@ -1,0 +1,75 @@
+package conformance
+
+import (
+	"testing"
+	"time"
+
+	"hzccl/internal/cluster"
+	"hzccl/internal/core"
+)
+
+// Chaos acceptance: the full cross-flavor collective oracle must hold on
+// a fabric injecting probabilistic drops, corruption bursts, duplicates
+// and delays, as long as reliable delivery is on. The oracle's contract
+// is unchanged — every flavor tracks the exact reference and the
+// compressed flavors agree — so any fault the transport fails to heal
+// shows up as a run error or a Report failure.
+
+func chaosOracle(seed int64) (CollectiveOracle, *cluster.Chaos) {
+	chaos := cluster.NewChaos(cluster.ChaosSpec{
+		Seed:            seed,
+		DropRate:        0.03,
+		CorruptRate:     0.03,
+		DuplicateRate:   0.03,
+		DelayRate:       0.03,
+		MaxDelaySeconds: 20e-6,
+	})
+	return CollectiveOracle{
+		Opt:         core.Options{ErrorBound: 1e-3},
+		Fault:       chaos.Fault(),
+		Reliable:    true,
+		RecvTimeout: 100 * time.Millisecond,
+		Corrupt:     &cluster.CorruptPattern{Spray: true, Burst: 2},
+	}, chaos
+}
+
+func TestCollectiveOracleHealsUnderChaos(t *testing.T) {
+	injected := int64(0)
+	for _, ranks := range []int{2, 4, 5} {
+		o, chaos := chaosOracle(int64(1000 + ranks))
+		for name, check := range map[string]func(int, func(int) []float32) (*Report, error){
+			"allreduce":      o.CheckAllreduce,
+			"reduce_scatter": o.CheckReduceScatter,
+		} {
+			rep, err := check(ranks, genField(192))
+			if err != nil {
+				t.Fatalf("%s ranks=%d: run failed under chaos: %v", name, ranks, err)
+			}
+			if err := rep.Err(); err != nil {
+				t.Fatalf("%s ranks=%d: oracle contract violated under chaos: %v", name, ranks, err)
+			}
+		}
+		injected += chaos.Counts().Total()
+	}
+	if injected == 0 {
+		t.Fatal("chaos injected no faults anywhere; the sweep proved nothing")
+	}
+}
+
+// Without reliable delivery the same schedule must be *detected* (run
+// error), never silently absorbed into wrong data.
+func TestCollectiveOracleDetectsChaosWithoutRecovery(t *testing.T) {
+	o, chaos := chaosOracle(77)
+	o.Reliable = false
+	o.RecvTimeout = time.Second
+	rep, err := o.CheckAllreduce(4, genField(192))
+	if chaos.Counts().Total() == 0 {
+		t.Skip("schedule injected nothing at this seed")
+	}
+	if err == nil {
+		if rerr := rep.Err(); rerr != nil {
+			t.Fatalf("chaos leaked silently wrong data: %v", rerr)
+		}
+		t.Fatal("unreliable run absorbed injected faults without detecting them")
+	}
+}

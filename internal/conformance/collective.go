@@ -26,6 +26,13 @@ type CollectiveOracle struct {
 	Fault cluster.Fault
 	// RecvTimeout bounds Recv waits; set it alongside drop faults.
 	RecvTimeout time.Duration
+	// Reliable enables NACK-driven retransmission, turning injected faults
+	// from expected run errors into recovered (and still checked) runs.
+	Reliable bool
+	// RetryBudget caps recovery attempts per message (0 = cluster default).
+	RetryBudget int
+	// Corrupt shapes FaultCorrupt injections (nil = single-bit default).
+	Corrupt *cluster.CorruptPattern
 }
 
 func (o CollectiveOracle) config(ranks int) cluster.Config {
@@ -35,6 +42,9 @@ func (o CollectiveOracle) config(ranks int) cluster.Config {
 		BandwidthBytes: o.BandwidthBytes,
 		Fault:          o.Fault,
 		RecvTimeout:    o.RecvTimeout,
+		Reliable:       o.Reliable,
+		RetryBudget:    o.RetryBudget,
+		Corrupt:        o.Corrupt,
 	}
 }
 

@@ -3,7 +3,9 @@ package conformance
 import (
 	"math"
 	"testing"
+	"time"
 
+	"hzccl/internal/cluster"
 	"hzccl/internal/core"
 	"hzccl/internal/floatbytes"
 	"hzccl/internal/fzlight"
@@ -81,6 +83,51 @@ func FuzzCollectiveShapes(f *testing.F) {
 		}
 		if err := rep.Err(); err != nil {
 			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzChaosSchedule explores seeded fault schedules against the reliable
+// transport: arbitrary (seed, rates, topology) combinations must never
+// make the healed collective produce out-of-tolerance data, and the
+// recovery machinery must never deadlock (each fuzz case is bounded by
+// RecvTimeout and the retry budget). Rates are capped so every schedule
+// stays recoverable with the default budget — with independent per-attempt
+// draws, eight consecutive faulted replays at ≤16% combined rate are
+// vanishingly unlikely, so a failure here is a transport bug, not bad luck.
+func FuzzChaosSchedule(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(64), uint8(10), uint8(10), uint8(10), uint8(10))
+	f.Add(int64(20260805), uint8(5), uint8(200), uint8(15), uint8(0), uint8(0), uint8(0))
+	f.Add(int64(-7), uint8(2), uint8(33), uint8(0), uint8(15), uint8(15), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, ranksSel, nSel, dropSel, corruptSel, dupSel, delaySel uint8) {
+		ranks := 2 + int(ranksSel)%4
+		n := 1 + int(nSel)
+		// Each class capped at 4%: combined ≤ 16% per delivery attempt.
+		rate := func(sel uint8) float64 { return float64(sel%5) / 100 }
+		chaos := cluster.NewChaos(cluster.ChaosSpec{
+			Seed:            seed,
+			DropRate:        rate(dropSel),
+			CorruptRate:     rate(corruptSel),
+			DuplicateRate:   rate(dupSel),
+			DelayRate:       rate(delaySel),
+			MaxDelaySeconds: 10e-6,
+		})
+		o := CollectiveOracle{
+			Opt:         core.Options{ErrorBound: 1e-3},
+			Fault:       chaos.Fault(),
+			Reliable:    true,
+			RecvTimeout: 100 * time.Millisecond,
+			Corrupt:     &cluster.CorruptPattern{Spray: true, Burst: 1 + int(seed&3)},
+		}
+		gen := func(rank int) []float32 {
+			return randomField(n, seed+int64(rank)*271, 1)
+		}
+		rep, err := o.CheckAllreduce(ranks, gen)
+		if err != nil {
+			t.Fatalf("reliable collective failed under schedule seed=%d: %v", seed, err)
+		}
+		if err := rep.Err(); err != nil {
+			t.Fatalf("chaos leaked wrong data: %v", err)
 		}
 	})
 }

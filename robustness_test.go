@@ -1,0 +1,291 @@
+package hzccl_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"hzccl"
+	"hzccl/internal/telemetry"
+)
+
+// TestChaosAllBackendsTolerant drives a ring allreduce on every backend
+// through a fabric injecting well over 1% of drops, corruption bursts,
+// duplicates and delays. With reliable delivery enabled the collective
+// must complete with tolerance-correct results on all of them, and the
+// recovery telemetry must show the self-healing actually happened.
+func TestChaosAllBackendsTolerant(t *testing.T) {
+	const nRanks, n = 4, 4096
+	exact := make([]float64, n)
+	fields := make([][]float32, nRanks)
+	for r := range fields {
+		fields[r] = sineField(n, 300+int64(r))
+		for i, v := range fields[r] {
+			exact[i] += float64(v)
+		}
+	}
+	retx0 := telemetry.C("cluster.retransmits").Value()
+	nack0 := telemetry.C("cluster.nacks").Value()
+	dedup0 := telemetry.C("cluster.dedups").Value()
+
+	totalFaults := int64(0)
+	for _, backend := range []hzccl.Backend{hzccl.BackendMPI, hzccl.BackendCColl, hzccl.BackendHZCCL} {
+		chaos := hzccl.NewChaos(hzccl.ChaosSpec{
+			Seed:            90 + int64(backend),
+			DropRate:        0.06,
+			CorruptRate:     0.06,
+			DuplicateRate:   0.06,
+			DelayRate:       0.06,
+			MaxDelaySeconds: 20e-6,
+		})
+		outs := make([][]float32, nRanks)
+		res, err := hzccl.RunCluster(hzccl.ClusterConfig{
+			Ranks:       nRanks,
+			Reliable:    true,
+			RecvTimeout: 100 * time.Millisecond,
+			Fault:       chaos.Fault(),
+			Corrupt:     &hzccl.CorruptPattern{Spray: true, Burst: 2},
+		}, func(r *hzccl.Rank) error {
+			out, err := r.Allreduce(fields[r.ID()], backend, hzccl.CollectiveOptions{ErrorBound: 1e-3})
+			outs[r.ID()] = out
+			return err
+		})
+		if err != nil {
+			t.Fatalf("%v under chaos: %v", backend, err)
+		}
+		if res.Seconds <= 0 {
+			t.Fatalf("%v: no virtual time elapsed", backend)
+		}
+		for rk, out := range outs {
+			if len(out) != n {
+				t.Fatalf("%v rank %d: result length %d", backend, rk, len(out))
+			}
+			for i := range out {
+				if d := math.Abs(float64(out[i]) - exact[i]); d > 0.02 {
+					t.Fatalf("%v rank %d: error %g at %d (faulty fabric leaked bad data)", backend, rk, d, i)
+				}
+			}
+		}
+		totalFaults += chaos.Counts().Total()
+	}
+	if totalFaults == 0 {
+		t.Fatal("chaos injected no faults; the test proved nothing")
+	}
+	if d := telemetry.C("cluster.retransmits").Value() - retx0; d < 1 {
+		t.Errorf("no retransmissions counted (delta %d)", d)
+	}
+	if d := telemetry.C("cluster.nacks").Value() - nack0; d < 1 {
+		t.Errorf("no NACKs counted (delta %d)", d)
+	}
+	if d := telemetry.C("cluster.dedups").Value() - dedup0; d < 1 {
+		t.Errorf("no dedups counted (delta %d)", d)
+	}
+}
+
+// TestChaosReduceScatter runs the homomorphic reduce-scatter under the
+// same fault classes and checks each rank's owned block.
+func TestChaosReduceScatter(t *testing.T) {
+	const nRanks, n = 4, 2048
+	fields := make([][]float32, nRanks)
+	exact := make([]float64, n)
+	for r := range fields {
+		fields[r] = sineField(n, 400+int64(r))
+		for i, v := range fields[r] {
+			exact[i] += float64(v)
+		}
+	}
+	chaos := hzccl.NewChaos(hzccl.ChaosSpec{
+		Seed: 7, DropRate: 0.05, CorruptRate: 0.05, DuplicateRate: 0.05,
+	})
+	outs := make([][]float32, nRanks)
+	starts := make([]int, nRanks)
+	_, err := hzccl.RunCluster(hzccl.ClusterConfig{
+		Ranks:       nRanks,
+		Reliable:    true,
+		RecvTimeout: 100 * time.Millisecond,
+		Fault:       chaos.Fault(),
+	}, func(r *hzccl.Rank) error {
+		out, err := r.ReduceScatter(fields[r.ID()], hzccl.BackendHZCCL, hzccl.CollectiveOptions{ErrorBound: 1e-3})
+		if err != nil {
+			return err
+		}
+		_, s, _ := r.OwnedBlock(n)
+		outs[r.ID()], starts[r.ID()] = out, s
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("reduce-scatter under chaos: %v", err)
+	}
+	if chaos.Counts().Total() == 0 {
+		t.Fatal("chaos injected no faults")
+	}
+	for rk, out := range outs {
+		for i := range out {
+			if d := math.Abs(float64(out[i]) - exact[starts[rk]+i]); d > 0.02 {
+				t.Fatalf("rank %d: error %g at %d", rk, d, i)
+			}
+		}
+	}
+}
+
+// TestDegradationFallsBack makes the hzccl backend unrecoverable (one
+// link drops every delivery attempt during the first epoch) and checks
+// that all ranks agree to descend the ladder, complete on C-Coll, and
+// record the downgrade in the result and telemetry.
+func TestDegradationFallsBack(t *testing.T) {
+	const nRanks, n = 4, 1024
+	fields := make([][]float32, nRanks)
+	exact := make([]float64, n)
+	for r := range fields {
+		fields[r] = sineField(n, 500+int64(r))
+		for i, v := range fields[r] {
+			exact[i] += float64(v)
+		}
+	}
+	deg0 := telemetry.C("collective.degradations").Value()
+	// Epoch 0 only: the retry after degradation runs on a healed fabric.
+	blackhole := func(fc hzccl.FaultContext) (hzccl.FaultAction, float64) {
+		if fc.Epoch == 0 && fc.From == 0 && fc.To == 1 {
+			return hzccl.FaultDrop, 0
+		}
+		return hzccl.FaultDeliver, 0
+	}
+	outs := make([][]float32, nRanks)
+	res, err := hzccl.RunCluster(hzccl.ClusterConfig{
+		Ranks:       nRanks,
+		Reliable:    true,
+		RecvTimeout: 30 * time.Millisecond,
+		RetryBudget: 2,
+		Fault:       blackhole,
+	}, func(r *hzccl.Rank) error {
+		out, err := r.Allreduce(fields[r.ID()], hzccl.BackendHZCCL, hzccl.CollectiveOptions{
+			ErrorBound: 1e-3,
+			Degrade:    &hzccl.DegradePolicy{AttemptsPerBackend: 1},
+		})
+		outs[r.ID()] = out
+		return err
+	})
+	if err != nil {
+		t.Fatalf("degradable run failed: %v", err)
+	}
+	for rk, out := range outs {
+		for i := range out {
+			if d := math.Abs(float64(out[i]) - exact[i]); d > 0.02 {
+				t.Fatalf("rank %d: error %g at %d after degradation", rk, d, i)
+			}
+		}
+	}
+	if len(res.Degradations) != nRanks {
+		t.Fatalf("want one Degradation per rank, got %d: %v", len(res.Degradations), res.Degradations)
+	}
+	for i, d := range res.Degradations {
+		if d.Rank != i || d.Op != "allreduce" || d.From != hzccl.BackendHZCCL || d.To != hzccl.BackendCColl {
+			t.Fatalf("degradation %d wrong: %+v", i, d)
+		}
+	}
+	if delta := telemetry.C("collective.degradations").Value() - deg0; delta < int64(nRanks) {
+		t.Errorf("degradation counter delta %d, want >= %d", delta, nRanks)
+	}
+}
+
+// TestDegradationLadderExhausted: when even the bottom rung fails, the
+// collective must surface the failure rather than loop forever.
+func TestDegradationLadderExhausted(t *testing.T) {
+	blackhole := func(fc hzccl.FaultContext) (hzccl.FaultAction, float64) {
+		if fc.From == 0 && fc.To == 1 {
+			return hzccl.FaultDrop, 0 // every epoch, every attempt
+		}
+		return hzccl.FaultDeliver, 0
+	}
+	_, err := hzccl.RunCluster(hzccl.ClusterConfig{
+		Ranks:       3,
+		Reliable:    true,
+		RecvTimeout: 20 * time.Millisecond,
+		RetryBudget: 1,
+		Fault:       blackhole,
+	}, func(r *hzccl.Rank) error {
+		_, err := r.Allreduce(sineField(256, int64(r.ID())), hzccl.BackendHZCCL, hzccl.CollectiveOptions{
+			ErrorBound: 1e-3,
+			Degrade:    &hzccl.DegradePolicy{AttemptsPerBackend: 1},
+		})
+		return err
+	})
+	if err == nil {
+		t.Fatal("unrecoverable fabric reported success")
+	}
+	if !strings.Contains(err.Error(), "ladder exhausted") && !strings.Contains(err.Error(), "consensus failed") {
+		t.Fatalf("unexpected failure shape: %v", err)
+	}
+}
+
+// TestDegradationRequiresRecvTimeout: without a receive deadline a
+// degrading rank would strand its peers, so the policy must refuse.
+func TestDegradationRequiresRecvTimeout(t *testing.T) {
+	_, err := hzccl.RunCluster(hzccl.ClusterConfig{Ranks: 2}, func(r *hzccl.Rank) error {
+		_, err := r.Allreduce([]float32{1, 2}, hzccl.BackendMPI, hzccl.CollectiveOptions{
+			Degrade: &hzccl.DegradePolicy{},
+		})
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "RecvTimeout") {
+		t.Fatalf("missing RecvTimeout not rejected: %v", err)
+	}
+}
+
+// TestDegradeCleanFabricNoDowngrade: with no faults the policy must be
+// a no-op — same results, no recorded degradations.
+func TestDegradeCleanFabricNoDowngrade(t *testing.T) {
+	const nRanks, n = 3, 512
+	fields := make([][]float32, nRanks)
+	exact := make([]float64, n)
+	for r := range fields {
+		fields[r] = sineField(n, 600+int64(r))
+		for i, v := range fields[r] {
+			exact[i] += float64(v)
+		}
+	}
+	res, err := hzccl.RunCluster(hzccl.ClusterConfig{
+		Ranks:       nRanks,
+		RecvTimeout: 200 * time.Millisecond,
+	}, func(r *hzccl.Rank) error {
+		out, err := r.Allreduce(fields[r.ID()], hzccl.BackendHZCCL, hzccl.CollectiveOptions{
+			ErrorBound: 1e-3,
+			Degrade:    &hzccl.DegradePolicy{},
+		})
+		if err != nil {
+			return err
+		}
+		for i := range out {
+			if d := math.Abs(float64(out[i]) - exact[i]); d > 0.02 {
+				t.Errorf("rank %d: error %g at %d", r.ID(), d, i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Degradations) != 0 {
+		t.Fatalf("clean fabric degraded: %v", res.Degradations)
+	}
+}
+
+// TestPublicBarrierPeerFailure: the public Barrier must surface a peer's
+// early exit instead of deadlocking the run.
+func TestPublicBarrierPeerFailure(t *testing.T) {
+	var barrierErr error
+	_, err := hzccl.RunCluster(hzccl.ClusterConfig{Ranks: 2}, func(r *hzccl.Rank) error {
+		if r.ID() == 1 {
+			return nil // exits without reaching the barrier
+		}
+		barrierErr = r.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if barrierErr == nil {
+		t.Fatal("barrier did not report the missing peer")
+	}
+}

@@ -17,6 +17,6 @@ echo "== go vet =="
 go vet ./...
 
 echo "== go test -race (concurrent packages) =="
-go test -race ./internal/telemetry ./internal/cluster ./internal/hzdyn ./internal/core
+go test -race . ./internal/telemetry ./internal/cluster ./internal/hzdyn ./internal/core
 
 echo "check: OK"
