@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench fuzz conformance chaos
+.PHONY: build test check bench bench-all fuzz conformance chaos
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,14 @@ test:
 check:
 	sh scripts/check.sh
 
+# bench runs the hot-path gate (Fig. 6, Table V, Fig. 8 and the
+# steady-state zero-allocation benches) and writes BENCH_hotpaths.json;
+# it fails if the steady-state homomorphic add allocates. bench-all is
+# the old full sweep: every benchmark once, no JSON.
 bench:
+	sh scripts/bench.sh
+
+bench-all:
 	$(GO) test -bench . -benchtime 1x ./...
 
 # fuzz runs every native fuzz target for FUZZTIME each (default 10s, a

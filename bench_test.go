@@ -55,6 +55,7 @@ func BenchmarkTable3Ratio(b *testing.B) {
 			eb := metrics.AbsBound(1e-3, data)
 			var fzLen, ompLen int
 			b.SetBytes(int64(4 * len(data)))
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				fc, err := fzlight.Compress(data, fzlight.Params{ErrorBound: eb})
 				if err != nil {
@@ -97,6 +98,7 @@ func BenchmarkFig6(b *testing.B) {
 
 		b.Run(name+"/fz-compress", func(b *testing.B) {
 			b.SetBytes(int64(4 * len(data)))
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := fzlight.Compress(data, fp); err != nil {
 					b.Fatal(err)
@@ -105,6 +107,7 @@ func BenchmarkFig6(b *testing.B) {
 		})
 		b.Run(name+"/fz-decompress", func(b *testing.B) {
 			b.SetBytes(int64(4 * len(data)))
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if err := fzlight.DecompressInto(fc, out); err != nil {
 					b.Fatal(err)
@@ -113,6 +116,7 @@ func BenchmarkFig6(b *testing.B) {
 		})
 		b.Run(name+"/omp-compress", func(b *testing.B) {
 			b.SetBytes(int64(4 * len(data)))
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := ompszp.Compress(data, op); err != nil {
 					b.Fatal(err)
@@ -121,6 +125,7 @@ func BenchmarkFig6(b *testing.B) {
 		})
 		b.Run(name+"/omp-decompress", func(b *testing.B) {
 			b.SetBytes(int64(4 * len(data)))
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := ompszp.DecompressThreads(oc, oh, 1); err != nil {
 					b.Fatal(err)
@@ -135,6 +140,7 @@ func BenchmarkFig6(b *testing.B) {
 func BenchmarkTable4Stream(b *testing.B) {
 	n := 1 << 21
 	b.SetBytes(int64(24 * n)) // triad traffic
+	b.ReportAllocs()
 	var peak float64
 	for i := 0; i < b.N; i++ {
 		peak = stream.Run(n, 1).Best()
@@ -163,6 +169,7 @@ func BenchmarkTable5HomomorphicAdd(b *testing.B) {
 			}
 			var st hzdyn.Stats
 			b.SetBytes(int64(4 * len(x)))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				_, st, err = hzdyn.Add(cx, cy)
@@ -191,6 +198,7 @@ func BenchmarkTable6(b *testing.B) {
 
 		b.Run(name+"/hz-dynamic", func(b *testing.B) {
 			b.SetBytes(int64(4 * len(x)))
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := hzdyn.Add(cx, cy); err != nil {
 					b.Fatal(err)
@@ -199,6 +207,7 @@ func BenchmarkTable6(b *testing.B) {
 		})
 		b.Run(name+"/doc", func(b *testing.B) {
 			b.SetBytes(int64(4 * len(x)))
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				dx, err := fzlight.Decompress(cx)
 				if err != nil {
@@ -267,6 +276,7 @@ func sparseSnapshot(n, rank, nRanks int) []float32 {
 
 func (cb *collectiveBench) run(b *testing.B, kernel string, mode core.Mode) float64 {
 	b.Helper()
+	b.ReportAllocs()
 	c := core.New(core.Options{ErrorBound: cb.eb, Mode: mode, Rates: cb.rates, MTSpeedup: 6})
 	cfg := cluster.Config{Ranks: cb.nodes, BandwidthBytes: 0.4e9}
 	var last float64
@@ -304,6 +314,7 @@ func (cb *collectiveBench) run(b *testing.B, kernel string, mode core.Mode) floa
 
 // BenchmarkFig2Breakdown reproduces the C-Coll runtime breakdown.
 func BenchmarkFig2Breakdown(b *testing.B) {
+	b.ReportAllocs()
 	cb := newCollectiveBench(b, 8, 1<<17)
 	c := core.New(core.Options{ErrorBound: cb.eb, Rates: cb.rates})
 	cfg := cluster.Config{Ranks: cb.nodes, BandwidthBytes: 0.4e9}
@@ -398,6 +409,7 @@ func BenchmarkTable7Stacking(b *testing.B) {
 	rates := &core.Rates{CPR: 1.2e9, DPR: 3e9, CPT: 7e9, HPR: 5e9}
 	for _, kernel := range []string{"mpi", "ccoll", "hz"} {
 		b.Run(kernel, func(b *testing.B) {
+			b.ReportAllocs()
 			c := core.New(core.Options{ErrorBound: eb, Rates: rates})
 			cfg := cluster.Config{Ranks: nodes, BandwidthBytes: 0.4e9}
 			for i := 0; i < b.N; i++ {
@@ -435,6 +447,7 @@ func BenchmarkAblationDynamicVsStatic(b *testing.B) {
 	cy, _ := fzlight.Compress(y, p)
 	b.Run("dynamic", func(b *testing.B) {
 		b.SetBytes(int64(4 * len(x)))
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := hzdyn.Add(cx, cy); err != nil {
 				b.Fatal(err)
@@ -443,6 +456,7 @@ func BenchmarkAblationDynamicVsStatic(b *testing.B) {
 	})
 	b.Run("static", func(b *testing.B) {
 		b.SetBytes(int64(4 * len(x)))
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := hzdyn.StaticAdd(cx, cy); err != nil {
 				b.Fatal(err)
@@ -463,6 +477,7 @@ func BenchmarkAblationEncoding(b *testing.B) {
 	b.Run("bitshift", func(b *testing.B) {
 		dst := make([]byte, bitio.PlaneBytes(n, c)+bitio.RemainderBytes(n, c))
 		b.SetBytes(int64(4 * n))
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			off := bitio.PackPlanes(dst, mags, c/8)
 			bitio.PackRemainder(dst[off:], mags, 8*(c/8), c%8)
@@ -471,6 +486,7 @@ func BenchmarkAblationEncoding(b *testing.B) {
 	b.Run("bitshuffle", func(b *testing.B) {
 		dst := make([]byte, c*((n+7)/8))
 		b.SetBytes(int64(4 * n))
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			bitio.BitShuffle(dst, mags, c)
 		}
@@ -487,6 +503,7 @@ func BenchmarkAblationFusedSum(b *testing.B) {
 	cy, _ := fzlight.Compress(y, p)
 	b.Run("fused", func(b *testing.B) {
 		b.SetBytes(int64(4 * len(x)))
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := hzdyn.Add(cx, cy); err != nil {
 				b.Fatal(err)
@@ -522,6 +539,7 @@ func BenchmarkAblationOutlierScheme(b *testing.B) {
 	}
 	b.ReportMetric(metrics.Ratio(4*len(data), len(fc)), "ratio-fz")
 	b.ReportMetric(metrics.Ratio(4*len(data), len(oc)), "ratio-omp")
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := fzlight.Compress(data, fzlight.Params{ErrorBound: 1e-3}); err != nil {
 			b.Fatal(err)
@@ -537,6 +555,7 @@ func BenchmarkAblationThreadChunking(b *testing.B) {
 	for _, threads := range []int{1, 4, 18} {
 		b.Run(fmt.Sprintf("threads%d", threads), func(b *testing.B) {
 			b.SetBytes(int64(4 * len(data)))
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := fzlight.Compress(data, fzlight.Params{ErrorBound: eb, Threads: threads}); err != nil {
 					b.Fatal(err)
@@ -573,6 +592,7 @@ func BenchmarkAblationPredictors(b *testing.B) {
 	for _, v := range variants {
 		b.Run(v.name, func(b *testing.B) {
 			b.SetBytes(int64(raw))
+			b.ReportAllocs()
 			var size int
 			for i := 0; i < b.N; i++ {
 				comp, err := v.f()
@@ -601,6 +621,7 @@ func BenchmarkAblationSegmentation(b *testing.B) {
 	rates := &core.Rates{CPR: 1e9, DPR: 2e9, CPT: 8e9, HPR: 8e9}
 	for _, segs := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("segments%d", segs), func(b *testing.B) {
+			b.ReportAllocs()
 			c := core.New(core.Options{ErrorBound: 1e-3, Rates: rates, Segments: segs})
 			cfg := cluster.Config{Ranks: nodes, BandwidthBytes: 0.3e9}
 			var last float64
@@ -616,6 +637,68 @@ func BenchmarkAblationSegmentation(b *testing.B) {
 			}
 			b.ReportMetric(last*1e6, "virtual-us")
 		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Steady-state (zero-allocation) hot-path benches
+// ---------------------------------------------------------------------------
+
+// BenchmarkSteadyStateAddInto measures the in-place homomorphic add the
+// ring collectives run every step: caller-provided destination, pooled
+// scratch. allocs/op must be 0 — scripts/bench.sh gates on it.
+func BenchmarkSteadyStateAddInto(b *testing.B) {
+	x, y := benchPair(b, "SimSet2")
+	eb := metrics.AbsBound(1e-3, x)
+	if e2 := metrics.AbsBound(1e-3, y); e2 > eb {
+		eb = e2
+	}
+	p := fzlight.Params{ErrorBound: eb}
+	cx, err := fzlight.Compress(x, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cy, err := fzlight.Compress(y, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]byte, hzdyn.AddBound(len(cx), len(cy)))
+	// Warm the scratch pools so the timed loop sees steady state (the
+	// first calls also pay one-time sync.Pool chain-node allocations).
+	for i := 0; i < 4; i++ {
+		if _, _, err := hzdyn.AddInto(dst, cx, cy); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(4 * len(x)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := hzdyn.AddInto(dst, cx, cy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSteadyStateCompressInto measures the compressor writing into a
+// caller-provided CompressBound buffer, as the collectives do per block.
+func BenchmarkSteadyStateCompressInto(b *testing.B) {
+	data := benchField(b, "SimSet2")
+	eb := metrics.AbsBound(1e-3, data)
+	p := fzlight.Params{ErrorBound: eb}
+	dst := make([]byte, fzlight.CompressBound(len(data), p))
+	for i := 0; i < 4; i++ {
+		if _, err := fzlight.CompressInto(dst, data, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(4 * len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fzlight.CompressInto(dst, data, p); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -642,6 +725,7 @@ func BenchmarkAblationCPRP2P(b *testing.B) {
 	}
 	for _, k := range kernels {
 		b.Run(k.name, func(b *testing.B) {
+			b.ReportAllocs()
 			c := core.New(core.Options{ErrorBound: cb.eb, Rates: cb.rates})
 			cfg := cluster.Config{Ranks: cb.nodes, BandwidthBytes: 0.4e9}
 			var last float64

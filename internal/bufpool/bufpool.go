@@ -1,0 +1,145 @@
+// Package bufpool is the shared buffer recycler behind the zero-allocation
+// hot paths: compressed payloads (fzlight.CompressInto, hzdyn.AddInto), the
+// transport's copy-on-send buffers (cluster.Send) and the per-chunk integer
+// scratch of the codecs all draw from and return to the pools here instead
+// of churning the garbage collector once per call or per ring step.
+//
+// Design:
+//
+//   - Size classes. Buffers are binned by power-of-two capacity: class i
+//     holds buffers with cap >= 1<<i. Get rounds the request up to the next
+//     class, so a returned buffer always has the requested length available;
+//     Put bins by the buffer's actual capacity (rounded down), so foreign
+//     buffers (e.g. make()'d ones recycled opportunistically) are accepted.
+//   - Value-based API. Get returns a plain []T and Put takes one back; the
+//     *[]T boxes sync.Pool requires are themselves recycled through a box
+//     pool, so a steady-state Get/Put cycle performs zero allocations.
+//   - Telemetry. Hits, misses and bytes recycled are counted per element
+//     type under bufpool.* so pool effectiveness is visible in every
+//     metrics export.
+//
+// Ownership rule (the copy-on-send contract): a buffer handed to Put must
+// not be referenced anywhere else. The cluster transport upholds this by
+// copying every payload at Send time and again into the retransmit window,
+// so collective code may recycle its send buffers immediately after Send
+// returns — see internal/cluster.
+package bufpool
+
+import (
+	"math/bits"
+	"sync"
+
+	"hzccl/internal/telemetry"
+)
+
+// numClasses covers capacities up to 2^31 elements; larger buffers bypass
+// the pool entirely (they are rare enough that the GC handles them fine).
+const numClasses = 32
+
+var (
+	mHits     = telemetry.C("bufpool.hits")
+	mMisses   = telemetry.C("bufpool.misses")
+	mPuts     = telemetry.C("bufpool.puts")
+	mRecycled = telemetry.C("bufpool.bytes_recycled")
+)
+
+// typedPool is one element type's set of size-classed pools.
+type typedPool[T any] struct {
+	classes  [numClasses]sync.Pool // holds *[]T with cap >= 1<<i
+	boxes    sync.Pool             // spare *[]T headers, recycled between Get and Put
+	elemSize int64
+}
+
+// class returns the pool index for a requested length (round up: buffers in
+// class i are guaranteed to hold 1<<i elements).
+func classFor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Get returns a slice of length n with undefined contents, drawn from the
+// pool when a buffer of sufficient capacity is available.
+func (p *typedPool[T]) Get(n int) []T {
+	c := classFor(n)
+	if c < numClasses {
+		if x := p.classes[c].Get(); x != nil {
+			box := x.(*[]T)
+			s := *box
+			*box = nil
+			p.boxes.Put(box)
+			mHits.Inc()
+			return s[:n]
+		}
+	}
+	mMisses.Inc()
+	if c < numClasses {
+		return make([]T, n, 1<<c)
+	}
+	return make([]T, n)
+}
+
+// Put returns a buffer to the pool. The caller must not retain any
+// reference to it (or to sub-slices of it) after Put.
+func (p *typedPool[T]) Put(s []T) {
+	c := capClass(cap(s))
+	if c < 0 {
+		return // capacity 0: nothing worth recycling
+	}
+	var box *[]T
+	if x := p.boxes.Get(); x != nil {
+		box = x.(*[]T)
+	} else {
+		box = new([]T)
+	}
+	*box = s[:cap(s)]
+	p.classes[c].Put(box)
+	mPuts.Inc()
+	mRecycled.Add(int64(cap(s)) * p.elemSize)
+}
+
+// capClass bins by actual capacity, rounding down: a buffer in class i must
+// hold at least 1<<i elements.
+func capClass(c int) int {
+	if c < 1 {
+		return -1
+	}
+	k := bits.Len(uint(c)) - 1
+	if k >= numClasses {
+		k = numClasses - 1
+	}
+	return k
+}
+
+var (
+	bytePool    = &typedPool[byte]{elemSize: 1}
+	int32Pool   = &typedPool[int32]{elemSize: 4}
+	uint32Pool  = &typedPool[uint32]{elemSize: 4}
+	float32Pool = &typedPool[float32]{elemSize: 4}
+)
+
+// Bytes returns a pooled []byte of length n (contents undefined).
+func Bytes(n int) []byte { return bytePool.Get(n) }
+
+// PutBytes recycles a buffer obtained from Bytes (or any []byte the caller
+// owns exclusively).
+func PutBytes(s []byte) { bytePool.Put(s) }
+
+// Int32s returns a pooled []int32 of length n (contents undefined).
+func Int32s(n int) []int32 { return int32Pool.Get(n) }
+
+// PutInt32s recycles an int32 scratch buffer.
+func PutInt32s(s []int32) { int32Pool.Put(s) }
+
+// Uint32s returns a pooled []uint32 of length n (contents undefined).
+func Uint32s(n int) []uint32 { return uint32Pool.Get(n) }
+
+// PutUint32s recycles a uint32 scratch buffer.
+func PutUint32s(s []uint32) { uint32Pool.Put(s) }
+
+// Float32s returns a pooled []float32 of length n (contents undefined).
+func Float32s(n int) []float32 { return float32Pool.Get(n) }
+
+// PutFloat32s recycles a float32 buffer.
+func PutFloat32s(s []float32) { float32Pool.Put(s) }

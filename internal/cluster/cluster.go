@@ -25,6 +25,8 @@ import (
 	"math"
 	"sync"
 	"time"
+
+	"hzccl/internal/bufpool"
 )
 
 // Category labels where virtual time went, matching the paper's breakdown
@@ -501,9 +503,15 @@ func (r *Rank) Quiesce(f func()) {
 }
 
 // Send transmits data to peer `to`. The payload is copied, so the caller
-// may reuse its buffer immediately. Sending is asynchronous (eager): the
-// sender's clock does not advance; transfer time is charged on the
-// receiver, which models the overlapped sends of a ring pipeline.
+// may reuse — or recycle through bufpool — its buffer the moment Send
+// returns; this copy-on-send rule is what lets the collectives run their
+// hot paths out of pooled buffers without aliasing anything the transport
+// retains (the reliable layer's retransmit window keeps its own pristine
+// copy, recorded below). The copy itself draws from bufpool; the receiver
+// ends up owning it exclusively, so a receiver that fully consumes a
+// payload may hand it back with bufpool.PutBytes. Sending is asynchronous
+// (eager): the sender's clock does not advance; transfer time is charged
+// on the receiver, which models the overlapped sends of a ring pipeline.
 //
 // Each message carries a crc32c checksum and a per-link sequence number,
 // verified by Recv; a configured Fault hook may drop, duplicate, corrupt
@@ -518,7 +526,7 @@ func (r *Rank) Send(to int, data []byte) error {
 	m := message{sentAt: r.now, from: r.ID, seq: r.sendSeq[to], epoch: r.epoch}
 	r.sendSeq[to]++
 	r.Quiesce(func() {
-		m.data = make([]byte, len(data))
+		m.data = bufpool.Bytes(len(data))
 		copy(m.data, data)
 		m.sum = checksum(m.data)
 	})

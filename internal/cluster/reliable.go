@@ -19,6 +19,12 @@ package cluster
 // α + bytes/β (plus any injected delay), and backoff is charged to MPI.
 // Degraded-fabric runs therefore show physically meaningful slowdowns in
 // BreakdownShares and Chrome traces.
+//
+// Buffer ownership: the retransmit window NEVER aliases a caller's (or a
+// pool's) buffer. recordRetx copies the payload into a private allocation
+// at Send time, and lookupRetx hands replays out as fresh copies, so
+// collectives recycling their send buffers through bufpool immediately
+// after Send cannot corrupt a later retransmission.
 
 import (
 	"errors"

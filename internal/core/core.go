@@ -19,7 +19,9 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
+	"hzccl/internal/bufpool"
 	"hzccl/internal/cluster"
 	"hzccl/internal/floatbytes"
 	"hzccl/internal/fzlight"
@@ -293,39 +295,45 @@ func (c Collectives) ReduceScatterCColl(r *cluster.Rank, data []float32) ([]floa
 		copy(out, data)
 		return out, nil
 	}
-	opt := c.Opt
-	var acc []float32
-	r.Quiesce(func() {
-		acc = make([]float32, len(data))
-		copy(acc, data)
-	})
+	params := c.Opt.params()
+	acc := bufpool.Float32s(len(data))
+	defer bufpool.PutFloat32s(acc)
+	r.Quiesce(func() { copy(acc, data) })
 	next, prev := (r.ID+1)%n, (r.ID-1+n)%n
 	for step := 0; step < n-1; step++ {
 		sendIdx := (r.ID - step + n) % n
 		recvIdx := (r.ID - step - 1 + n) % n
 		s, e := BlockBounds(len(data), n, sendIdx)
-		var payload []byte
+		payload := bufpool.Bytes(fzlight.CompressBound(e-s, params))
+		var m int
 		var cerr error
 		c.work(r, cluster.CatCPR, 4*(e-s), func() {
-			payload, cerr = fzlight.Compress(acc[s:e], opt.params())
+			m, cerr = fzlight.CompressInto(payload, acc[s:e], params)
 		})
 		if cerr != nil {
+			bufpool.PutBytes(payload)
 			return nil, cerr
 		}
-		got, err := ringSendRecv(r, next, payload, prev, true)
+		got, err := ringSendRecv(r, next, payload[:m], prev, true)
+		// Send copied the payload (and the reliable layer keeps its own
+		// pristine copy), so the buffer is dead either way.
+		bufpool.PutBytes(payload)
 		if err != nil {
 			return nil, err
 		}
 		rs, re := BlockBounds(len(data), n, recvIdx)
-		recvVals := make([]float32, re-rs)
+		recvVals := bufpool.Float32s(re - rs)
 		var derr error
 		c.work(r, cluster.CatDPR, 4*(re-rs), func() {
 			derr = fzlight.DecompressInto(got, recvVals)
 		})
 		if derr != nil {
+			bufpool.PutFloat32s(recvVals)
 			return nil, derr
 		}
 		c.work(r, cluster.CatCPT, 4*(re-rs), func() { addInto(acc[rs:re], recvVals) })
+		bufpool.PutFloat32s(recvVals)
+		bufpool.PutBytes(got)
 	}
 	s, e := BlockBounds(len(data), n, BlockOwned(r.ID, n))
 	out := make([]float32, e-s)
@@ -351,17 +359,34 @@ func (c Collectives) AllreduceCColl(r *cluster.Rank, data []float32) ([]float32,
 	if cerr != nil {
 		return nil, cerr
 	}
+	return c.allgatherAssembleCompressed(r, own, len(data))
+}
+
+// allgatherAssembleCompressed runs the compressed allgather tail shared by
+// the C-Coll and hZCCL allreduces: every rank's compressed block travels
+// the ring, each origin's payload decompresses into its owned range, and
+// the payload buffers (the local one included) recycle through bufpool
+// once decoded. Safe because allgatherBytes holds exactly one reference to
+// each payload and Send copies on enqueue.
+func (c Collectives) allgatherAssembleCompressed(r *cluster.Rank, own []byte, dataLen int) ([]float32, error) {
 	gathered, err := allgatherBytes(r, own, true)
 	if err != nil {
 		return nil, err
 	}
-	return assembleBlocks(r, len(data), gathered, func(payload []byte, dst []float32) error {
+	out, err := assembleBlocks(r, dataLen, gathered, func(payload []byte, dst []float32) error {
 		var derr error
 		c.work(r, cluster.CatDPR, 4*len(dst), func() {
 			derr = fzlight.DecompressInto(payload, dst)
 		})
 		return derr
 	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range gathered {
+		bufpool.PutBytes(p)
+	}
+	return out, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -371,20 +396,41 @@ func (c Collectives) AllreduceCColl(r *cluster.Rank, data []float32) ([]float32,
 // reduceScatterHZCompressed runs the hZCCL ring reduce-scatter and stops
 // before the final decompression, returning this rank's fully reduced
 // block in compressed form. Cost: N·CPR + (N−1)·HPR.
+//
+// The round-1 compression is pipelined against the ring (paper §III-C):
+// the step-0 outgoing block — always block index r.ID — compresses and
+// sends first, so the first exchange is already in flight while the
+// remaining N−1 blocks compress. The CPR charge is unchanged (it is split
+// 1 + (N−1) around the first send); only the send timestamp moves earlier,
+// which is exactly the compute/communication overlap the co-design is
+// after. Every compressed block lives in a bufpool buffer and recycles the
+// moment it is dead: outgoing blocks right after Send (the transport
+// copies on enqueue — see cluster.Send — and the reliable layer's
+// retransmit window keeps its own pristine copy), received payloads and
+// replaced accumulators right after the homomorphic Add consumes them.
+// Only the owned block's buffer escapes, to the caller.
 func (c Collectives) reduceScatterHZCompressed(r *cluster.Rank, data []float32) ([]byte, *hzdyn.Stats, error) {
 	n := r.N
-	opt := c.Opt
+	params := c.Opt.params()
 	stats := &hzdyn.Stats{}
 
-	// Round 1: compress all N blocks once (paper: N × CPR).
 	cblocks := make([][]byte, n)
-	var cerr error
-	c.work(r, cluster.CatCPR, 4*len(data), func() {
-		for k := 0; k < n && cerr == nil; k++ {
-			s, e := BlockBounds(len(data), n, k)
-			cblocks[k], cerr = fzlight.Compress(data[s:e], opt.params())
+	compressBlock := func(k int) error {
+		s, e := BlockBounds(len(data), n, k)
+		buf := bufpool.Bytes(fzlight.CompressBound(e-s, params))
+		m, err := fzlight.CompressInto(buf, data[s:e], params)
+		if err != nil {
+			bufpool.PutBytes(buf)
+			return err
 		}
-	})
+		cblocks[k] = buf[:m]
+		return nil
+	}
+
+	first := r.ID // the block sent at step 0
+	fs, fe := BlockBounds(len(data), n, first)
+	var cerr error
+	c.work(r, cluster.CatCPR, 4*(fe-fs), func() { cerr = compressBlock(first) })
 	if cerr != nil {
 		return nil, nil, cerr
 	}
@@ -396,15 +442,38 @@ func (c Collectives) reduceScatterHZCompressed(r *cluster.Rank, data []float32) 
 	for step := 0; step < n-1; step++ {
 		sendIdx := (r.ID - step + n) % n
 		recvIdx := (r.ID - step - 1 + n) % n
-		got, err := ringSendRecv(r, next, cblocks[sendIdx], prev, true)
+		if err := ringSend(r, next, cblocks[sendIdx], true); err != nil {
+			return nil, nil, err
+		}
+		bufpool.PutBytes(cblocks[sendIdx]) // copied on send: dead here
+		cblocks[sendIdx] = nil
+		if step == 0 {
+			// The other N−1 blocks compress while the first exchange is in
+			// flight (the remaining N−1 of the N × CPR charge).
+			c.work(r, cluster.CatCPR, 4*(len(data)-(fe-fs)), func() {
+				cerr = c.compressBlocksExcept(compressBlock, first, n)
+			})
+			if cerr != nil {
+				return nil, nil, cerr
+			}
+		}
+		got, err := ringRecv(r, prev)
 		if err != nil {
 			return nil, nil, err
 		}
 		rs, re := BlockBounds(len(data), n, recvIdx)
 		var herr error
 		c.work(r, cluster.CatHPR, 4*(re-rs), func() {
-			var st hzdyn.Stats
-			cblocks[recvIdx], st, herr = hzdyn.Add(cblocks[recvIdx], got)
+			out := bufpool.Bytes(hzdyn.AddBound(len(cblocks[recvIdx]), len(got)))
+			m, st, err := hzdyn.AddInto(out, cblocks[recvIdx], got)
+			if err != nil {
+				bufpool.PutBytes(out)
+				herr = err
+				return
+			}
+			bufpool.PutBytes(cblocks[recvIdx])
+			bufpool.PutBytes(got)
+			cblocks[recvIdx] = out[:m]
 			stats.Accumulate(st)
 		})
 		if herr != nil {
@@ -412,6 +481,44 @@ func (c Collectives) reduceScatterHZCompressed(r *cluster.Rank, data []float32) 
 		}
 	}
 	return cblocks[BlockOwned(r.ID, n)], stats, nil
+}
+
+// compressBlocksExcept compresses every reduce-scatter block except
+// `first` — concurrently across blocks when virtual-time charging is
+// modeled (Options.Rates), since the charge then depends only on byte
+// counts and the wall-clock win is free; sequentially when compute time is
+// measured, so the measurement stays single-core physical.
+func (c Collectives) compressBlocksExcept(compressBlock func(int) error, first, n int) error {
+	if c.Opt.Rates == nil || n <= 2 {
+		for k := 0; k < n; k++ {
+			if k == first {
+				continue
+			}
+			if err := compressBlock(k); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for k := 0; k < n; k++ {
+		if k == first {
+			continue
+		}
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			errs[k] = compressBlock(k)
+		}(k)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
 }
 
 // ReduceScatterHZ is the hZCCL ring reduce-scatter (paper cost
@@ -428,6 +535,7 @@ func (c Collectives) ReduceScatterHZ(r *cluster.Rank, data []float32) ([]float32
 	c.work(r, cluster.CatDPR, 4*(be-bs), func() {
 		out, derr = fzlight.Decompress(comp)
 	})
+	bufpool.PutBytes(comp) // exclusively ours, dead after the decode
 	if derr != nil {
 		return nil, nil, derr
 	}
@@ -444,17 +552,7 @@ func (c Collectives) AllreduceHZ(r *cluster.Rank, data []float32) ([]float32, *h
 	if err != nil {
 		return nil, nil, err
 	}
-	gathered, err := allgatherBytes(r, comp, true)
-	if err != nil {
-		return nil, nil, err
-	}
-	out, err := assembleBlocks(r, len(data), gathered, func(payload []byte, dst []float32) error {
-		var derr error
-		c.work(r, cluster.CatDPR, 4*len(dst), func() {
-			derr = fzlight.DecompressInto(payload, dst)
-		})
-		return derr
-	})
+	out, err := c.allgatherAssembleCompressed(r, comp, len(data))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -471,8 +569,6 @@ func (c Collectives) AllreduceHZNaive(r *cluster.Rank, data []float32) ([]float3
 	if err != nil {
 		return nil, nil, err
 	}
-	opt := c.Opt
-	_ = opt
 	var own []byte
 	var cerr error
 	c.work(r, cluster.CatCPR, 4*len(block), func() {
@@ -481,17 +577,7 @@ func (c Collectives) AllreduceHZNaive(r *cluster.Rank, data []float32) ([]float3
 	if cerr != nil {
 		return nil, nil, cerr
 	}
-	gathered, err := allgatherBytes(r, own, true)
-	if err != nil {
-		return nil, nil, err
-	}
-	out, err := assembleBlocks(r, len(data), gathered, func(payload []byte, dst []float32) error {
-		var derr error
-		c.work(r, cluster.CatDPR, 4*len(dst), func() {
-			derr = fzlight.DecompressInto(payload, dst)
-		})
-		return derr
-	})
+	out, err := c.allgatherAssembleCompressed(r, own, len(data))
 	if err != nil {
 		return nil, nil, err
 	}

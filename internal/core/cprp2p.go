@@ -1,6 +1,7 @@
 package core
 
 import (
+	"hzccl/internal/bufpool"
 	"hzccl/internal/cluster"
 	"hzccl/internal/fzlight"
 )
@@ -32,35 +33,46 @@ func (c Collectives) AllreduceCPRP2P(r *cluster.Rank, data []float32) ([]float32
 		return out, nil
 	}
 	next, prev := (r.ID+1)%n, (r.ID-1+n)%n
+	params := opt.params()
 	cur := block
 	for step := 0; step < n-1; step++ {
 		// Per-message compression: the forwarded block is recompressed at
-		// every hop (the naive point-to-point treatment).
-		var payload []byte
+		// every hop (the naive point-to-point treatment). The compressed
+		// payload and the received container live in pooled buffers that
+		// recycle as soon as the transport copy / decode consumes them.
+		payload := bufpool.Bytes(fzlight.CompressBound(len(cur), params))
+		var m int
 		var cerr error
 		c.work(r, cluster.CatCPR, 4*len(cur), func() {
-			payload, cerr = fzlight.Compress(cur, opt.params())
+			m, cerr = fzlight.CompressInto(payload, cur, params)
 		})
 		if cerr != nil {
+			bufpool.PutBytes(payload)
 			return nil, cerr
 		}
-		got, err := ringSendRecv(r, next, payload, prev, true)
+		got, err := ringSendRecv(r, next, payload[:m], prev, true)
+		bufpool.PutBytes(payload) // copied on send: dead either way
 		if err != nil {
 			return nil, err
 		}
 		origin := (r.ID - step - 1 + n) % n
 		ok := BlockOwned(origin, n)
 		os, oe := BlockBounds(len(data), n, ok)
-		recv := make([]float32, oe-os)
+		recv := bufpool.Float32s(oe - os)
 		var derr error
 		c.work(r, cluster.CatDPR, 4*(oe-os), func() {
 			derr = fzlight.DecompressInto(got, recv)
 		})
+		bufpool.PutBytes(got)
 		if derr != nil {
+			bufpool.PutFloat32s(recv)
 			return nil, derr
 		}
 		copy(out[os:oe], recv)
-		cur = recv
+		bufpool.PutFloat32s(recv)
+		// The forwarded values live on in the output array, so the next
+		// hop compresses from there instead of retaining recv.
+		cur = out[os:oe]
 	}
 	return out, nil
 }

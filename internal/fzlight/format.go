@@ -144,6 +144,106 @@ func ParseHeader(comp []byte) (*Header, error) {
 // Info is an alias for ParseHeader, provided for API clarity.
 func Info(comp []byte) (*Header, error) { return ParseHeader(comp) }
 
+// HeaderLite is the stack-allocated header view used by the zero-allocation
+// hot paths (CompressInto, hzdyn.AddInto). It covers version-1 (1D)
+// containers only — the 2D/3D Lorenzo layouts keep the pointer-based
+// ParseHeader. Two HeaderLite values compare equal exactly when the
+// containers are homomorphically compatible, so `ha == hb` is the lite
+// geometry check.
+type HeaderLite struct {
+	ErrorBound float64
+	BlockSize  int
+	NumChunks  int
+	DataLen    int
+	Float64    bool
+}
+
+// ParseHeaderLite validates a version-1 container header — including the
+// full chunk-size table, exactly as ParseHeader does — without allocating.
+// Containers in the 2D/3D layouts return ErrBadVersion; callers needing
+// those fall back to ParseHeader.
+func ParseHeaderLite(comp []byte) (HeaderLite, error) {
+	var h HeaderLite
+	if len(comp) < fixedHeader {
+		return h, ErrCorrupt
+	}
+	if string(comp[:4]) != magic {
+		return h, ErrBadMagic
+	}
+	if comp[4] != formatVersion {
+		return h, fmt.Errorf("%w: version %d (lite header is 1D-only)", ErrBadVersion, comp[4])
+	}
+	h.Float64 = comp[5]&flagFloat64 != 0
+	h.BlockSize = int(binary.LittleEndian.Uint16(comp[6:]))
+	h.ErrorBound = math.Float64frombits(binary.LittleEndian.Uint64(comp[8:]))
+	h.NumChunks = int(binary.LittleEndian.Uint32(comp[16:]))
+	rawLen := binary.LittleEndian.Uint64(comp[20:])
+	if h.BlockSize < 1 || h.NumChunks < 1 || !(h.ErrorBound > 0) {
+		return HeaderLite{}, ErrCorrupt
+	}
+	// Same untrusted-input bounds as ParseHeader: the payload limits both
+	// the chunk count and the element count.
+	payload := uint64(len(comp) - fixedHeader)
+	if uint64(h.NumChunks) > payload/8 {
+		return HeaderLite{}, ErrCorrupt
+	}
+	if rawLen > payload*uint64(h.BlockSize) {
+		return HeaderLite{}, ErrCorrupt
+	}
+	h.DataLen = int(rawLen)
+	if h.DataLen > 0 && h.NumChunks > h.DataLen {
+		return HeaderLite{}, ErrCorrupt
+	}
+	if len(comp) < headerBytes(h.NumChunks) {
+		return HeaderLite{}, ErrCorrupt
+	}
+	// The size table must exactly cover the payload — the chunkOffsets
+	// check, without materializing the offsets.
+	o := headerBytes(h.NumChunks)
+	for i := 0; i < h.NumChunks; i++ {
+		o += int(binary.LittleEndian.Uint32(comp[fixedHeader+4*i:]))
+		if o > len(comp) {
+			return HeaderLite{}, ErrCorrupt
+		}
+	}
+	if o != len(comp) {
+		return HeaderLite{}, fmt.Errorf("%w: container size %d, chunks end at %d", ErrCorrupt, len(comp), o)
+	}
+	return h, nil
+}
+
+// ChunkSize reads chunk i's payload size from the container's size table
+// (bounds were validated by ParseHeaderLite).
+func (h HeaderLite) ChunkSize(comp []byte, i int) int {
+	return int(binary.LittleEndian.Uint32(comp[fixedHeader+4*i:]))
+}
+
+// PayloadStart returns the offset of the first chunk payload.
+func (h HeaderLite) PayloadStart() int { return headerBytes(h.NumChunks) }
+
+// MarshalHeaderLite writes the fixed header fields of a version-1 container
+// into dst; the per-chunk size table is filled separately with PutChunkSize
+// as payload sizes become known. dst must hold HeaderOverhead(h.NumChunks)
+// bytes.
+func MarshalHeaderLite(dst []byte, h HeaderLite) {
+	copy(dst, magic)
+	dst[4] = formatVersion
+	var fl byte
+	if h.Float64 {
+		fl = flagFloat64
+	}
+	dst[5] = fl
+	binary.LittleEndian.PutUint16(dst[6:], uint16(h.BlockSize))
+	binary.LittleEndian.PutUint64(dst[8:], math.Float64bits(h.ErrorBound))
+	binary.LittleEndian.PutUint32(dst[16:], uint32(h.NumChunks))
+	binary.LittleEndian.PutUint64(dst[20:], uint64(h.DataLen))
+}
+
+// PutChunkSize records chunk i's payload size in dst's size table.
+func PutChunkSize(dst []byte, i, size int) {
+	binary.LittleEndian.PutUint32(dst[fixedHeader+4*i:], uint32(size))
+}
+
 // chunkOffsets returns numChunks+1 byte offsets into the container such
 // that chunk i occupies comp[offs[i]:offs[i+1]], verifying that the sizes
 // exactly cover the container.

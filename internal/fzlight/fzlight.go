@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+
+	"hzccl/internal/bufpool"
 )
 
 // DefaultBlockSize is the small-block length used when Params.BlockSize is
@@ -135,90 +137,137 @@ func compressAny[T Float](data []T, p Params, wide bool) ([]byte, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
-	numChunks := p.Threads
-	if numChunks > len(data) {
-		numChunks = len(data)
+	buf := bufpool.Bytes(CompressBound(len(data), p))
+	n, err := compressIntoAny(buf, data, p, wide)
+	if err != nil {
+		bufpool.PutBytes(buf)
+		return nil, err
 	}
-	if numChunks < 1 {
-		numChunks = 1
+	out := make([]byte, n)
+	copy(out, buf[:n])
+	bufpool.PutBytes(buf)
+	return out, nil
+}
+
+// compressChunkCount is the effective chunk count for n elements under p:
+// Params.Threads clamped so no chunk is empty.
+func compressChunkCount(n int, p Params) int {
+	nc := p.Threads
+	if nc > n {
+		nc = n
 	}
-	h := Header{
+	if nc < 1 {
+		nc = 1
+	}
+	return nc
+}
+
+// CompressBound returns the smallest dst length guaranteed to be
+// sufficient for CompressInto of n elements under p (header plus the
+// worst-case encoding of every chunk).
+func CompressBound(n int, p Params) int {
+	p = p.withDefaults()
+	nc := compressChunkCount(n, p)
+	total := headerBytes(nc)
+	for i := 0; i < nc; i++ {
+		s, e := ChunkBounds(n, nc, i)
+		total += worstChunkBytes(e-s, p.BlockSize)
+	}
+	return total
+}
+
+// CompressInto compresses float32 data into dst, which must hold at least
+// CompressBound(len(data), p) bytes, and returns the container size. It is
+// the reusable-buffer form of Compress: with a single chunk (the
+// collectives' configuration) the steady state performs zero heap
+// allocations — the chunk encodes directly into dst behind an
+// inline-written header, and the per-block scratch comes from bufpool.
+func CompressInto(dst []byte, data []float32, p Params) (int, error) {
+	return compressIntoAny(dst, data, p, false)
+}
+
+// CompressInto64 is CompressInto for float64 data (see Compress64).
+func CompressInto64(dst []byte, data []float64, p Params) (int, error) {
+	return compressIntoAny(dst, data, p, true)
+}
+
+func compressIntoAny[T Float](dst []byte, data []T, p Params, wide bool) (int, error) {
+	p = p.withDefaults()
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	if need := CompressBound(len(data), p); len(dst) < need {
+		return 0, fmt.Errorf("%w: CompressInto needs %d bytes, got %d", ErrShortOutput, need, len(dst))
+	}
+	numChunks := compressChunkCount(len(data), p)
+	hdr := headerBytes(numChunks)
+	recip := 1 / (2 * p.ErrorBound)
+	h := HeaderLite{
 		ErrorBound: p.ErrorBound,
 		BlockSize:  p.BlockSize,
 		NumChunks:  numChunks,
 		DataLen:    len(data),
-		Version:    1,
 		Float64:    wide,
-		ChunkSizes: make([]uint32, numChunks),
 	}
 
-	chunks := make([][]byte, numChunks)
-	errs := make([]error, numChunks)
-	recip := 1 / (2 * p.ErrorBound)
-
-	bufs := make([]*[]byte, numChunks)
-	work := func(i int) {
-		start, end := ChunkBounds(len(data), numChunks, i)
-		bufs[i] = getChunkBuf(worstChunkBytes(end-start, p.BlockSize))
-		buf := *bufs[i]
-		sp := mChunkEncodeNS.Start()
-		n, err := compressChunk(buf, data[start:end], recip, p.BlockSize)
-		sp.End()
-		chunks[i] = buf[:n]
-		errs[i] = err
-	}
+	var total int
 	if numChunks == 1 {
-		work(0)
+		sp := mChunkEncodeNS.Start()
+		n, err := compressChunk(dst[hdr:], data, recip, p.BlockSize)
+		sp.End()
+		if err != nil {
+			mCompressErrs.Inc()
+			return 0, err
+		}
+		MarshalHeaderLite(dst, h)
+		PutChunkSize(dst, 0, n)
+		total = n
 	} else {
+		// Every chunk encodes in parallel at its worst-case offset in dst;
+		// the payloads are then compacted left so chunks abut (copy is a
+		// memmove, safe for the overlapping forward shift).
+		offs := make([]int, numChunks+1)
+		sizes := make([]int, numChunks)
+		errs := make([]error, numChunks)
+		offs[0] = hdr
+		for i := 0; i < numChunks; i++ {
+			s, e := ChunkBounds(len(data), numChunks, i)
+			offs[i+1] = offs[i] + worstChunkBytes(e-s, p.BlockSize)
+		}
+		// Capture the block size as a plain int: closing over p would move
+		// the whole Params to the heap and cost the single-chunk fast path
+		// its zero-allocation guarantee.
+		B := p.BlockSize
 		var wg sync.WaitGroup
 		wg.Add(numChunks)
 		for i := 0; i < numChunks; i++ {
-			go func(i int) { defer wg.Done(); work(i) }(i)
+			go func(i int) {
+				defer wg.Done()
+				s, e := ChunkBounds(len(data), numChunks, i)
+				sp := mChunkEncodeNS.Start()
+				sizes[i], errs[i] = compressChunk(dst[offs[i]:offs[i+1]], data[s:e], recip, B)
+				sp.End()
+			}(i)
 		}
 		wg.Wait()
-	}
-	total := 0
-	for i, c := range chunks {
-		if errs[i] != nil {
-			mCompressErrs.Inc()
-			return nil, errs[i]
+		MarshalHeaderLite(dst, h)
+		o := hdr
+		for i := 0; i < numChunks; i++ {
+			if errs[i] != nil {
+				mCompressErrs.Inc()
+				return 0, errs[i]
+			}
+			copy(dst[o:], dst[offs[i]:offs[i]+sizes[i]])
+			PutChunkSize(dst, i, sizes[i])
+			o += sizes[i]
 		}
-		h.ChunkSizes[i] = uint32(len(c))
-		total += len(c)
-	}
-
-	out := make([]byte, headerBytes(numChunks)+total)
-	o := h.marshal(out)
-	for i, c := range chunks {
-		o += copy(out[o:], c)
-		putChunkBuf(bufs[i])
+		total = o - hdr
 	}
 	mCompressCalls.Inc()
 	mCompressRaw.Add(int64(len(data) * elemBytes(wide)))
-	mCompressOut.Add(int64(o))
+	mCompressOut.Add(int64(hdr + total))
 	mCompressOutlier.Add(int64(numChunks)) // one raw outlier per chunk
-	return out[:o], nil
-}
-
-// chunkBufPool recycles the worst-case scratch buffers chunks are encoded
-// into before being packed behind the header. Without it every Compress
-// zeroes ~4.2 bytes per element of fresh allocation, which dominates the
-// runtime of the otherwise allocation-free encode loop.
-var chunkBufPool sync.Pool
-
-func getChunkBuf(n int) *[]byte {
-	if p, ok := chunkBufPool.Get().(*[]byte); ok && cap(*p) >= n {
-		*p = (*p)[:n]
-		return p
-	}
-	b := make([]byte, n)
-	return &b
-}
-
-func putChunkBuf(p *[]byte) {
-	if p != nil {
-		chunkBufPool.Put(p)
-	}
+	return hdr + total, nil
 }
 
 // compressChunk writes one chunk (outlier + encoded blocks) into dst and
@@ -233,8 +282,10 @@ func compressChunk[T Float](dst []byte, data []T, recip float64, B int) (int, er
 	if len(data) == 0 {
 		return o, nil
 	}
-	pbuf := make([]int32, B)
-	mbuf := make([]uint32, B)
+	pbuf := bufpool.Int32s(B)
+	mbuf := bufpool.Uint32s(B)
+	defer bufpool.PutInt32s(pbuf)
+	defer bufpool.PutUint32s(mbuf)
 	var mscratch [32]uint32
 	var qprev int32
 	first := true
@@ -372,8 +423,10 @@ func decompressChunk[T Float](src []byte, dst []T, eb2 float64, B int) error {
 	}
 	acc := getInt32(src)
 	o := 4
-	pbuf := make([]int32, B)
-	mbuf := make([]uint32, B)
+	pbuf := bufpool.Int32s(B)
+	mbuf := bufpool.Uint32s(B)
+	defer bufpool.PutInt32s(pbuf)
+	defer bufpool.PutUint32s(mbuf)
 	var mscratch [32]uint32
 	for base := 0; base < len(dst); base += B {
 		end := base + B

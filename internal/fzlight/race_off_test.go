@@ -1,0 +1,5 @@
+//go:build !race
+
+package fzlight
+
+const raceEnabled = false

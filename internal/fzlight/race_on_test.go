@@ -1,0 +1,7 @@
+//go:build race
+
+package fzlight
+
+// raceEnabled reports that this build runs under the race detector,
+// whose instrumentation allocates and distorts AllocsPerRun counts.
+const raceEnabled = true

@@ -60,6 +60,7 @@ func BenchmarkCompressTelemetry(b *testing.B) {
 	p := Params{ErrorBound: 1e-3}
 	run := func(b *testing.B) {
 		b.SetBytes(int64(4 * len(data)))
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := Compress(data, p); err != nil {

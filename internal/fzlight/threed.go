@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+
+	"hzccl/internal/bufpool"
 )
 
 // 3D support (format version 3). The paper's application data is
@@ -58,15 +60,15 @@ func Compress3D(data []float32, depth, height, width int, p Params) ([]byte, err
 	plane := width * height
 
 	chunks := make([][]byte, numChunks)
-	bufs := make([]*[]byte, numChunks)
+	bufs := make([][]byte, numChunks)
 	errs := make([]error, numChunks)
 	recip := 1 / (2 * p.ErrorBound)
 
 	work := func(i int) {
 		zs, ze := ChunkBounds(depth, numChunks, i)
 		n := (ze - zs) * plane
-		bufs[i] = getChunkBuf(worstChunkBytes(n, p.BlockSize))
-		buf := *bufs[i]
+		buf := bufpool.Bytes(worstChunkBytes(n, p.BlockSize))
+		bufs[i] = buf
 		written, err := compressChunk3D(buf, data[zs*plane:ze*plane], width, height, recip, p.BlockSize)
 		chunks[i] = buf[:written]
 		errs[i] = err
@@ -93,7 +95,7 @@ func Compress3D(data []float32, depth, height, width int, p Params) ([]byte, err
 	o := h.marshal3(out)
 	for i, c := range chunks {
 		o += copy(out[o:], c)
-		putChunkBuf(bufs[i])
+		bufpool.PutBytes(bufs[i])
 	}
 	return out[:o], nil
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+
+	"hzccl/internal/bufpool"
 )
 
 // 2D support (format version 2). The paper's future work calls for
@@ -58,15 +60,15 @@ func Compress2D(data []float32, height, width int, p Params) ([]byte, error) {
 	}
 
 	chunks := make([][]byte, numChunks)
-	bufs := make([]*[]byte, numChunks)
+	bufs := make([][]byte, numChunks)
 	errs := make([]error, numChunks)
 	recip := 1 / (2 * p.ErrorBound)
 
 	work := func(i int) {
 		rs, re := ChunkBounds(height, numChunks, i)
 		n := (re - rs) * width
-		bufs[i] = getChunkBuf(worstChunkBytes(n, p.BlockSize))
-		buf := *bufs[i]
+		buf := bufpool.Bytes(worstChunkBytes(n, p.BlockSize))
+		bufs[i] = buf
 		written, err := compressChunk2D(buf, data[rs*width:re*width], width, recip, p.BlockSize)
 		chunks[i] = buf[:written]
 		errs[i] = err
@@ -93,7 +95,7 @@ func Compress2D(data []float32, height, width int, p Params) ([]byte, error) {
 	o := h.marshal2(out)
 	for i, c := range chunks {
 		o += copy(out[o:], c)
-		putChunkBuf(bufs[i])
+		bufpool.PutBytes(bufs[i])
 	}
 	return out[:o], nil
 }

@@ -22,6 +22,7 @@ import (
 	"math"
 	"sync"
 
+	"hzccl/internal/bufpool"
 	"hzccl/internal/fzlight"
 	"hzccl/internal/telemetry"
 )
@@ -87,6 +88,12 @@ func (s *Stats) Accumulate(o Stats) {
 	s.Blocks += o.Blocks
 }
 
+// AddBound returns a dst size always sufficient for AddInto over
+// containers of lenA and lenB bytes: a summed block's code length is at
+// most max(code_a, code_b)+1, so every output block fits within its two
+// input blocks' combined bytes, and the output header matches the inputs'.
+func AddBound(lenA, lenB int) int { return lenA + lenB }
+
 // Add homomorphically sums two fZ-light streams and returns the compressed
 // sum plus pipeline-selection statistics. Both streams must have been
 // produced with identical Params over equal-length inputs (or be outputs of
@@ -104,34 +111,143 @@ func StaticAdd(a, b []byte) ([]byte, error) {
 	return out, err
 }
 
+// add is the allocating wrapper: it reduces into a pooled bound-sized
+// buffer and copies the exact-sized result out.
 func add(a, b []byte, dynamic bool) ([]byte, Stats, error) {
+	buf := bufpool.Bytes(AddBound(len(a), len(b)))
+	n, st, err := addInto(buf, a, b, dynamic)
+	if err != nil {
+		bufpool.PutBytes(buf)
+		return nil, st, err
+	}
+	out := make([]byte, n)
+	copy(out, buf[:n])
+	bufpool.PutBytes(buf)
+	return out, st, nil
+}
+
+// AddInto homomorphically sums streams a and b into dst, which must hold
+// at least AddBound(len(a), len(b)) bytes, and returns the container size
+// plus pipeline-selection statistics. It is the reusable-buffer form of
+// Add: for 1D containers the steady state performs zero heap allocations —
+// header parsing is stack-only (fzlight.HeaderLite) and all per-chunk
+// scratch comes from bufpool.
+func AddInto(dst, a, b []byte) (int, Stats, error) {
+	return addInto(dst, a, b, true)
+}
+
+func addInto(dst, a, b []byte, dynamic bool) (int, Stats, error) {
+	var stats Stats
+	ha, err := fzlight.ParseHeaderLite(a)
+	if err != nil {
+		if errors.Is(err, fzlight.ErrBadVersion) {
+			// 2D/3D Lorenzo container: take the pointer-header path.
+			return addIntoSlow(dst, a, b, dynamic)
+		}
+		return 0, stats, fmt.Errorf("hzdyn: left operand: %w", err)
+	}
+	hb, err := fzlight.ParseHeaderLite(b)
+	if err != nil {
+		return 0, stats, fmt.Errorf("hzdyn: right operand: %w", err)
+	}
+	if ha != hb {
+		return 0, stats, ErrGeometry
+	}
+	if len(dst) < AddBound(len(a), len(b)) {
+		return 0, stats, fzlight.ErrShortOutput
+	}
+	hdr := ha.PayloadStart()
+	nc := ha.NumChunks
+
+	if nc == 1 {
+		n, st, err := addChunk(dst[hdr:], a[hdr:], b[hdr:], ha.DataLen, ha.BlockSize, dynamic)
+		if err != nil {
+			if errors.Is(err, ErrOverflow) {
+				mOverflow.Inc()
+			}
+			return 0, stats, err
+		}
+		stats.add(st)
+		fzlight.MarshalHeaderLite(dst, ha)
+		fzlight.PutChunkSize(dst, 0, n)
+		recordAdd(stats)
+		return hdr + n, stats, nil
+	}
+
+	// Multi-chunk: each pair reduces in parallel at its worst-case offset
+	// (the two input chunks' combined size), then the payloads compact
+	// left. The small index slices below are per-call, not per-block; the
+	// zero-allocation guarantee covers the single-chunk configuration the
+	// collectives use.
+	offs := make([]int, nc+1)
+	offsA := make([]int, nc+1)
+	offsB := make([]int, nc+1)
+	offs[0], offsA[0], offsB[0] = hdr, hdr, hdr
+	for i := 0; i < nc; i++ {
+		sa, sb := ha.ChunkSize(a, i), hb.ChunkSize(b, i)
+		offsA[i+1] = offsA[i] + sa
+		offsB[i+1] = offsB[i] + sb
+		offs[i+1] = offs[i] + sa + sb
+	}
+	sizes := make([]int, nc)
+	chunkStats := make([]Stats, nc)
+	errs := make([]error, nc)
+	var wg sync.WaitGroup
+	wg.Add(nc)
+	for i := 0; i < nc; i++ {
+		go func(i int) {
+			defer wg.Done()
+			s, e := fzlight.ChunkBounds(ha.DataLen, nc, i)
+			sizes[i], chunkStats[i], errs[i] = addChunk(dst[offs[i]:offs[i+1]],
+				a[offsA[i]:offsA[i+1]], b[offsB[i]:offsB[i+1]], e-s, ha.BlockSize, dynamic)
+		}(i)
+	}
+	wg.Wait()
+	fzlight.MarshalHeaderLite(dst, ha)
+	o := hdr
+	for i := 0; i < nc; i++ {
+		if errs[i] != nil {
+			if errors.Is(errs[i], ErrOverflow) {
+				mOverflow.Inc()
+			}
+			return 0, stats, errs[i]
+		}
+		copy(dst[o:], dst[offs[i]:offs[i]+sizes[i]])
+		fzlight.PutChunkSize(dst, i, sizes[i])
+		o += sizes[i]
+		stats.add(chunkStats[i])
+	}
+	recordAdd(stats)
+	return o, stats, nil
+}
+
+// addIntoSlow reduces 2D/3D containers (whose chunk geometry needs the
+// full header) through the allocating chunk path, then copies into dst.
+func addIntoSlow(dst, a, b []byte, dynamic bool) (int, Stats, error) {
 	var stats Stats
 	ha, offsA, err := fzlight.ChunkOffsets(a)
 	if err != nil {
-		return nil, stats, fmt.Errorf("hzdyn: left operand: %w", err)
+		return 0, stats, fmt.Errorf("hzdyn: left operand: %w", err)
 	}
 	hb, offsB, err := fzlight.ChunkOffsets(b)
 	if err != nil {
-		return nil, stats, fmt.Errorf("hzdyn: right operand: %w", err)
+		return 0, stats, fmt.Errorf("hzdyn: right operand: %w", err)
 	}
 	if !fzlight.SameGeometry(ha, hb) {
-		return nil, stats, ErrGeometry
+		return 0, stats, ErrGeometry
 	}
 
 	nc := ha.NumChunks
 	chunks := make([][]byte, nc)
+	bufs := make([][]byte, nc)
 	chunkStats := make([]Stats, nc)
 	errs := make([]error, nc)
 	work := func(i int) {
 		start, end := fzlight.ChunkElemRange(ha, i)
 		ca := a[offsA[i]:offsA[i+1]]
 		cb := b[offsB[i]:offsB[i+1]]
-		// The sum of two blocks with code lengths ca, cb has code length at
-		// most max(ca,cb)+1, so each output block fits within the two input
-		// blocks' combined bytes; len(ca)+len(cb) is a tight chunk bound
-		// (versus the 5·n worst case, whose zeroing would dominate the
-		// light pipelines ①–③).
-		buf := make([]byte, len(ca)+len(cb))
+		buf := bufpool.Bytes(len(ca) + len(cb))
+		bufs[i] = buf
 		n, st, err := addChunk(buf, ca, cb, end-start, ha.BlockSize, dynamic)
 		chunks[i] = buf[:n]
 		chunkStats[i] = st
@@ -154,16 +270,30 @@ func add(a, b []byte, dynamic bool) ([]byte, Stats, error) {
 			if errors.Is(errs[i], ErrOverflow) {
 				mOverflow.Inc()
 			}
-			return nil, stats, errs[i]
+			for _, buf := range bufs {
+				bufpool.PutBytes(buf)
+			}
+			return 0, stats, errs[i]
 		}
 		stats.add(chunkStats[i])
 	}
+	for _, buf := range bufs {
+		bufpool.PutBytes(buf)
+	}
+	if len(dst) < len(out) {
+		return 0, stats, fzlight.ErrShortOutput
+	}
+	recordAdd(stats)
+	return copy(dst, out), stats, nil
+}
+
+// recordAdd folds one reduction's statistics into the package telemetry.
+func recordAdd(stats Stats) {
 	mAddCalls.Inc()
 	mBlocks.Add(stats.Blocks)
 	for p := PipelineBothConstant; p <= PipelineBothEncoded; p++ {
 		mPipelineHist.ObserveN(int64(p), stats.Pipeline[p])
 	}
-	return out, stats, nil
 }
 
 func worstChunkBytes(n, B int) int {
@@ -187,9 +317,12 @@ func addChunk(dst, a, b []byte, n, B int, dynamic bool) (int, Stats, error) {
 	putInt32(dst, int32(oa64))
 	oa, ob, o := 4, 4, 4
 
-	pa := make([]int32, B)
-	pb := make([]int32, B)
-	scratch := make([]uint32, B)
+	pa := bufpool.Int32s(B)
+	pb := bufpool.Int32s(B)
+	scratch := bufpool.Uint32s(B)
+	defer bufpool.PutInt32s(pa)
+	defer bufpool.PutInt32s(pb)
+	defer bufpool.PutUint32s(scratch)
 
 	for base := 0; base < n; base += B {
 		bn := B
@@ -273,17 +406,136 @@ func addChunk(dst, a, b []byte, n, B int, dynamic bool) (int, Stats, error) {
 	return o, st, nil
 }
 
+// ScaleBound returns a dst size always sufficient for ScaleIntInto on
+// comp: scaling can grow every block to its worst-case code length, so the
+// bound is the header plus each chunk's worst-case encoding.
+func ScaleBound(comp []byte) (int, error) {
+	h, err := fzlight.ParseHeaderLite(comp)
+	if err != nil {
+		if !errors.Is(err, fzlight.ErrBadVersion) {
+			return 0, err
+		}
+		hp, perr := fzlight.ParseHeader(comp)
+		if perr != nil {
+			return 0, perr
+		}
+		total := len(comp) // ≥ the real header size for any version
+		for i := 0; i < hp.NumChunks; i++ {
+			s, e := fzlight.ChunkElemRange(hp, i)
+			total += worstChunkBytes(e-s, hp.BlockSize)
+		}
+		return total, nil
+	}
+	total := fzlight.HeaderOverhead(h.NumChunks)
+	for i := 0; i < h.NumChunks; i++ {
+		s, e := fzlight.ChunkBounds(h.DataLen, h.NumChunks, i)
+		total += worstChunkBytes(e-s, h.BlockSize)
+	}
+	return total, nil
+}
+
 // ScaleInt multiplies every value in a compressed stream by the integer k,
 // entirely in compressed space. Scaling is linear in the quantized domain,
 // so Decompress(ScaleInt(C(v), k)) == k · Decompress(C(v)) exactly. This is
 // the building block the paper's future-work section needs for weighted
 // reductions.
 func ScaleInt(comp []byte, k int32) ([]byte, error) {
-	h, offs, err := fzlight.ChunkOffsets(comp)
+	bound, err := ScaleBound(comp)
 	if err != nil {
 		return nil, err
 	}
+	buf := bufpool.Bytes(bound)
+	n, err := ScaleIntInto(buf, comp, k)
+	if err != nil {
+		bufpool.PutBytes(buf)
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, buf[:n])
+	bufpool.PutBytes(buf)
+	return out, nil
+}
+
+// ScaleIntInto is the reusable-buffer form of ScaleInt: it scales comp by
+// k into dst — which must hold at least ScaleBound(comp) bytes — and
+// returns the container size. For 1D containers with a single chunk the
+// steady state performs zero heap allocations.
+func ScaleIntInto(dst, comp []byte, k int32) (int, error) {
+	h, err := fzlight.ParseHeaderLite(comp)
+	if err != nil {
+		if errors.Is(err, fzlight.ErrBadVersion) {
+			return scaleIntoSlow(dst, comp, k)
+		}
+		return 0, err
+	}
+	hdr := h.PayloadStart()
+	nc := h.NumChunks
+
+	if nc == 1 {
+		if len(dst) < hdr+worstChunkBytes(h.DataLen, h.BlockSize) {
+			return 0, fzlight.ErrShortOutput
+		}
+		n, err := scaleChunk(dst[hdr:], comp[hdr:], h.DataLen, h.BlockSize, k)
+		if err != nil {
+			if errors.Is(err, ErrOverflow) {
+				mOverflow.Inc()
+			}
+			return 0, err
+		}
+		fzlight.MarshalHeaderLite(dst, h)
+		fzlight.PutChunkSize(dst, 0, n)
+		return hdr + n, nil
+	}
+
+	// Multi-chunk: scale in parallel at worst-case offsets, then compact —
+	// the same shape as addInto.
+	offs := make([]int, nc+1)
+	offsIn := make([]int, nc+1)
+	offs[0], offsIn[0] = hdr, hdr
+	for i := 0; i < nc; i++ {
+		s, e := fzlight.ChunkBounds(h.DataLen, nc, i)
+		offsIn[i+1] = offsIn[i] + h.ChunkSize(comp, i)
+		offs[i+1] = offs[i] + worstChunkBytes(e-s, h.BlockSize)
+	}
+	if len(dst) < offs[nc] {
+		return 0, fzlight.ErrShortOutput
+	}
+	sizes := make([]int, nc)
+	errs := make([]error, nc)
+	var wg sync.WaitGroup
+	wg.Add(nc)
+	for i := 0; i < nc; i++ {
+		go func(i int) {
+			defer wg.Done()
+			s, e := fzlight.ChunkBounds(h.DataLen, nc, i)
+			sizes[i], errs[i] = scaleChunk(dst[offs[i]:offs[i+1]], comp[offsIn[i]:offsIn[i+1]], e-s, h.BlockSize, k)
+		}(i)
+	}
+	wg.Wait()
+	fzlight.MarshalHeaderLite(dst, h)
+	o := hdr
+	for i := 0; i < nc; i++ {
+		if errs[i] != nil {
+			if errors.Is(errs[i], ErrOverflow) {
+				mOverflow.Inc()
+			}
+			return 0, errs[i]
+		}
+		copy(dst[o:], dst[offs[i]:offs[i]+sizes[i]])
+		fzlight.PutChunkSize(dst, i, sizes[i])
+		o += sizes[i]
+	}
+	return o, nil
+}
+
+// scaleIntoSlow scales 2D/3D containers through the allocating chunk path.
+func scaleIntoSlow(dst, comp []byte, k int32) (int, error) {
+	h, offs, err := fzlight.ChunkOffsets(comp)
+	if err != nil {
+		return 0, err
+	}
 	chunks := make([][]byte, h.NumChunks)
+	bufs := make([][]byte, h.NumChunks)
 	errs := make([]error, h.NumChunks)
 	var wg sync.WaitGroup
 	for i := 0; i < h.NumChunks; i++ {
@@ -291,7 +543,8 @@ func ScaleInt(comp []byte, k int32) ([]byte, error) {
 		go func(i int) {
 			defer wg.Done()
 			start, end := fzlight.ChunkElemRange(h, i)
-			buf := make([]byte, worstChunkBytes(end-start, h.BlockSize))
+			buf := bufpool.Bytes(worstChunkBytes(end-start, h.BlockSize))
+			bufs[i] = buf
 			n, err := scaleChunk(buf, comp[offs[i]:offs[i+1]], end-start, h.BlockSize, k)
 			chunks[i] = buf[:n]
 			errs[i] = err
@@ -303,10 +556,20 @@ func ScaleInt(comp []byte, k int32) ([]byte, error) {
 			if errors.Is(e, ErrOverflow) {
 				mOverflow.Inc()
 			}
-			return nil, e
+			for _, buf := range bufs {
+				bufpool.PutBytes(buf)
+			}
+			return 0, e
 		}
 	}
-	return fzlight.AssembleLike(h, chunks), nil
+	out := fzlight.AssembleLike(h, chunks)
+	for _, buf := range bufs {
+		bufpool.PutBytes(buf)
+	}
+	if len(dst) < len(out) {
+		return 0, fzlight.ErrShortOutput
+	}
+	return copy(dst, out), nil
 }
 
 func scaleChunk(dst, src []byte, n, B int, k int32) (int, error) {
@@ -319,8 +582,10 @@ func scaleChunk(dst, src []byte, n, B int, k int32) (int, error) {
 	}
 	putInt32(dst, int32(ov))
 	oi, o := 4, 4
-	p := make([]int32, B)
-	scratch := make([]uint32, B)
+	p := bufpool.Int32s(B)
+	scratch := bufpool.Uint32s(B)
+	defer bufpool.PutInt32s(p)
+	defer bufpool.PutUint32s(scratch)
 	for base := 0; base < n; base += B {
 		bn := B
 		if base+bn > n {

@@ -1,0 +1,146 @@
+package hzdyn
+
+// Tests for the allocation-free Into API: AddInto/ScaleIntInto must be
+// byte-for-byte drop-ins for Add/ScaleInt (on 1D and on the 2D fallback
+// path), reject short destinations, and — in the single-chunk steady
+// state the ring collectives run — perform zero allocations per op.
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"hzccl/internal/fzlight"
+)
+
+// AddInto must produce exactly the container Add allocates, across the
+// single-chunk fast path, the multi-chunk compaction path, and the empty
+// input.
+func TestAddIntoMatchesAdd(t *testing.T) {
+	for _, n := range []int{0, 1, 31, 32, 1000, 4097} {
+		for _, threads := range []int{1, 4} {
+			a := smooth(n, 100+int64(n), 1)
+			b := smooth(n, 200+int64(n), 2)
+			p := fzlight.Params{ErrorBound: 1e-3, Threads: threads}
+			ca := compress(t, a, p)
+			cb := compress(t, b, p)
+			want, wantStats, err := Add(ca, cb)
+			if err != nil {
+				t.Fatalf("Add(n=%d,t=%d): %v", n, threads, err)
+			}
+			dst := make([]byte, AddBound(len(ca), len(cb)))
+			m, stats, err := AddInto(dst, ca, cb)
+			if err != nil {
+				t.Fatalf("AddInto(n=%d,t=%d): %v", n, threads, err)
+			}
+			if !bytes.Equal(dst[:m], want) {
+				t.Fatalf("n=%d t=%d: AddInto output differs from Add (%d vs %d bytes)",
+					n, threads, m, len(want))
+			}
+			if stats != wantStats {
+				t.Fatalf("n=%d t=%d: AddInto stats %+v differ from Add stats %+v",
+					n, threads, stats, wantStats)
+			}
+		}
+	}
+}
+
+// The 2D container has no lite header, so AddInto falls back to the
+// allocating chunk path — the result must still match Add exactly.
+func TestAddIntoMatchesAdd2D(t *testing.T) {
+	rows, cols := 64, 65
+	a := smooth(rows*cols, 11, 1)
+	b := smooth(rows*cols, 12, 1)
+	p := fzlight.Params{ErrorBound: 1e-3}
+	ca, err := fzlight.Compress2D(a, rows, cols, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := fzlight.Compress2D(b, rows, cols, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := Add(ca, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, AddBound(len(ca), len(cb)))
+	m, _, err := AddInto(dst, ca, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst[:m], want) {
+		t.Fatalf("2D AddInto output differs from Add (%d vs %d bytes)", m, len(want))
+	}
+}
+
+// A destination below AddBound must be rejected before any write.
+func TestAddIntoShortOutput(t *testing.T) {
+	a := smooth(1000, 1, 1)
+	b := smooth(1000, 2, 1)
+	p := fzlight.Params{ErrorBound: 1e-3}
+	ca := compress(t, a, p)
+	cb := compress(t, b, p)
+	dst := make([]byte, AddBound(len(ca), len(cb))-1)
+	if _, _, err := AddInto(dst, ca, cb); !errors.Is(err, fzlight.ErrShortOutput) {
+		t.Fatalf("short dst: got %v, want ErrShortOutput", err)
+	}
+}
+
+// ScaleIntInto must match ScaleInt byte-for-byte on 1D containers.
+func TestScaleIntIntoMatchesScaleInt(t *testing.T) {
+	for _, n := range []int{1, 32, 1000, 4097} {
+		for _, threads := range []int{1, 4} {
+			for _, k := range []int32{0, 1, 3, -2} {
+				data := smooth(n, 300+int64(n), 1)
+				p := fzlight.Params{ErrorBound: 1e-3, Threads: threads}
+				comp := compress(t, data, p)
+				want, err := ScaleInt(comp, k)
+				if err != nil {
+					t.Fatalf("ScaleInt(n=%d,t=%d,k=%d): %v", n, threads, k, err)
+				}
+				bound, err := ScaleBound(comp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dst := make([]byte, bound)
+				m, err := ScaleIntInto(dst, comp, k)
+				if err != nil {
+					t.Fatalf("ScaleIntInto(n=%d,t=%d,k=%d): %v", n, threads, k, err)
+				}
+				if !bytes.Equal(dst[:m], want) {
+					t.Fatalf("n=%d t=%d k=%d: ScaleIntInto output differs from ScaleInt",
+						n, threads, k)
+				}
+			}
+		}
+	}
+}
+
+// The single-chunk steady state — one homomorphic add per ring step —
+// must not allocate once the scratch pools are warm. scripts/bench.sh
+// gates CI on the benchmark twin of this assertion.
+func TestAddIntoZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are meaningless")
+	}
+	a := smooth(1<<14, 21, 1)
+	b := smooth(1<<14, 22, 2)
+	p := fzlight.Params{ErrorBound: 1e-3}
+	ca := compress(t, a, p)
+	cb := compress(t, b, p)
+	dst := make([]byte, AddBound(len(ca), len(cb)))
+	for i := 0; i < 4; i++ {
+		if _, _, err := AddInto(dst, ca, cb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := AddInto(dst, ca, cb); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state AddInto allocates %v objects/op, want 0", allocs)
+	}
+}

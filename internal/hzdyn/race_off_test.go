@@ -1,0 +1,5 @@
+//go:build !race
+
+package hzdyn
+
+const raceEnabled = false

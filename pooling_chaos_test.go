@@ -1,0 +1,95 @@
+package hzccl_test
+
+// Race-detector stress for the pooled-buffer hot paths (run via `make
+// chaos` and scripts/check.sh, both of which pass -race). The collectives
+// recycle their send buffers through internal/bufpool immediately after
+// Send, which is only sound because the transport copies on send and the
+// retransmit window keeps its own pristine copies. If any of those copies
+// were ever elided, recycled buffers would be scribbled over while
+// retransmissions of their previous contents are still in flight, and the
+// float64 oracle below (or the race detector) would catch it.
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"hzccl"
+	"hzccl/internal/telemetry"
+)
+
+// TestChaosPooledBuffersNoAliasing runs back-to-back allreduces on the
+// pooled compressed backends under a fabric that drops, corrupts,
+// duplicates and delays messages. Back-to-back collectives make every
+// iteration reuse buffers the previous one released — while NACK-driven
+// retransmissions of those very buffers' earlier contents are still
+// pending — so any aliasing between the pool and the transport corrupts
+// a visible result.
+func TestChaosPooledBuffersNoAliasing(t *testing.T) {
+	const nRanks, n, iters = 4, 4096, 3
+	fields := make([][]float32, nRanks)
+	exact := make([]float64, n)
+	for r := range fields {
+		fields[r] = sineField(n, 700+int64(r))
+		for i, v := range fields[r] {
+			exact[i] += float64(v)
+		}
+	}
+	hits0 := telemetry.C("bufpool.hits").Value()
+	retx0 := telemetry.C("cluster.retransmits").Value()
+
+	totalFaults := int64(0)
+	for _, backend := range []hzccl.Backend{hzccl.BackendCColl, hzccl.BackendHZCCL} {
+		chaos := hzccl.NewChaos(hzccl.ChaosSpec{
+			Seed:            170 + int64(backend),
+			DropRate:        0.05,
+			CorruptRate:     0.05,
+			DuplicateRate:   0.05,
+			DelayRate:       0.05,
+			MaxDelaySeconds: 20e-6,
+		})
+		outs := make([][][]float32, nRanks)
+		_, err := hzccl.RunCluster(hzccl.ClusterConfig{
+			Ranks:       nRanks,
+			Reliable:    true,
+			RecvTimeout: 100 * time.Millisecond,
+			Fault:       chaos.Fault(),
+			Corrupt:     &hzccl.CorruptPattern{Spray: true, Burst: 2},
+		}, func(r *hzccl.Rank) error {
+			for it := 0; it < iters; it++ {
+				out, err := r.Allreduce(fields[r.ID()], backend, hzccl.CollectiveOptions{ErrorBound: 1e-3})
+				if err != nil {
+					return err
+				}
+				outs[r.ID()] = append(outs[r.ID()], out)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%v under chaos: %v", backend, err)
+		}
+		for rk, runs := range outs {
+			for it, out := range runs {
+				if len(out) != n {
+					t.Fatalf("%v rank %d iter %d: result length %d", backend, rk, it, len(out))
+				}
+				for i := range out {
+					if d := math.Abs(float64(out[i]) - exact[i]); d > 0.02 {
+						t.Fatalf("%v rank %d iter %d: error %g at %d (recycled buffer leaked into a result)",
+							backend, rk, it, d, i)
+					}
+				}
+			}
+		}
+		totalFaults += chaos.Counts().Total()
+	}
+	if totalFaults == 0 {
+		t.Fatal("chaos injected no faults; the test proved nothing")
+	}
+	if d := telemetry.C("cluster.retransmits").Value() - retx0; d < 1 {
+		t.Errorf("no retransmissions in flight (delta %d); aliasing was never exercised", d)
+	}
+	if d := telemetry.C("bufpool.hits").Value() - hits0; d < 1 {
+		t.Errorf("buffer pool never recycled (hit delta %d); pooling was never exercised", d)
+	}
+}

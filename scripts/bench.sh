@@ -1,0 +1,79 @@
+#!/bin/sh
+# bench.sh — the hot-path benchmark gate: runs the compressor, homomorphic
+# add, and ring-allreduce benches (the paper's Fig. 6, Table V, Fig. 8)
+# plus the steady-state zero-allocation benches, and writes the results as
+# machine-readable BENCH_hotpaths.json (ns/op, MB/s, B/op, allocs/op and
+# any custom metrics). Exits non-zero if the steady-state homomorphic add
+# allocates: the ring collectives run it every step, so a single alloc/op
+# there is a hot-path regression. `make bench` and the CI bench-smoke job
+# run this; -short uses -benchtime 1x for a fast smoke.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_hotpaths.json
+SHORT=false
+BENCHTIME=""
+for arg in "$@"; do
+    case "$arg" in
+        -short) SHORT=true; BENCHTIME="-benchtime 1x" ;;
+        *) echo "usage: $0 [-short]" >&2; exit 2 ;;
+    esac
+done
+
+PATTERN='^(BenchmarkFig6|BenchmarkTable5HomomorphicAdd|BenchmarkFig8Allreduce)'
+
+echo "== go test -bench (hot paths) =="
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+# shellcheck disable=SC2086  # BENCHTIME must word-split
+go test -run '^$' -bench "$PATTERN" -benchmem $BENCHTIME . | tee "$raw"
+
+# The steady-state benches always run a fixed 100 iterations — even in
+# -short mode — because allocs/op from a single iteration would show
+# one-time warmup effects (sync.Pool chain nodes) instead of the steady
+# state the gate is about. 100 iterations is still ~10ms.
+go test -run '^$' -bench '^BenchmarkSteadyState' -benchmem -benchtime 100x . | tee -a "$raw"
+
+echo "== $OUT =="
+awk -v short="$SHORT" -v goversion="$(go version)" '
+BEGIN {
+    print "{"
+    printf "  \"generated_by\": \"scripts/bench.sh\",\n"
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"short\": %s,\n", short
+    print "  \"benchmarks\": ["
+    n = 0
+}
+/^Benchmark/ && NF >= 4 {
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"iterations\": %s", $1, $2
+    for (i = 3; i + 1 <= NF; i += 2) {
+        key = $(i + 1)
+        if (key == "ns/op") key = "ns_per_op"
+        else if (key == "MB/s") key = "mb_per_s"
+        else if (key == "B/op") key = "bytes_per_op"
+        else if (key == "allocs/op") key = "allocs_per_op"
+        else gsub(/[^A-Za-z0-9]/, "_", key)
+        printf ", \"%s\": %s", key, $(i)
+    }
+    printf "}"
+}
+END {
+    print ""
+    print "  ]"
+    print "}"
+}' "$raw" > "$OUT"
+echo "wrote $OUT"
+
+# The zero-allocation gate: BenchmarkSteadyStateAddInto must report
+# 0 allocs/op (the pools are warmed before the timed loop).
+bad=$(awk '/^BenchmarkSteadyStateAddInto/ {
+    for (i = 3; i + 1 <= NF; i += 2)
+        if ($(i + 1) == "allocs/op" && $(i) + 0 > 0) print $1 ": " $(i) " allocs/op"
+}' "$raw")
+if [ -n "$bad" ]; then
+    echo "FAIL: steady-state homomorphic add allocates on the hot path:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+echo "bench: OK (steady-state AddInto at 0 allocs/op)"
