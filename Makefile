@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-all fuzz conformance chaos
+.PHONY: build test check bench bench-all fuzz conformance chaos tcp-smoke
 
 build:
 	$(GO) build ./...
@@ -43,3 +43,12 @@ chaos:
 	$(GO) test -race -count=1 -run 'Chaos|Reliable|Degrad|Barrier|Agree|Corrupt|Fault' . ./internal/cluster ./internal/conformance
 	$(GO) run ./cmd/hzccl-conformance -oracles collective -ranks 4 -n 32768 -chaos 1 -chaos-rate 0.05
 	$(GO) run ./cmd/hzccl-collective -chaos 5 -nodes 6 -message 262144
+
+# tcp-smoke runs a 4-rank hZCCL Allreduce as 4 real OS processes over
+# loopback TCP and verifies the result digest is bitwise identical to the
+# in-process fabric, plus the transport unit tests under the race
+# detector.
+tcp-smoke:
+	$(GO) test -race -count=1 -run 'TestTCP' ./internal/cluster
+	sh scripts/tcp_smoke.sh
+	sh scripts/tcp_smoke.sh 65536 mpi

@@ -41,6 +41,38 @@ type ClusterConfig struct {
 	// RetryBackoff is the exponential-backoff base charged after each
 	// failed recovery attempt (0 = 20µs of virtual time).
 	RetryBackoff time.Duration
+	// Transport selects the message fabric. Nil selects the default
+	// in-process fabric: every rank is a goroutine of this process and the
+	// virtual-time numbers are the calibrated ones all experiments report.
+	// A *TCPTransport (see NewTCPTransport) makes this process one rank of
+	// a multi-process cluster over real sockets; RunCluster then executes
+	// the body only for the local rank, and peers run their own processes
+	// against the same peer list.
+	Transport Transport
+}
+
+// Transport is the message fabric a cluster runs on. It is a sealed
+// interface: the in-process fabric (the default) and the TCP mesh
+// (NewTCPTransport) are the two implementations.
+type Transport = cluster.Transport
+
+// TCPTransport runs this process as one rank of a multi-process cluster
+// over real TCP sockets.
+type TCPTransport = cluster.TCPTransport
+
+// TCPOptions configures NewTCPTransport.
+type TCPOptions = cluster.TCPOptions
+
+// NewTCPTransport forms the full TCP mesh for one rank of a multi-process
+// cluster: it listens on Peers[Rank], dials every lower rank, accepts a
+// connection from every higher one, and blocks until the mesh is complete
+// or DialTimeout expires. Pass the result as ClusterConfig.Transport. All
+// point-to-point integrity machinery (checksums, sequence numbers,
+// NACK-driven retransmission, chaos hooks) and the (α, β) virtual-time
+// model work identically on this fabric; RunResult additionally reports
+// the real wall-clock time next to the model.
+func NewTCPTransport(opt TCPOptions) (*TCPTransport, error) {
+	return cluster.NewTCPTransport(opt)
 }
 
 // Backend selects a collective implementation.
@@ -127,6 +159,11 @@ type RunResult struct {
 	// Degradations records every backend downgrade a DegradePolicy
 	// performed during the run, ordered by rank then occurrence.
 	Degradations []Degradation
+	// WallSeconds is the real elapsed time of the run, reported next to
+	// the virtual model. On the default in-process fabric it includes all
+	// ranks' serialized compute; on a TCP transport it is this process's
+	// end-to-end wall time.
+	WallSeconds float64
 }
 
 // BreakdownShare is one category's absolute and fractional share of a
@@ -192,6 +229,9 @@ func (r *Rank) Quiesce(f func()) { r.r.Quiesce(f) }
 // reduced vector, using the selected backend. All ranks must call it with
 // equal-length data.
 func (r *Rank) Allreduce(data []float32, b Backend, opt CollectiveOptions) ([]float32, error) {
+	if err := validateOptions("allreduce", b, opt); err != nil {
+		return nil, err
+	}
 	if opt.Degrade != nil {
 		return r.runDegradable(b, opt, "allreduce", func(eff Backend) ([]float32, error) {
 			o := opt
@@ -224,6 +264,9 @@ func (r *Rank) Allreduce(data []float32, b Backend, opt CollectiveOptions) ([]fl
 // ReduceScatter sums data element-wise across all ranks and returns this
 // rank's owned block of the result (see OwnedBlock for its index).
 func (r *Rank) ReduceScatter(data []float32, b Backend, opt CollectiveOptions) ([]float32, error) {
+	if err := validateOptions("reduce_scatter", b, opt); err != nil {
+		return nil, err
+	}
 	if opt.Degrade != nil {
 		return r.runDegradable(b, opt, "reduce_scatter", func(eff Backend) ([]float32, error) {
 			o := opt
@@ -269,6 +312,7 @@ func RunCluster(cfg ClusterConfig, body func(*Rank) error) (*RunResult, error) {
 		Reliable:       cfg.Reliable,
 		RetryBudget:    cfg.RetryBudget,
 		RetryBackoff:   cfg.RetryBackoff,
+		Transport:      cfg.Transport,
 	}, func(cr *cluster.Rank) error {
 		return body(&Rank{r: cr, rec: rec})
 	})
@@ -280,6 +324,7 @@ func RunCluster(cfg ClusterConfig, body func(*Rank) error) (*RunResult, error) {
 		RankSeconds:  res.RankTimes,
 		Breakdown:    make(map[string]float64, len(res.Breakdown)),
 		Degradations: rec.take(),
+		WallSeconds:  res.WallSeconds,
 	}
 	for k, v := range res.Breakdown {
 		out.Breakdown[string(k)] = v

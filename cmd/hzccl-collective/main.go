@@ -14,14 +14,32 @@
 // counters, per-stage span histograms, hzdyn pipeline selection) at exit:
 // "-" writes the JSON snapshot to stdout, any other value is a file path,
 // and a path ending in ".prom" selects the Prometheus text format.
+//
+// Multi-process mode: with -transport=tcp the process becomes ONE rank of
+// a real cluster over TCP sockets and runs a single Allreduce:
+//
+//	hzccl-collective -transport=tcp -rank 0 -peers h0:p0,h1:p1,... \
+//	    [-backend mpi|ccoll|hzccl] [-message BYTES] [-rel BOUND]
+//
+// Every process prints its rank's result digest, virtual time and
+// wall-clock time; digests must agree across ranks and match
+// -transport=inproc (same flags, no -rank/-peers), which runs the
+// identical collective on the default in-process fabric and prints each
+// rank's digest in the same format. scripts/tcp_smoke.sh automates the
+// comparison.
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"math"
 	"os"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"hzccl"
@@ -48,8 +66,24 @@ func main() {
 		metricsOut = flag.String("metrics", "", "dump the telemetry snapshot at exit: '-' = JSON to stdout, FILE = JSON, FILE.prom = Prometheus text format")
 		chaosSeed  = flag.Int64("chaos", 0, "run a self-healing demo: one Allreduce over a faulty fabric seeded with this value, then exit (0 = off)")
 		chaosRate  = flag.Float64("chaos-rate", 0.04, "per-class fault probability (drop/corrupt/duplicate/delay) for -chaos")
+		transport  = flag.String("transport", "", "run one Allreduce on a specific fabric and exit: 'tcp' (this process is one rank; requires -rank and -peers) or 'inproc' (all ranks in-process, -nodes ranks)")
+		tcpRank    = flag.Int("rank", 0, "this process's rank for -transport=tcp")
+		tcpPeers   = flag.String("peers", "", "comma-separated host:port listen addresses of all ranks (indexed by rank) for -transport=tcp")
+		backendStr = flag.String("backend", "hzccl", "collective backend for -transport: mpi, ccoll or hzccl")
 	)
 	flag.Parse()
+
+	if *transport != "" {
+		if err := runTransport(*transport, *tcpRank, *tcpPeers, *backendStr, *nodes, *message, *rel); err != nil {
+			fmt.Fprintf(os.Stderr, "hzccl-collective: transport: %v\n", err)
+			os.Exit(1)
+		}
+		if err := dumpMetrics(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "hzccl-collective: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *chaosSeed != 0 {
 		if err := runChaosDemo(*chaosSeed, *chaosRate, *nodes, *message); err != nil {
@@ -129,6 +163,115 @@ func dumpMetrics(dest string) error {
 		return snap.WritePrometheus(w)
 	}
 	return snap.WriteJSON(w)
+}
+
+// parseBackend maps a -backend flag value to a collective backend.
+func parseBackend(s string) (hzccl.Backend, error) {
+	switch strings.ToLower(s) {
+	case "mpi":
+		return hzccl.BackendMPI, nil
+	case "ccoll", "c-coll":
+		return hzccl.BackendCColl, nil
+	case "hzccl", "":
+		return hzccl.BackendHZCCL, nil
+	}
+	return 0, fmt.Errorf("unknown backend %q (want mpi, ccoll or hzccl)", s)
+}
+
+// digest32 is the result fingerprint printed by transport mode: crc32c
+// over the little-endian bytes of the reduced vector. Ranks running the
+// same collective on any fabric must print identical digests.
+func digest32(v []float32) uint32 {
+	buf := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(x))
+	}
+	return crc32.Checksum(buf, crc32.MakeTable(crc32.Castagnoli))
+}
+
+// runTransport runs one Allreduce on an explicitly selected fabric and
+// prints, per local rank, a digest of the reduced vector plus the virtual
+// (modeled) and wall-clock times. "tcp" makes this process rank `rank` of
+// the mesh described by `peers`; "inproc" runs all ranks in this process
+// so its digests serve as the reference the TCP run must match bitwise.
+func runTransport(kind string, rank int, peers, backendStr string, nodes, message int, rel float64) error {
+	backend, err := parseBackend(backendStr)
+	if err != nil {
+		return err
+	}
+	if message == 0 {
+		message = 1 << 18
+	}
+	if rel == 0 {
+		rel = 1e-4
+	}
+	base, err := datasets.Field("SimSet1", 0, message/4)
+	if err != nil {
+		return err
+	}
+	eb := metrics.AbsBound(rel, base)
+	opt := hzccl.CollectiveOptions{ErrorBound: eb}
+
+	cfg := hzccl.ClusterConfig{
+		Latency:        2 * time.Microsecond,
+		BandwidthBytes: 0.4e9,
+	}
+	switch kind {
+	case "tcp":
+		peerList := strings.Split(peers, ",")
+		if peers == "" || len(peerList) < 2 {
+			return fmt.Errorf("-transport=tcp needs -peers with at least two comma-separated host:port addresses")
+		}
+		tr, err := hzccl.NewTCPTransport(hzccl.TCPOptions{Rank: rank, Peers: peerList})
+		if err != nil {
+			return err
+		}
+		defer tr.Close()
+		cfg.Ranks = len(peerList)
+		cfg.Transport = tr
+	case "inproc":
+		if nodes == 0 {
+			nodes = 4
+		}
+		cfg.Ranks = nodes
+	default:
+		return fmt.Errorf("unknown transport %q (want tcp or inproc)", kind)
+	}
+
+	var mu sync.Mutex
+	digests := make(map[int]uint32, cfg.Ranks)
+	res, err := hzccl.RunCluster(cfg, func(r *hzccl.Rank) error {
+		out, err := r.Allreduce(base, backend, opt)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		digests[r.ID()] = digest32(out)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	ranks := make([]int, 0, len(digests))
+	for id := range digests {
+		ranks = append(ranks, id)
+	}
+	sort.Ints(ranks)
+	for _, id := range ranks {
+		fmt.Printf("rank %d/%d backend=%s bytes=%d digest=%08x virtual=%.3fms wall=%.3fms\n",
+			id, cfg.Ranks, backend, message, digests[id], res.Seconds*1e3, res.WallSeconds*1e3)
+	}
+	if kind == "tcp" {
+		for _, name := range []string{
+			"cluster.transport.dials", "cluster.transport.accepts",
+			"cluster.transport.reconnects", "cluster.transport.bytes_out",
+			"cluster.transport.bytes_in",
+		} {
+			fmt.Printf("  %-30s %d\n", name, telemetry.C(name).Value())
+		}
+	}
+	return nil
 }
 
 // runChaosDemo drives one hZCCL Allreduce through a seeded chaotic

@@ -5,9 +5,14 @@
 // Usage:
 //
 //	hzccl-compress -eb 1e-3 [-threads N] [-dims DxHxW] -o out.fzl in.f32   compress
-//	hzccl-compress -d -o out.f32 in.fzl                             decompress
+//	hzccl-compress -d [-compare orig.f32] -o out.f32 in.fzl         decompress
 //	hzccl-compress -info in.fzl                                     inspect
 //	hzccl-compress -add -o sum.fzl a.fzl b.fzl                      homomorphic add
+//
+// -compare prints reconstruction quality (max abs error, RMSE, NRMSE,
+// max rel error, PSNR) of the decompressed output against the original
+// raw file. Range-normalized metrics of a constant original are undefined
+// and print as "n/a".
 //
 // Any mode accepts -metrics FILE|- to dump the runtime telemetry snapshot
 // (codec byte counters, chunk encode/decode spans, hzdyn pipeline
@@ -19,12 +24,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
 
 	"hzccl"
 	"hzccl/internal/floatbytes"
+	"hzccl/internal/metrics"
 	"hzccl/internal/telemetry"
 )
 
@@ -55,10 +62,11 @@ func main() {
 		add        = flag.Bool("add", false, "homomorphically add two compressed files")
 		info       = flag.Bool("info", false, "print stream info and exit")
 		out        = flag.String("o", "", "output file (required except for -info)")
+		compare    = flag.String("compare", "", "raw float32 file to compare the decompressed output against (-d mode): prints error metrics")
 		metricsOut = flag.String("metrics", "", "dump the telemetry snapshot at exit: '-' = JSON to stdout, FILE = JSON, FILE.prom = Prometheus text format")
 	)
 	flag.Parse()
-	if err := run(*eb, *threads, *dims, *decompress, *add, *info, *out, flag.Args()); err != nil {
+	if err := run(*eb, *threads, *dims, *decompress, *add, *info, *out, *compare, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "hzccl-compress: %v\n", err)
 		os.Exit(1)
 	}
@@ -91,7 +99,20 @@ func dumpMetrics(dest string) error {
 	return snap.WriteJSON(w)
 }
 
-func run(eb float64, threads int, dims string, decompress, add, info bool, out string, args []string) error {
+// fmtMetric formats one quality metric, printing undefined (NaN) values —
+// the range-normalized metrics of a constant original — as "n/a" instead
+// of a number that could be misread as measured.
+func fmtMetric(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%.6g", v)
+}
+
+func run(eb float64, threads int, dims string, decompress, add, info bool, out, compare string, args []string) error {
 	switch {
 	case info:
 		if len(args) != 1 {
@@ -150,6 +171,24 @@ func run(eb float64, threads int, dims string, decompress, add, info bool, out s
 		vals, err := hzccl.Decompress(comp)
 		if err != nil {
 			return err
+		}
+		if compare != "" {
+			raw, err := os.ReadFile(compare)
+			if err != nil {
+				return err
+			}
+			if len(raw)%4 != 0 {
+				return fmt.Errorf("%s: size %d is not a multiple of 4 (raw float32 expected)", compare, len(raw))
+			}
+			s := metrics.Compare(floatbytes.Floats(raw), vals)
+			if s.Mismatched {
+				return fmt.Errorf("%s has %d values, decompressed output has %d", compare, len(raw)/4, len(vals))
+			}
+			fmt.Printf("max abs err: %s\n", fmtMetric(s.MaxAbs))
+			fmt.Printf("rmse:        %s\n", fmtMetric(s.RMSE))
+			fmt.Printf("nrmse:       %s\n", fmtMetric(s.NRMSE))
+			fmt.Printf("max rel err: %s\n", fmtMetric(s.MaxRel))
+			fmt.Printf("psnr:        %s\n", fmtMetric(s.PSNR))
 		}
 		return os.WriteFile(out, floatbytes.Bytes(vals), 0o644)
 

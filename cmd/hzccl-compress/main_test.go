@@ -28,13 +28,13 @@ func TestCompressDecompressCycle(t *testing.T) {
 	comp := filepath.Join(dir, "out.fzl")
 	back := filepath.Join(dir, "back.f32")
 
-	if err := run(1e-3, 2, "", false, false, false, comp, []string{in}); err != nil {
+	if err := run(1e-3, 2, "", false, false, false, comp, "", []string{in}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(0, 1, "", false, false, true, "", []string{comp}); err != nil {
+	if err := run(0, 1, "", false, false, true, "", "", []string{comp}); err != nil {
 		t.Fatalf("info: %v", err)
 	}
-	if err := run(0, 1, "", true, false, false, back, []string{comp}); err != nil {
+	if err := run(0, 1, "", true, false, false, back, "", []string{comp}); err != nil {
 		t.Fatalf("decompress: %v", err)
 	}
 	raw, err := os.ReadFile(back)
@@ -49,11 +49,11 @@ func TestCompressDecompressCycle(t *testing.T) {
 	}
 
 	sum := filepath.Join(dir, "sum.fzl")
-	if err := run(0, 1, "", false, true, false, sum, []string{comp, comp}); err != nil {
+	if err := run(0, 1, "", false, true, false, sum, "", []string{comp, comp}); err != nil {
 		t.Fatalf("add: %v", err)
 	}
 	back2 := filepath.Join(dir, "sum.f32")
-	if err := run(0, 1, "", true, false, false, back2, []string{sum}); err != nil {
+	if err := run(0, 1, "", true, false, false, back2, "", []string{sum}); err != nil {
 		t.Fatal(err)
 	}
 	raw2, _ := os.ReadFile(back2)
@@ -77,10 +77,10 @@ func TestDimsFlag(t *testing.T) {
 	in := writeRaw(t, dir, "img.f32", vals)
 	out1 := filepath.Join(dir, "1d.fzl")
 	out2 := filepath.Join(dir, "2d.fzl")
-	if err := run(1e-3, 1, "", false, false, false, out1, []string{in}); err != nil {
+	if err := run(1e-3, 1, "", false, false, false, out1, "", []string{in}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(1e-3, 1, "32x64", false, false, false, out2, []string{in}); err != nil {
+	if err := run(1e-3, 1, "32x64", false, false, false, out2, "", []string{in}); err != nil {
 		t.Fatal(err)
 	}
 	s1, _ := os.Stat(out1)
@@ -88,14 +88,14 @@ func TestDimsFlag(t *testing.T) {
 	if s2.Size() >= s1.Size() {
 		t.Fatalf("2D (%d) should beat 1D (%d) on this image", s2.Size(), s1.Size())
 	}
-	if err := run(1e-3, 1, "bogus", false, false, false, out2, []string{in}); err == nil {
+	if err := run(1e-3, 1, "bogus", false, false, false, out2, "", []string{in}); err == nil {
 		t.Fatal("bogus dims accepted")
 	}
 }
 
 func TestCLIErrors(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(0, 1, "", false, false, false, filepath.Join(dir, "x"), []string{"nope.f32"}); err == nil {
+	if err := run(0, 1, "", false, false, false, filepath.Join(dir, "x"), "", []string{"nope.f32"}); err == nil {
 		t.Error("missing input accepted")
 	}
 	in := writeRaw(t, dir, "short.f32", []float32{1})
@@ -103,19 +103,19 @@ func TestCLIErrors(t *testing.T) {
 	if err := os.WriteFile(odd, []byte{1, 2, 3}, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(1e-3, 1, "", false, false, false, filepath.Join(dir, "x"), []string{odd}); err == nil {
+	if err := run(1e-3, 1, "", false, false, false, filepath.Join(dir, "x"), "", []string{odd}); err == nil {
 		t.Error("non-multiple-of-4 input accepted")
 	}
-	if err := run(0, 1, "", false, false, false, filepath.Join(dir, "x"), []string{in}); err == nil {
+	if err := run(0, 1, "", false, false, false, filepath.Join(dir, "x"), "", []string{in}); err == nil {
 		t.Error("zero error bound accepted")
 	}
-	if err := run(1e-3, 1, "", false, false, false, "", []string{in}); err == nil {
+	if err := run(1e-3, 1, "", false, false, false, "", "", []string{in}); err == nil {
 		t.Error("missing -o accepted")
 	}
-	if err := run(0, 1, "", false, false, true, "", []string{}); err == nil {
+	if err := run(0, 1, "", false, false, true, "", "", []string{}); err == nil {
 		t.Error("info without file accepted")
 	}
-	if err := run(0, 1, "", false, true, false, "x", []string{in}); err == nil {
+	if err := run(0, 1, "", false, true, false, "x", "", []string{in}); err == nil {
 		t.Error("add with one file accepted")
 	}
 }
@@ -132,5 +132,40 @@ func TestParseDims(t *testing.T) {
 	}
 	if d := parseDims("axb"); len(d) == 2 {
 		t.Fatal("garbage dims parsed")
+	}
+}
+
+func TestCompareFlag(t *testing.T) {
+	dir := t.TempDir()
+	vals := make([]float32, 1000)
+	for i := range vals {
+		vals[i] = float32(math.Cos(float64(i) * 0.02))
+	}
+	in := writeRaw(t, dir, "in.f32", vals)
+	comp := filepath.Join(dir, "out.fzl")
+	back := filepath.Join(dir, "back.f32")
+	if err := run(1e-3, 1, "", false, false, false, comp, "", []string{in}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(0, 1, "", true, false, false, back, in, []string{comp}); err != nil {
+		t.Fatalf("decompress with -compare: %v", err)
+	}
+	// A length mismatch between original and reconstruction must error,
+	// not print metrics over nothing.
+	short := writeRaw(t, dir, "short.f32", vals[:10])
+	if err := run(0, 1, "", true, false, false, back, short, []string{comp}); err == nil {
+		t.Fatal("-compare with mismatched length should fail")
+	}
+}
+
+func TestFmtMetric(t *testing.T) {
+	if got := fmtMetric(math.NaN()); got != "n/a" {
+		t.Fatalf("NaN prints %q, want n/a", got)
+	}
+	if got := fmtMetric(math.Inf(1)); got != "+Inf" {
+		t.Fatalf("+Inf prints %q", got)
+	}
+	if got := fmtMetric(0.5); got != "0.5" {
+		t.Fatalf("0.5 prints %q", got)
 	}
 }

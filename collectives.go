@@ -1,10 +1,32 @@
 package hzccl
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"hzccl/internal/core"
 )
+
+// ErrBadErrorBound is returned by every collective when a compressed
+// backend (BackendCColl, BackendHZCCL) is selected without a usable
+// CollectiveOptions.ErrorBound. It wraps the op name and backend so the
+// failure reads as an API-usage error at the call site rather than a
+// compressor internal surfacing from deep inside a ring round.
+var ErrBadErrorBound = errors.New("hzccl: compressed backend requires CollectiveOptions.ErrorBound > 0")
+
+// validateOptions rejects option combinations that would otherwise fail
+// deep inside the compressor with no indication of which collective or
+// backend was misconfigured.
+func validateOptions(op string, b Backend, opt CollectiveOptions) error {
+	if b == BackendMPI {
+		return nil // no compression, no bound needed
+	}
+	if eb := opt.ErrorBound; eb <= 0 || math.IsNaN(eb) || math.IsInf(eb, 0) {
+		return fmt.Errorf("%w: %s with backend %s got ErrorBound %v", ErrBadErrorBound, op, b, opt.ErrorBound)
+	}
+	return nil
+}
 
 // This file exposes the extended collective family. BackendCColl and
 // BackendHZCCL behave identically for pure data-movement collectives
@@ -18,6 +40,9 @@ import (
 // copy. All ranks must pass a buffer of the same length (non-root contents
 // are ignored).
 func (r *Rank) Broadcast(data []float32, root int, b Backend, opt CollectiveOptions) ([]float32, error) {
+	if err := validateOptions("broadcast", b, opt); err != nil {
+		return nil, err
+	}
 	c := core.New(opt.core())
 	if b == BackendMPI {
 		return c.BroadcastPlain(r.r, data, root)
@@ -28,6 +53,9 @@ func (r *Rank) Broadcast(data []float32, root int, b Backend, opt CollectiveOpti
 // Reduce sums data element-wise across ranks at root. Only the root
 // receives a non-nil result.
 func (r *Rank) Reduce(data []float32, root int, b Backend, opt CollectiveOptions) ([]float32, error) {
+	if err := validateOptions("reduce", b, opt); err != nil {
+		return nil, err
+	}
 	if opt.Degrade != nil {
 		return r.runDegradable(b, opt, "reduce", func(eff Backend) ([]float32, error) {
 			o := opt
@@ -70,6 +98,9 @@ func (r *Rank) Reduce(data []float32, root int, b Backend, opt CollectiveOptions
 // Gather collects every rank's data at root, indexed by origin rank. Only
 // the root receives a non-nil result.
 func (r *Rank) Gather(data []float32, root int, b Backend, opt CollectiveOptions) ([][]float32, error) {
+	if err := validateOptions("gather", b, opt); err != nil {
+		return nil, err
+	}
 	c := core.New(opt.core())
 	if b == BackendMPI {
 		return c.GatherPlain(r.r, data, root)
@@ -79,6 +110,9 @@ func (r *Rank) Gather(data []float32, root int, b Backend, opt CollectiveOptions
 
 // Allgather gives every rank every rank's data, indexed by origin rank.
 func (r *Rank) Allgather(data []float32, b Backend, opt CollectiveOptions) ([][]float32, error) {
+	if err := validateOptions("allgather", b, opt); err != nil {
+		return nil, err
+	}
 	c := core.New(opt.core())
 	if b == BackendMPI {
 		return c.AllgatherPlain(r.r, data)
@@ -89,6 +123,9 @@ func (r *Rank) Allgather(data []float32, b Backend, opt CollectiveOptions) ([][]
 // Alltoall performs the personalized exchange: block j of this rank's data
 // goes to rank j; the result holds the blocks received from each rank.
 func (r *Rank) Alltoall(data []float32, b Backend, opt CollectiveOptions) ([][]float32, error) {
+	if err := validateOptions("alltoall", b, opt); err != nil {
+		return nil, err
+	}
 	c := core.New(opt.core())
 	if b == BackendMPI {
 		return c.AlltoallPlain(r.r, data)

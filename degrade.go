@@ -103,9 +103,10 @@ const (
 // degradable reports whether failing with err should trigger a retry on
 // a lower rung (true) or abort the collective outright (false).
 func degradable(err error) bool {
-	// A structural misuse (bad peer index, mismatched epochs) will fail
-	// identically on every rung; retrying just burns the ladder.
-	return !errors.Is(err, cluster.ErrBadPeer)
+	// A structural misuse (bad peer index, mismatched epochs, missing
+	// error bound) will fail identically on every rung — or worse, "heal"
+	// by silently landing on the uncompressed rung; abort instead.
+	return !errors.Is(err, cluster.ErrBadPeer) && !errors.Is(err, ErrBadErrorBound)
 }
 
 // runDegradable runs one collective under a DegradePolicy: attempt,

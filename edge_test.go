@@ -1,0 +1,246 @@
+package hzccl_test
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hzccl"
+)
+
+// TestErrorBoundValidation locks in the root-API misuse error: selecting
+// a compressed backend without a positive error bound must fail
+// immediately with an error naming the collective and the backend —
+// not a bare compressor-internal message surfacing from inside a ring
+// round, and never a silent degradation to the uncompressed rung.
+func TestErrorBoundValidation(t *testing.T) {
+	data := sineField(256, 11)
+	_, err := hzccl.RunCluster(hzccl.ClusterConfig{Ranks: 2}, func(r *hzccl.Rank) error {
+		for _, b := range []hzccl.Backend{hzccl.BackendCColl, hzccl.BackendHZCCL} {
+			calls := map[string]func(opt hzccl.CollectiveOptions) error{
+				"allreduce": func(o hzccl.CollectiveOptions) error {
+					_, err := r.Allreduce(data, b, o)
+					return err
+				},
+				"reduce_scatter": func(o hzccl.CollectiveOptions) error {
+					_, err := r.ReduceScatter(data, b, o)
+					return err
+				},
+				"reduce": func(o hzccl.CollectiveOptions) error {
+					_, err := r.Reduce(data, 0, b, o)
+					return err
+				},
+				"broadcast": func(o hzccl.CollectiveOptions) error {
+					_, err := r.Broadcast(data, 0, b, o)
+					return err
+				},
+				"gather": func(o hzccl.CollectiveOptions) error {
+					_, err := r.Gather(data, 0, b, o)
+					return err
+				},
+				"allgather": func(o hzccl.CollectiveOptions) error {
+					_, err := r.Allgather(data, b, o)
+					return err
+				},
+				"alltoall": func(o hzccl.CollectiveOptions) error {
+					_, err := r.Alltoall(data, b, o)
+					return err
+				},
+			}
+			for op, call := range calls {
+				err := call(hzccl.CollectiveOptions{}) // ErrorBound zero
+				if !errors.Is(err, hzccl.ErrBadErrorBound) {
+					return fmt.Errorf("%s/%s with zero bound: %v, want ErrBadErrorBound", op, b, err)
+				}
+				for _, frag := range []string{op, b.String(), "ErrorBound"} {
+					if !strings.Contains(err.Error(), frag) {
+						return fmt.Errorf("%s/%s error %q does not name %q", op, b, err, frag)
+					}
+				}
+			}
+		}
+		// The uncompressed backend needs no bound.
+		if _, err := r.Allreduce(data, hzccl.BackendMPI, hzccl.CollectiveOptions{}); err != nil {
+			return fmt.Errorf("MPI without bound: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestErrorBoundValidationNotDegradable: a missing bound under a
+// DegradePolicy must abort, not "heal" by walking the ladder down to the
+// uncompressed rung (which would mask the configuration error).
+func TestErrorBoundValidationNotDegradable(t *testing.T) {
+	data := sineField(256, 12)
+	res, err := hzccl.RunCluster(hzccl.ClusterConfig{
+		Ranks: 2, RecvTimeout: 200 * time.Millisecond,
+	}, func(r *hzccl.Rank) error {
+		_, err := r.Allreduce(data, hzccl.BackendHZCCL, hzccl.CollectiveOptions{
+			Degrade: &hzccl.DegradePolicy{},
+		})
+		if !errors.Is(err, hzccl.ErrBadErrorBound) {
+			return fmt.Errorf("degradable allreduce with zero bound: %v, want ErrBadErrorBound", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Degradations) != 0 {
+		t.Fatalf("missing error bound must not degrade, got %v", res.Degradations)
+	}
+}
+
+// TestDegenerateStreams locks in the behavior of empty inputs across the
+// public API: they compress, decompress, inspect and homomorphically add
+// as zero-length values rather than erroring or panicking.
+func TestDegenerateStreams(t *testing.T) {
+	p := hzccl.Params{ErrorBound: 1e-3}
+	for _, in := range [][]float32{nil, {}} {
+		comp, err := hzccl.Compress(in, p)
+		if err != nil {
+			t.Fatalf("Compress(%v): %v", in, err)
+		}
+		out, err := hzccl.Decompress(comp)
+		if err != nil {
+			t.Fatalf("Decompress of empty stream: %v", err)
+		}
+		if len(out) != 0 {
+			t.Fatalf("round-trip of empty input yielded %d values", len(out))
+		}
+		st, err := hzccl.Info(comp)
+		if err != nil {
+			t.Fatalf("Info of empty stream: %v", err)
+		}
+		if st.DataLen != 0 || st.CompressedBytes != len(comp) {
+			t.Fatalf("empty stream info: %+v (stream is %d bytes)", st, len(comp))
+		}
+		sum, err := hzccl.HomomorphicAdd(comp, comp)
+		if err != nil {
+			t.Fatalf("HomomorphicAdd of empty streams: %v", err)
+		}
+		vals, err := hzccl.Decompress(sum)
+		if err != nil || len(vals) != 0 {
+			t.Fatalf("empty sum decoded to %d values, err %v", len(vals), err)
+		}
+	}
+}
+
+// TestCollectivesMoreRanksThanData: ring collectives must stay correct
+// when Ranks exceeds the element count, where most ranks own zero-length
+// blocks.
+func TestCollectivesMoreRanksThanData(t *testing.T) {
+	const ranks = 7
+	data := []float32{1, 2, 3}
+	for _, b := range []hzccl.Backend{hzccl.BackendMPI, hzccl.BackendCColl, hzccl.BackendHZCCL} {
+		_, err := hzccl.RunCluster(hzccl.ClusterConfig{Ranks: ranks}, func(r *hzccl.Rank) error {
+			opt := hzccl.CollectiveOptions{ErrorBound: 1e-4}
+			full, err := r.Allreduce(data, b, opt)
+			if err != nil {
+				return fmt.Errorf("allreduce: %w", err)
+			}
+			if len(full) != len(data) {
+				return fmt.Errorf("allreduce returned %d values", len(full))
+			}
+			for i, v := range full {
+				want := float32(ranks) * data[i]
+				if d := v - want; d > 1e-3 || d < -1e-3 {
+					return fmt.Errorf("allreduce[%d] = %v, want %v", i, v, want)
+				}
+			}
+			block, err := r.ReduceScatter(data, b, opt)
+			if err != nil {
+				return fmt.Errorf("reduce_scatter: %w", err)
+			}
+			_, start, end := r.OwnedBlock(len(data))
+			if len(block) != end-start {
+				return fmt.Errorf("owned block has %d values, bounds [%d, %d)", len(block), start, end)
+			}
+			for i, v := range block {
+				want := float32(ranks) * data[start+i]
+				if d := v - want; d > 1e-3 || d < -1e-3 {
+					return fmt.Errorf("block[%d] = %v, want %v", i, v, want)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("backend %v: %v", b, err)
+		}
+	}
+}
+
+// TestPublicTCPTransport drives the root-level multi-process API: two
+// "processes" (goroutines, each with its own TCPTransport and RunCluster
+// call) run an Allreduce over real loopback sockets and must agree with
+// plain arithmetic. Each local result carries exactly one rank clock and
+// a wall-clock measurement.
+func TestPublicTCPTransport(t *testing.T) {
+	const n = 2
+	lns := make([]net.Listener, n)
+	peers := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		peers[i] = ln.Addr().String()
+	}
+	data := sineField(512, 13)
+	var wg sync.WaitGroup
+	outs := make([][]float32, n)
+	results := make([]*hzccl.RunResult, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, err := hzccl.NewTCPTransport(hzccl.TCPOptions{
+				Rank: i, Peers: peers, Listener: lns[i], DialTimeout: 10 * time.Second,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer tr.Close()
+			results[i], errs[i] = hzccl.RunCluster(hzccl.ClusterConfig{
+				Ranks: n, Transport: tr,
+			}, func(r *hzccl.Rank) error {
+				out, err := r.Allreduce(data, hzccl.BackendHZCCL, hzccl.CollectiveOptions{ErrorBound: 1e-4})
+				outs[i] = out
+				return err
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if len(results[i].RankSeconds) != 1 {
+			t.Fatalf("rank %d: %d rank clocks, want 1 (local only)", i, len(results[i].RankSeconds))
+		}
+		if results[i].WallSeconds <= 0 {
+			t.Fatalf("rank %d: wall clock not measured", i)
+		}
+		for j, v := range outs[i] {
+			want := float64(n) * float64(data[j])
+			if d := float64(v) - want; d > 1e-3 || d < -1e-3 {
+				t.Fatalf("rank %d out[%d] = %v, want ~%v", i, j, v, want)
+			}
+			if outs[i][j] != outs[0][j] {
+				t.Fatalf("rank %d out[%d] differs from rank 0", i, j)
+			}
+		}
+	}
+}

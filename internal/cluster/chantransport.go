@@ -1,0 +1,282 @@
+package cluster
+
+// chanTransport is the original in-process fabric: every rank is a
+// goroutine of one process, each (from, to) link is a buffered Go
+// channel, and the barrier control plane is a shared condition variable.
+// This is the default Transport and its observable behavior is exactly
+// what the pre-Transport cluster did — the virtual-time numbers of every
+// experiment are reproduced bit-for-bit.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+type chanTransport struct {
+	cfg    Config
+	mailMu sync.Mutex
+	mail   map[[2]int]chan message
+	// done[i] is set once rank i's body has returned; its channels are
+	// closed so blocked receivers fail instead of hanging.
+	done []bool
+
+	barrierMu   sync.Mutex
+	barrierCond *sync.Cond
+	barrierGen  int
+	barrierIn   int
+	barrierMax  float64
+	// barrierVal accumulates the max of the values contributed to the
+	// in-progress AgreeMax generation; barrierOutMax/barrierOutVal latch
+	// the released generation's results so late leavers are not affected
+	// by ranks already entering the next one.
+	barrierVal    int
+	barrierOutMax float64
+	barrierOutVal int
+	// exited counts ranks whose body has returned. A positive count while
+	// a barrier generation is incomplete means it can never complete, so
+	// waiters abort instead of hanging.
+	exited int
+
+	// retx holds the per-link sender-side retransmit windows of the
+	// reliable-delivery layer (reliable.go).
+	retx retxStore
+}
+
+func newChanTransport() *chanTransport {
+	t := &chanTransport{mail: make(map[[2]int]chan message)}
+	t.barrierCond = sync.NewCond(&t.barrierMu)
+	return t
+}
+
+func (t *chanTransport) LocalRank() (int, bool) { return 0, false }
+
+func (t *chanTransport) Close() error { return nil }
+
+func (t *chanTransport) bind(cfg Config) error {
+	t.cfg = cfg
+	t.done = make([]bool, cfg.Ranks)
+	t.retx.window = cfg.RetxWindow
+	return nil
+}
+
+func (t *chanTransport) chanFor(from, to int) chan message {
+	key := [2]int{from, to}
+	t.mailMu.Lock()
+	defer t.mailMu.Unlock()
+	if t.done[from] {
+		// The sender already exited; give the receiver a closed channel.
+		ch, ok := t.mail[key]
+		if !ok {
+			ch = make(chan message)
+			close(ch)
+			t.mail[key] = ch
+		}
+		return ch
+	}
+	ch, ok := t.mail[key]
+	if !ok {
+		// Eager-send buffer: deep enough that pipelined protocols (e.g.
+		// segmented rings) never block the sender in lockstep patterns.
+		ch = make(chan message, 64)
+		t.mail[key] = ch
+	}
+	return ch
+}
+
+func (t *chanTransport) send(from, to int, m message, copies int) error {
+	ch := t.chanFor(from, to)
+	for i := 0; i < copies; i++ {
+		ch <- m
+	}
+	return nil
+}
+
+// recv pulls the next message from the link's channel, honouring the
+// wall-clock timeout.
+func (t *chanTransport) recv(from, to int, timeout time.Duration) (message, bool, error) {
+	ch := t.chanFor(from, to)
+	if timeout <= 0 {
+		m, ok := <-ch
+		return m, ok, nil
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case m, ok := <-ch:
+		return m, ok, nil
+	case <-timer.C:
+		return message{}, false, ErrRecvTimeout
+	}
+}
+
+func (t *chanTransport) recordRetx(from, to, seq, epoch int, data []byte, sum uint32) {
+	t.retx.record(from, to, seq, epoch, data, sum)
+}
+
+// retransmit reads the sender's replay window directly: all ranks share
+// one address space, so a NACK is just a map lookup. The window even
+// survives the sender's exit, letting a receiver salvage messages a
+// finished rank sent before leaving.
+func (t *chanTransport) retransmit(from, to, seq, epoch int) ([]byte, uint32, error) {
+	return t.retx.lookup(from, to, seq, epoch)
+}
+
+func (t *chanTransport) clearRetx(rank int) { t.retx.clear(rank) }
+
+// closeRank marks rank as finished and closes every mailbox it feeds. It
+// also wakes barrier waiters: a barrier generation missing an exited rank
+// can never complete, so waiting on it would deadlock.
+func (t *chanTransport) closeRank(rank int) {
+	t.mailMu.Lock()
+	t.done[rank] = true
+	for key, ch := range t.mail {
+		if key[0] == rank {
+			close(ch)
+		}
+	}
+	t.mailMu.Unlock()
+
+	t.barrierMu.Lock()
+	t.exited++
+	t.barrierCond.Broadcast()
+	t.barrierMu.Unlock()
+}
+
+// agreeMax is the shared-memory barrier: every rank contributes
+// (clock, v), the last one in computes the leave clock (max + tree cost)
+// and the agreed value (max), and everyone is released together.
+func (t *chanTransport) agreeMax(rank int, clock float64, v int) (float64, int, error) {
+	n := t.cfg.Ranks
+	var deadline time.Time
+	if d := t.cfg.agreeTimeout(); d > 0 {
+		deadline = time.Now().Add(d)
+		wake := time.AfterFunc(d, func() {
+			t.barrierMu.Lock()
+			t.barrierCond.Broadcast()
+			t.barrierMu.Unlock()
+		})
+		defer wake.Stop()
+	}
+	t.barrierMu.Lock()
+	gen := t.barrierGen
+	if clock > t.barrierMax {
+		t.barrierMax = clock
+	}
+	if v > t.barrierVal {
+		t.barrierVal = v
+	}
+	t.barrierIn++
+	if t.barrierIn == n {
+		cost := 0.0
+		if n > 1 {
+			cost = t.cfg.Latency.Seconds() * math.Ceil(math.Log2(float64(n)))
+		}
+		t.barrierMax += cost
+		// Latch this generation's results: a fast rank may re-enter the
+		// next barrier (and mutate barrierMax/barrierVal) before slow
+		// leavers have read theirs.
+		t.barrierOutMax = t.barrierMax
+		t.barrierOutVal = t.barrierVal
+		t.barrierIn = 0
+		t.barrierVal = 0
+		t.barrierGen++
+		t.barrierCond.Broadcast()
+	} else {
+		for gen == t.barrierGen {
+			if t.exited > 0 {
+				t.barrierMu.Unlock()
+				return 0, 0, fmt.Errorf("%w: barrier aborted, a rank exited before reaching it", ErrPeerFailed)
+			}
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				t.barrierMu.Unlock()
+				return 0, 0, fmt.Errorf("%w: barrier, peers missing after %v", ErrRecvTimeout, t.cfg.agreeTimeout())
+			}
+			t.barrierCond.Wait()
+		}
+	}
+	leave, agreed := t.barrierOutMax, t.barrierOutVal
+	t.barrierMu.Unlock()
+	return leave, agreed, nil
+}
+
+// retxStore is the per-link sender-side replay buffer shared by both
+// transports: the in-process fabric keeps every rank's windows here, the
+// TCP fabric only its local rank's (peers are NACKed over the wire).
+type retxStore struct {
+	mu     sync.Mutex
+	window int
+	m      map[[2]int]*retxWindow
+}
+
+func (s *retxStore) windowFor(from, to int) *retxWindow {
+	key := [2]int{from, to}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = make(map[[2]int]*retxWindow)
+	}
+	w, ok := s.m[key]
+	if !ok {
+		w = &retxWindow{buf: make(map[int]retxEntry)}
+		s.m[key] = w
+	}
+	return w
+}
+
+// record stores a pristine copy of an outgoing message, evicting entries
+// older than the configured window.
+func (s *retxStore) record(from, to, seq, epoch int, data []byte, sum uint32) {
+	w := s.windowFor(from, to)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if epoch != w.epoch {
+		// First send of a new epoch: old-epoch entries are unreachable.
+		w.epoch = epoch
+		w.buf = make(map[int]retxEntry)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	w.buf[seq] = retxEntry{data: cp, sum: sum}
+	w.next = seq + 1
+	if old := seq - s.window; old >= 0 {
+		delete(w.buf, old)
+	}
+}
+
+// lookup fetches a fresh copy of a windowed message for replay.
+func (s *retxStore) lookup(from, to, seq, epoch int) (data []byte, sum uint32, err error) {
+	w := s.windowFor(from, to)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.epoch < epoch || seq >= w.next {
+		return nil, 0, errNotYetSent
+	}
+	if w.epoch > epoch {
+		// The sender already moved to a newer epoch; the old attempt's
+		// traffic is unrecoverable.
+		mRetxEvictions.Inc()
+		return nil, 0, fmt.Errorf("%w: link %d→%d seq %d (sender in epoch %d, wanted %d)", ErrRetransmitGone, from, to, seq, w.epoch, epoch)
+	}
+	e, ok := w.buf[seq]
+	if !ok {
+		mRetxEvictions.Inc()
+		return nil, 0, fmt.Errorf("%w: link %d→%d seq %d (window %d)", ErrRetransmitGone, from, to, seq, s.window)
+	}
+	cp := make([]byte, len(e.data))
+	copy(cp, e.data)
+	return cp, e.sum, nil
+}
+
+// clear drops every replay window fed by rank `from` (epoch change: the
+// retained traffic belongs to an abandoned attempt).
+func (s *retxStore) clear(from int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key := range s.m {
+		if key[0] == from {
+			delete(s.m, key)
+		}
+	}
+}

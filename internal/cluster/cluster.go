@@ -1,11 +1,12 @@
 // Package cluster is the communication substrate hZCCL runs on in this
-// reproduction: an in-process message-passing runtime that stands in for
-// MPI over a 100 Gbps fabric.
+// reproduction: a message-passing runtime that stands in for MPI over a
+// 100 Gbps fabric.
 //
-// Each rank is a goroutine with its own virtual clock. Point-to-point
-// sends move real bytes through Go channels (so collectives operate on and
-// verify real data), while *time* is charged through a LogP-style (α, β)
-// model: receiving a message completes at
+// Each rank has its own virtual clock. Point-to-point sends move real
+// bytes through a pluggable Transport — by default an in-process channel
+// fabric where every rank is a goroutine, or a TCP mesh where every rank
+// is its own OS process (see transport.go) — while *time* is charged
+// through a LogP-style (α, β) model: receiving a message completes at
 //
 //	max(receiver clock, sender clock at send + α + bytes/β)
 //
@@ -91,6 +92,12 @@ type Config struct {
 	// for replay. A NACK for an evicted message fails with
 	// ErrRetransmitGone. 0 selects 128.
 	RetxWindow int
+	// Transport selects the message fabric. Nil selects the in-process
+	// channel transport (every rank a goroutine of this process, the
+	// behavior all virtual-time experiments are calibrated against). A
+	// TCPTransport runs this process as one rank of a multi-process
+	// cluster; Run then executes the body only for that local rank.
+	Transport Transport
 }
 
 func (c Config) withDefaults() Config {
@@ -129,12 +136,19 @@ func (c Config) agreeTimeout() time.Duration {
 // Result aggregates a finished run.
 type Result struct {
 	// Time is the collective completion time: the maximum final virtual
-	// clock over all ranks, in seconds.
+	// clock over all participating local ranks, in seconds.
 	Time float64
-	// RankTimes holds each rank's final virtual clock.
+	// RankTimes holds each local rank's final virtual clock. With the
+	// default in-process transport it has one entry per rank; with a
+	// multi-process transport it has a single entry (the local rank's).
 	RankTimes []float64
-	// Breakdown sums each category's virtual time across ranks.
+	// Breakdown sums each category's virtual time across the local ranks.
 	Breakdown map[Category]float64
+	// WallSeconds is the real elapsed time of the run, reported next to
+	// the virtual model. On the in-process fabric it includes all ranks'
+	// serialized compute; on a real-socket transport it is the local
+	// process's end-to-end wall time.
+	WallSeconds float64
 }
 
 // AvgTime returns the mean final clock across ranks (the paper's kernels
@@ -223,34 +237,11 @@ type message struct {
 	epoch int
 }
 
-// Cluster owns the mailboxes and barrier state for one run.
+// Cluster owns the transport and timing state for one run.
 type Cluster struct {
 	cfg     Config
-	mailMu  sync.Mutex
-	mail    map[[2]int]chan message
+	tr      Transport
 	compute sync.Mutex
-
-	barrierMu   sync.Mutex
-	barrierCond *sync.Cond
-	barrierGen  int
-	barrierIn   int
-	barrierMax  float64
-	// barrierVal accumulates the max of the values contributed to the
-	// in-progress AgreeMax generation; barrierOutMax/barrierOutVal latch
-	// the released generation's results so late leavers are not affected
-	// by ranks already entering the next one.
-	barrierVal    int
-	barrierOutMax float64
-	barrierOutVal int
-	// exited counts ranks whose body has returned. A positive count while
-	// a barrier generation is incomplete means it can never complete, so
-	// waiters abort instead of hanging.
-	exited int
-
-	// retx holds the per-link sender-side retransmit windows of the
-	// reliable-delivery layer (reliable.go).
-	retxMu sync.Mutex
-	retx   map[[2]int]*retxWindow
 
 	// trace, when non-nil, records every virtual-time advance (set by
 	// NewTraced).
@@ -258,28 +249,6 @@ type Cluster struct {
 	// epoch anchors the wall-clock timeline of traced runs: wall spans are
 	// recorded relative to cluster creation.
 	epoch time.Time
-	// done[i] is set once rank i's body has returned; its channels are
-	// closed so blocked receivers fail instead of hanging.
-	done []bool
-}
-
-// closeOutgoing marks rank id as finished and closes every mailbox it
-// feeds. It also wakes barrier waiters: a barrier generation missing an
-// exited rank can never complete, so waiting on it would deadlock.
-func (c *Cluster) closeOutgoing(id int) {
-	c.mailMu.Lock()
-	c.done[id] = true
-	for key, ch := range c.mail {
-		if key[0] == id {
-			close(ch)
-		}
-	}
-	c.mailMu.Unlock()
-
-	c.barrierMu.Lock()
-	c.exited++
-	c.barrierCond.Broadcast()
-	c.barrierMu.Unlock()
 }
 
 // New creates a cluster with the given configuration.
@@ -288,39 +257,14 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Ranks < 1 {
 		return nil, fmt.Errorf("cluster: Ranks must be >= 1, got %d", cfg.Ranks)
 	}
-	c := &Cluster{
-		cfg:   cfg,
-		mail:  make(map[[2]int]chan message),
-		retx:  make(map[[2]int]*retxWindow),
-		epoch: time.Now(),
-		done:  make([]bool, cfg.Ranks),
+	tr := cfg.Transport
+	if tr == nil {
+		tr = newChanTransport()
 	}
-	c.barrierCond = sync.NewCond(&c.barrierMu)
-	return c, nil
-}
-
-func (c *Cluster) chanFor(from, to int) chan message {
-	key := [2]int{from, to}
-	c.mailMu.Lock()
-	defer c.mailMu.Unlock()
-	if c.done[from] {
-		// The sender already exited; give the receiver a closed channel.
-		ch, ok := c.mail[key]
-		if !ok {
-			ch = make(chan message)
-			close(ch)
-			c.mail[key] = ch
-		}
-		return ch
+	if err := tr.bind(cfg); err != nil {
+		return nil, err
 	}
-	ch, ok := c.mail[key]
-	if !ok {
-		// Eager-send buffer: deep enough that pipelined protocols (e.g.
-		// segmented rings) never block the sender in lockstep patterns.
-		ch = make(chan message, 64)
-		c.mail[key] = ch
-	}
-	return ch
+	return &Cluster{cfg: cfg, tr: tr, epoch: time.Now()}, nil
 }
 
 // Run executes body once per rank, each on its own goroutine, and gathers
@@ -334,27 +278,37 @@ func Run(cfg Config, body func(*Rank) error) (*Result, error) {
 	return c.Run(body)
 }
 
-// Run executes body once per rank on this cluster. A Cluster must not be
-// reused after Run returns.
+func (c *Cluster) newRank(id int) *Rank {
+	return &Rank{
+		ID: id, N: c.cfg.Ranks, c: c, breakdown: make(map[Category]float64),
+		sendSeq: make([]int, c.cfg.Ranks), recvSeq: make([]int, c.cfg.Ranks),
+		pending: make([]map[int]message, c.cfg.Ranks),
+	}
+}
+
+// Run executes body for every local rank of the transport: once per rank
+// on the default in-process fabric, or exactly once — for this process's
+// rank — on a multi-process transport. A Cluster must not be reused after
+// Run returns.
 func (c *Cluster) Run(body func(*Rank) error) (*Result, error) {
+	if local, ok := c.tr.LocalRank(); ok {
+		return c.runLocal(local, body)
+	}
+	start := time.Now()
 	n := c.cfg.Ranks
 	ranks := make([]*Rank, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for i := 0; i < n; i++ {
-		r := &Rank{
-			ID: i, N: n, c: c, breakdown: make(map[Category]float64),
-			sendSeq: make([]int, n), recvSeq: make([]int, n),
-			pending: make([]map[int]message, n),
-		}
+		r := c.newRank(i)
 		ranks[i] = r
 		go func(r *Rank, i int) {
 			defer wg.Done()
 			// When a rank exits, close every channel it feeds so peers
 			// blocked on Recv fail fast (ErrPeerFailed) instead of
 			// deadlocking the whole run.
-			defer c.closeOutgoing(i)
+			defer c.tr.closeRank(i)
 			defer func() {
 				if p := recover(); p != nil {
 					errs[i] = fmt.Errorf("cluster: rank %d panicked: %v", i, p)
@@ -365,8 +319,9 @@ func (c *Cluster) Run(body func(*Rank) error) (*Result, error) {
 	}
 	wg.Wait()
 	res := &Result{
-		RankTimes: make([]float64, n),
-		Breakdown: make(map[Category]float64),
+		RankTimes:   make([]float64, n),
+		Breakdown:   make(map[Category]float64),
+		WallSeconds: time.Since(start).Seconds(),
 	}
 	for i, r := range ranks {
 		res.RankTimes[i] = r.now
@@ -395,6 +350,30 @@ func (c *Cluster) Run(body func(*Rank) error) (*Result, error) {
 		return res, e
 	}
 	return res, peerErr
+}
+
+// runLocal executes body for the single rank this process hosts; its
+// peers run the same body in their own processes against the same
+// transport mesh.
+func (c *Cluster) runLocal(id int, body func(*Rank) error) (*Result, error) {
+	start := time.Now()
+	r := c.newRank(id)
+	err := func() (err error) {
+		defer c.tr.closeRank(id)
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("cluster: rank %d panicked: %v", id, p)
+			}
+		}()
+		return body(r)
+	}()
+	res := &Result{
+		Time:        r.now,
+		RankTimes:   []float64{r.now},
+		Breakdown:   r.Breakdown(),
+		WallSeconds: time.Since(start).Seconds(),
+	}
+	return res, err
 }
 
 // Rank is one simulated process. All methods must be called only from the
@@ -507,11 +486,12 @@ func (r *Rank) Quiesce(f func()) {
 // returns; this copy-on-send rule is what lets the collectives run their
 // hot paths out of pooled buffers without aliasing anything the transport
 // retains (the reliable layer's retransmit window keeps its own pristine
-// copy, recorded below). The copy itself draws from bufpool; the receiver
-// ends up owning it exclusively, so a receiver that fully consumes a
-// payload may hand it back with bufpool.PutBytes. Sending is asynchronous
-// (eager): the sender's clock does not advance; transfer time is charged
-// on the receiver, which models the overlapped sends of a ring pipeline.
+// copy, recorded below). The copy itself draws from bufpool; on the
+// in-process fabric the receiver ends up owning it exclusively, so a
+// receiver that fully consumes a payload may hand it back with
+// bufpool.PutBytes. Sending is asynchronous (eager): the sender's clock
+// does not advance; transfer time is charged on the receiver, which
+// models the overlapped sends of a ring pipeline.
 //
 // Each message carries a crc32c checksum and a per-link sequence number,
 // verified by Recv; a configured Fault hook may drop, duplicate, corrupt
@@ -533,17 +513,14 @@ func (r *Rank) Send(to int, data []byte) error {
 	if r.c.cfg.Reliable {
 		// Record the pristine payload in the per-link replay window before
 		// the fault hook can damage or drop it.
-		r.c.recordRetx(r.ID, to, m.seq, m.epoch, m.data, m.sum)
+		r.c.tr.recordRetx(r.ID, to, m.seq, m.epoch, m.data, m.sum)
 	}
 	copies, dropped := r.c.applyFault(&m, to)
 	if dropped {
+		bufpool.PutBytes(m.data)
 		return nil
 	}
-	ch := r.c.chanFor(r.ID, to)
-	for i := 0; i < copies; i++ {
-		ch <- m
-	}
-	return nil
+	return r.c.tr.send(r.ID, to, m, copies)
 }
 
 // Recv blocks until a message from peer `from` arrives and returns its
@@ -582,9 +559,8 @@ func (r *Rank) recvStrict(from int) ([]byte, error) {
 		r.recvSeq[from] = want + 1
 		return r.verifyPayload(m, from)
 	}
-	ch := r.c.chanFor(from, r.ID)
 	for {
-		m, ok, err := r.c.recvMessage(ch)
+		m, ok, err := r.c.tr.recv(from, r.ID, r.c.cfg.RecvTimeout)
 		if err != nil {
 			return nil, fmt.Errorf("%w: from rank %d after %v", err, from, r.c.cfg.RecvTimeout)
 		}
@@ -677,7 +653,7 @@ func (r *Rank) AdvanceEpoch() {
 	for i := range r.pending {
 		r.pending[i] = nil
 	}
-	r.c.clearRetx(r.ID)
+	r.c.tr.clearRetx(r.ID)
 }
 
 // SendRecv posts a send to `to` and then receives from `from`, the
@@ -704,62 +680,16 @@ func (r *Rank) Barrier() error {
 // contributes v, all ranks leave together (clocks synchronized exactly
 // like Barrier, with the same α·ceil(log2 N) tree cost), and each
 // receives the maximum contributed value. Because it runs over the
-// barrier machinery rather than point-to-point messages, it is immune to
-// injected fabric faults — the collectives use it as the control plane
-// for agreeing to retry or degrade after a failed attempt.
+// transport's control plane rather than point-to-point messages, it is
+// immune to injected fabric faults — the collectives use it as the
+// control plane for agreeing to retry or degrade after a failed attempt.
 func (r *Rank) AgreeMax(v int) (int, error) {
-	c := r.c
-	var deadline time.Time
-	if d := c.cfg.agreeTimeout(); d > 0 {
-		deadline = time.Now().Add(d)
-		wake := time.AfterFunc(d, func() {
-			c.barrierMu.Lock()
-			c.barrierCond.Broadcast()
-			c.barrierMu.Unlock()
-		})
-		defer wake.Stop()
+	leave, agreed, err := r.c.tr.agreeMax(r.ID, r.now, v)
+	if err != nil {
+		return 0, err
 	}
-	c.barrierMu.Lock()
-	gen := c.barrierGen
-	if r.now > c.barrierMax {
-		c.barrierMax = r.now
-	}
-	if v > c.barrierVal {
-		c.barrierVal = v
-	}
-	c.barrierIn++
-	if c.barrierIn == r.N {
-		cost := 0.0
-		if r.N > 1 {
-			cost = c.cfg.Latency.Seconds() * math.Ceil(math.Log2(float64(r.N)))
-		}
-		c.barrierMax += cost
-		// Latch this generation's results: a fast rank may re-enter the
-		// next barrier (and mutate barrierMax/barrierVal) before slow
-		// leavers have read theirs.
-		c.barrierOutMax = c.barrierMax
-		c.barrierOutVal = c.barrierVal
-		c.barrierIn = 0
-		c.barrierVal = 0
-		c.barrierGen++
-		c.barrierCond.Broadcast()
-	} else {
-		for gen == c.barrierGen {
-			if c.exited > 0 {
-				c.barrierMu.Unlock()
-				return 0, fmt.Errorf("%w: barrier aborted, a rank exited before reaching it", ErrPeerFailed)
-			}
-			if !deadline.IsZero() && time.Now().After(deadline) {
-				c.barrierMu.Unlock()
-				return 0, fmt.Errorf("%w: barrier, peers missing after %v", ErrRecvTimeout, c.cfg.agreeTimeout())
-			}
-			c.barrierCond.Wait()
-		}
-	}
-	leave, agreed := c.barrierOutMax, c.barrierOutVal
-	c.barrierMu.Unlock()
 	if leave > r.now {
-		if tr := c.trace; tr != nil {
+		if tr := r.c.trace; tr != nil {
 			tr.record(TraceEvent{Rank: r.ID, Category: CatMPI, Start: r.now, Dur: leave - r.now})
 		}
 		r.breakdown[CatMPI] += leave - r.now

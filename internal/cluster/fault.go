@@ -3,7 +3,6 @@ package cluster
 import (
 	"errors"
 	"hash/crc32"
-	"time"
 )
 
 // Fault injection and message integrity.
@@ -197,21 +196,4 @@ func (c *Cluster) applyFaultAttempt(m *message, to, attempt int) (copies int, dr
 		return 1, false
 	}
 	return 1, false
-}
-
-// recvMessage pulls the next message from ch, honouring the configured
-// wall-clock timeout.
-func (c *Cluster) recvMessage(ch chan message) (message, bool, error) {
-	if c.cfg.RecvTimeout <= 0 {
-		m, ok := <-ch
-		return m, ok, nil
-	}
-	timer := time.NewTimer(c.cfg.RecvTimeout)
-	defer timer.Stop()
-	select {
-	case m, ok := <-ch:
-		return m, ok, nil
-	case <-timer.C:
-		return message{}, false, ErrRecvTimeout
-	}
 }

@@ -6,12 +6,16 @@ package cluster
 // of recently sent messages (pristine copies, recorded before the fault
 // hook can damage them). When the receiver detects a damaged or missing
 // message — checksum mismatch, sequence gap, or receive timeout — it
-// issues a NACK and the sender replays the message from its window. A
-// replay passes through the fault hook again (with FaultContext.Attempt
-// set), so recovery itself can fail; each failed attempt charges an
-// exponentially growing backoff, and after Config.RetryBudget attempts
-// Recv gives up with ErrRetryBudgetExhausted. Duplicate sequence numbers
-// are silently deduplicated instead of erroring.
+// issues a NACK and the sender replays the message from its window. On
+// the in-process fabric the NACK is a direct lookup into the sender's
+// shared-memory window; on the TCP fabric it is a control frame answered
+// with a replay frame (see tcptransport.go) — the recovery protocol
+// itself is transport-agnostic. A replay passes through the fault hook
+// again (with FaultContext.Attempt set), so recovery itself can fail;
+// each failed attempt charges an exponentially growing backoff, and after
+// Config.RetryBudget attempts Recv gives up with
+// ErrRetryBudgetExhausted. Duplicate sequence numbers are silently
+// deduplicated instead of erroring.
 //
 // All recovery traffic is charged through the same (α, β) virtual-time
 // model as regular traffic, on the receiver (the rank that actually
@@ -21,9 +25,9 @@ package cluster
 // BreakdownShares and Chrome traces.
 //
 // Buffer ownership: the retransmit window NEVER aliases a caller's (or a
-// pool's) buffer. recordRetx copies the payload into a private allocation
-// at Send time, and lookupRetx hands replays out as fresh copies, so
-// collectives recycling their send buffers through bufpool immediately
+// pool's) buffer. retxStore.record copies the payload into a private
+// allocation at Send time, and lookups hand replays out as fresh copies,
+// so collectives recycling their send buffers through bufpool immediately
 // after Send cannot corrupt a later retransmission.
 
 import (
@@ -62,84 +66,15 @@ type retxWindow struct {
 	buf   map[int]retxEntry
 }
 
-func (c *Cluster) retxFor(from, to int) *retxWindow {
-	key := [2]int{from, to}
-	c.retxMu.Lock()
-	defer c.retxMu.Unlock()
-	w, ok := c.retx[key]
-	if !ok {
-		w = &retxWindow{buf: make(map[int]retxEntry)}
-		c.retx[key] = w
-	}
-	return w
-}
-
-// recordRetx stores a pristine copy of an outgoing message in the link's
-// replay window, evicting entries older than Config.RetxWindow.
-func (c *Cluster) recordRetx(from, to, seq, epoch int, data []byte, sum uint32) {
-	w := c.retxFor(from, to)
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if epoch != w.epoch {
-		// First send of a new epoch: old-epoch entries are unreachable.
-		w.epoch = epoch
-		w.buf = make(map[int]retxEntry)
-	}
-	cp := make([]byte, len(data))
-	copy(cp, data)
-	w.buf[seq] = retxEntry{data: cp, sum: sum}
-	w.next = seq + 1
-	if old := seq - c.cfg.RetxWindow; old >= 0 {
-		delete(w.buf, old)
-	}
-}
-
-// lookupRetx fetches a fresh copy of a windowed message for replay.
-func (c *Cluster) lookupRetx(from, to, seq, epoch int) (data []byte, sum uint32, err error) {
-	w := c.retxFor(from, to)
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.epoch < epoch || seq >= w.next {
-		return nil, 0, errNotYetSent
-	}
-	if w.epoch > epoch {
-		// The sender already moved to a newer epoch; the old attempt's
-		// traffic is unrecoverable.
-		mRetxEvictions.Inc()
-		return nil, 0, fmt.Errorf("%w: link %d→%d seq %d (sender in epoch %d, wanted %d)", ErrRetransmitGone, from, to, seq, w.epoch, epoch)
-	}
-	e, ok := w.buf[seq]
-	if !ok {
-		mRetxEvictions.Inc()
-		return nil, 0, fmt.Errorf("%w: link %d→%d seq %d (window %d)", ErrRetransmitGone, from, to, seq, c.cfg.RetxWindow)
-	}
-	cp := make([]byte, len(e.data))
-	copy(cp, e.data)
-	return cp, e.sum, nil
-}
-
-// clearRetx drops every replay window fed by rank `from` (epoch change:
-// the retained traffic belongs to an abandoned attempt).
-func (c *Cluster) clearRetx(from int) {
-	c.retxMu.Lock()
-	defer c.retxMu.Unlock()
-	for key := range c.retx {
-		if key[0] == from {
-			delete(c.retx, key)
-		}
-	}
-}
-
 // recvReliable is the recovering receive path (Config.Reliable).
 func (r *Rank) recvReliable(from int) ([]byte, error) {
-	ch := r.c.chanFor(from, r.ID)
 	timeouts := 0
 	for {
 		want := r.recvSeq[from]
 		if m, ok := r.takePending(from, want); ok {
 			return r.deliverReliable(m, from, want)
 		}
-		m, ok, err := r.c.recvMessage(ch)
+		m, ok, err := r.c.tr.recv(from, r.ID, r.c.cfg.RecvTimeout)
 		if err != nil {
 			// Timeout: the message was likely dropped in flight — recover
 			// from the sender's window. If it simply has not been sent yet
@@ -159,8 +94,9 @@ func (r *Rank) recvReliable(from int) ([]byte, error) {
 			return nil, rerr
 		}
 		if !ok {
-			// Sender exited; its replay window survives, so messages it
-			// sent before exiting can still be salvaged.
+			// Sender exited; on the in-process fabric its replay window
+			// survives, so messages it sent before exiting can still be
+			// salvaged.
 			data, rerr := r.recover(from, want, ErrPeerFailed)
 			if rerr == nil {
 				r.recvSeq[from] = want + 1
@@ -224,7 +160,7 @@ func (r *Rank) recover(from, want int, cause error) ([]byte, error) {
 		mNacks.Inc()
 		// The NACK control message flies back to the sender: one α.
 		r.Elapse(CatMPI, alpha)
-		data, sum, err := r.c.lookupRetx(from, r.ID, want, r.epoch)
+		data, sum, err := r.c.tr.retransmit(from, r.ID, want, r.epoch)
 		if err != nil {
 			if errors.Is(err, errNotYetSent) {
 				return nil, errNotYetSent

@@ -1,0 +1,720 @@
+package cluster
+
+// TCPTransport: the real-socket backend. Each rank of the cluster is its
+// own OS process; point-to-point messages travel as length-prefixed
+// frames over a full TCP mesh (one connection per rank pair, dialed by
+// the higher rank, accepted by the lower). Everything the in-process
+// fabric models stays live on the wire: the crc32c checksum, sequence
+// number, epoch, virtual send time and injected delay all travel inside
+// the frame, so integrity checking, the (α, β) clock model, fault
+// injection and NACK-driven recovery behave identically — except that a
+// NACK here is an actual control frame answered by the sender's process
+// with a replay frame, and the barrier control plane is a gather/release
+// exchange through rank 0 instead of a shared condition variable.
+//
+// Wire protocol (all integers little-endian):
+//
+//	handshake   "hZCC" ver=1 | u32 rank | u32 world       (both directions)
+//	frame       u32 length | u8 type | body
+//	  data      u32 seq | u32 epoch | u32 sum | f64 sentAt | f64 delay | payload
+//	  nack      u32 seq | u32 epoch
+//	  retx      u8 status | u32 seq | u32 epoch | u32 sum | payload
+//	  agree     u32 gen | f64 clock | i64 value
+//	  release   u32 gen | f64 clock | i64 value
+//
+// The frame length covers everything after the length field itself.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"hzccl/internal/bufpool"
+)
+
+// TCP protocol constants.
+const (
+	tcpMagic   = "hZCC"
+	tcpVersion = 1
+
+	frameData    = 1
+	frameNack    = 2
+	frameRetx    = 3
+	frameAgree   = 4
+	frameRelease = 5
+
+	// retxOK/retxNotYetSent/retxGone are the status codes of a retx frame.
+	retxOK         = 0
+	retxNotYetSent = 1
+	retxGone       = 2
+
+	// maxFrameBytes bounds a single frame (1 GiB): anything larger is a
+	// corrupted length prefix, not a payload this system produces.
+	maxFrameBytes = 1 << 30
+)
+
+// ErrTransportClosed is returned by TCP transport operations after the
+// local endpoint shut down.
+var ErrTransportClosed = errors.New("cluster: tcp transport closed")
+
+// TCPOptions configures a TCPTransport.
+type TCPOptions struct {
+	// Rank is this process's rank in [0, len(Peers)).
+	Rank int
+	// Peers lists every rank's listen address ("host:port"), indexed by
+	// rank. All processes must pass the same list in the same order.
+	Peers []string
+	// DialTimeout bounds the total time spent forming the mesh (dialing
+	// lower ranks, accepting higher ones). Peers start at different
+	// moments, so dials are retried with backoff until the deadline.
+	// 0 selects 15s.
+	DialTimeout time.Duration
+	// Listener, when non-nil, is used instead of listening on
+	// Peers[Rank]. Tests use it to grab ephemeral ports (":0") before the
+	// peer list is assembled.
+	Listener net.Listener
+}
+
+// tcpCtl is one control-plane event (agree or release frame) delivered to
+// a waiting AgreeMax.
+type tcpCtl struct {
+	kind  byte
+	gen   uint32
+	clock float64
+	val   int64
+}
+
+// tcpRetx is a replay answer for an outstanding NACK.
+type tcpRetx struct {
+	status byte
+	seq    uint32
+	epoch  uint32
+	sum    uint32
+	data   []byte
+}
+
+// tcpPeer is one live connection of the mesh.
+type tcpPeer struct {
+	rank int
+	conn net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+
+	inbox chan message // data frames, in arrival order
+	retx  chan tcpRetx // replay answers (one outstanding NACK at a time)
+	ctl   chan tcpCtl  // agree/release frames
+
+	closeOnce sync.Once
+}
+
+func (p *tcpPeer) close() {
+	p.closeOnce.Do(func() { p.conn.Close() })
+}
+
+// TCPTransport is the multi-process Transport. Create one per process
+// with NewTCPTransport, hand it to Config.Transport, and Run executes the
+// body for this process's rank only.
+type TCPTransport struct {
+	rank  int
+	n     int
+	cfg   Config
+	bound bool
+
+	ln    net.Listener
+	peers []*tcpPeer // indexed by rank; nil at self
+
+	// retx holds the local rank's sender-side replay windows; peers reach
+	// them through NACK frames serviced by the reader goroutines.
+	retxW retxStore
+
+	// agreeGen numbers AgreeMax rounds. Collectives call AgreeMax in the
+	// same program order on every rank, so a plain counter matches
+	// generations across the mesh; the generation travels in the frame so
+	// a mismatch is detected as a protocol error instead of silently
+	// pairing different barriers.
+	agreeMu  sync.Mutex
+	agreeGen uint32
+
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// NewTCPTransport listens on Peers[Rank] and forms the full mesh: this
+// process dials every lower rank and accepts a connection from every
+// higher one, each direction verified by a magic/version/rank/world
+// handshake. It blocks until the mesh is complete or DialTimeout expires.
+func NewTCPTransport(opt TCPOptions) (*TCPTransport, error) {
+	n := len(opt.Peers)
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: tcp transport needs a non-empty peer list")
+	}
+	if opt.Rank < 0 || opt.Rank >= n {
+		return nil, fmt.Errorf("cluster: tcp rank %d out of range [0, %d)", opt.Rank, n)
+	}
+	deadline := time.Now().Add(opt.DialTimeout)
+	if opt.DialTimeout == 0 {
+		deadline = time.Now().Add(15 * time.Second)
+	}
+	t := &TCPTransport{
+		rank:   opt.Rank,
+		n:      n,
+		peers:  make([]*tcpPeer, n),
+		closed: make(chan struct{}),
+	}
+	ln := opt.Listener
+	if ln == nil && n > 1 {
+		var err error
+		ln, err = net.Listen("tcp", opt.Peers[opt.Rank])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: tcp rank %d listen %s: %w", opt.Rank, opt.Peers[opt.Rank], err)
+		}
+	}
+	t.ln = ln
+
+	// Accept from higher ranks and dial lower ranks concurrently: a
+	// middle rank must do both at once or two middles can deadlock
+	// waiting on each other.
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	higher := n - 1 - opt.Rank
+	if higher > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[0] = t.acceptPeers(higher, deadline)
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		errs[1] = t.dialPeers(opt.Peers, deadline)
+	}()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Close()
+			return nil, err
+		}
+	}
+	// The mesh is complete: start one reader per connection.
+	for _, p := range t.peers {
+		if p != nil {
+			go t.readLoop(p)
+		}
+	}
+	return t, nil
+}
+
+// Addr returns the transport's listen address (useful with an ephemeral
+// ":0" listener). Nil-listener transports (single rank) return "".
+func (t *TCPTransport) Addr() string {
+	if t.ln == nil {
+		return ""
+	}
+	return t.ln.Addr().String()
+}
+
+// acceptPeers admits `count` inbound connections, each identifying itself
+// as a distinct higher rank.
+func (t *TCPTransport) acceptPeers(count int, deadline time.Time) error {
+	for admitted := 0; admitted < count; {
+		if d, ok := t.ln.(*net.TCPListener); ok {
+			d.SetDeadline(deadline)
+		}
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("cluster: tcp rank %d accept (%d/%d peers admitted): %w", t.rank, admitted, count, err)
+		}
+		rank, err := t.handshake(conn)
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("cluster: tcp rank %d handshake: %w", t.rank, err)
+		}
+		if rank <= t.rank || rank >= t.n || t.peers[rank] != nil {
+			conn.Close()
+			return fmt.Errorf("cluster: tcp rank %d got unexpected hello from rank %d", t.rank, rank)
+		}
+		t.peers[rank] = newTCPPeer(rank, conn)
+		mTransportAccepts.Inc()
+		admitted++
+	}
+	return nil
+}
+
+// dialPeers connects to every lower rank, retrying with backoff until the
+// deadline (peers start at different times).
+func (t *TCPTransport) dialPeers(peers []string, deadline time.Time) error {
+	for to := 0; to < t.rank; to++ {
+		backoff := 10 * time.Millisecond
+		for {
+			conn, err := net.DialTimeout("tcp", peers[to], time.Until(deadline))
+			if err == nil {
+				rank, herr := t.handshake(conn)
+				if herr == nil && rank == to {
+					t.peers[to] = newTCPPeer(to, conn)
+					mTransportDials.Inc()
+					break
+				}
+				conn.Close()
+				if herr == nil {
+					herr = fmt.Errorf("peer identified as rank %d, expected %d", rank, to)
+				}
+				err = herr
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("cluster: tcp rank %d dial rank %d (%s): %w", t.rank, to, peers[to], err)
+			}
+			mTransportReconnects.Inc()
+			time.Sleep(backoff)
+			if backoff < 500*time.Millisecond {
+				backoff *= 2
+			}
+		}
+	}
+	return nil
+}
+
+func newTCPPeer(rank int, conn net.Conn) *tcpPeer {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // latency-bound control frames (NACK, agree)
+	}
+	return &tcpPeer{
+		rank:  rank,
+		conn:  conn,
+		inbox: make(chan message, 64),
+		retx:  make(chan tcpRetx, 1),
+		ctl:   make(chan tcpCtl, 4),
+	}
+}
+
+// handshake exchanges identity with a freshly connected peer (both sides
+// send, both verify) and returns the peer's rank.
+func (t *TCPTransport) handshake(conn net.Conn) (int, error) {
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	defer conn.SetDeadline(time.Time{})
+	var out [13]byte
+	copy(out[:4], tcpMagic)
+	out[4] = tcpVersion
+	binary.LittleEndian.PutUint32(out[5:9], uint32(t.rank))
+	binary.LittleEndian.PutUint32(out[9:13], uint32(t.n))
+	if _, err := conn.Write(out[:]); err != nil {
+		return 0, err
+	}
+	var in [13]byte
+	if _, err := io.ReadFull(conn, in[:]); err != nil {
+		return 0, err
+	}
+	if string(in[:4]) != tcpMagic {
+		return 0, fmt.Errorf("bad magic %q", in[:4])
+	}
+	if in[4] != tcpVersion {
+		return 0, fmt.Errorf("protocol version %d, want %d", in[4], tcpVersion)
+	}
+	rank := int(binary.LittleEndian.Uint32(in[5:9]))
+	world := int(binary.LittleEndian.Uint32(in[9:13]))
+	if world != t.n {
+		return 0, fmt.Errorf("peer rank %d built for a %d-rank world, this one has %d", rank, world, t.n)
+	}
+	return rank, nil
+}
+
+// LocalRank reports that exactly one rank lives in this process.
+func (t *TCPTransport) LocalRank() (int, bool) { return t.rank, true }
+
+func (t *TCPTransport) bind(cfg Config) error {
+	if cfg.Ranks != t.n {
+		return fmt.Errorf("cluster: Config.Ranks = %d but the tcp mesh has %d peers", cfg.Ranks, t.n)
+	}
+	t.cfg = cfg
+	t.retxW.window = cfg.RetxWindow
+	t.bound = true
+	return nil
+}
+
+// Close tears down the mesh: the listener and every connection. Peers
+// observe EOF, which surfaces to their collectives as ErrPeerFailed —
+// the same semantics as an exited goroutine on the in-process fabric.
+func (t *TCPTransport) Close() error {
+	t.closeOnce.Do(func() {
+		close(t.closed)
+		if t.ln != nil {
+			t.ln.Close()
+		}
+		for _, p := range t.peers {
+			if p != nil {
+				p.close()
+			}
+		}
+	})
+	return nil
+}
+
+// closeRank is invoked when the local rank's body returns; the whole
+// process is done with the fabric.
+func (t *TCPTransport) closeRank(rank int) {
+	if rank == t.rank {
+		t.Close()
+	}
+}
+
+func (t *TCPTransport) peer(rank int) (*tcpPeer, error) {
+	if rank < 0 || rank >= t.n || rank == t.rank {
+		return nil, fmt.Errorf("%w: tcp peer %d of %d (local rank %d)", ErrBadPeer, rank, t.n, t.rank)
+	}
+	p := t.peers[rank]
+	if p == nil {
+		return nil, fmt.Errorf("cluster: tcp rank %d has no connection to rank %d", t.rank, rank)
+	}
+	return p, nil
+}
+
+// writeFrame sends one length-prefixed frame: hdr is the body prefix
+// (starting with the type byte), payload an optional trailing byte
+// string. Writes to one connection are serialized.
+func (p *tcpPeer) writeFrame(hdr, payload []byte) error {
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(hdr)+len(payload)))
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	bufs := net.Buffers{lenBuf[:], hdr}
+	if len(payload) > 0 {
+		bufs = append(bufs, payload)
+	}
+	n, err := bufs.WriteTo(p.conn)
+	mTransportBytesOut.Add(n)
+	return err
+}
+
+// send frames a data message onto the wire. The transport recycles
+// m.data once written: unlike the channel fabric no receiver in this
+// address space will ever own it.
+func (t *TCPTransport) send(from, to int, m message, copies int) error {
+	p, err := t.peer(to)
+	if err != nil {
+		return err
+	}
+	var hdr [29]byte
+	hdr[0] = frameData
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(m.seq))
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(m.epoch))
+	binary.LittleEndian.PutUint32(hdr[9:13], m.sum)
+	binary.LittleEndian.PutUint64(hdr[13:21], math.Float64bits(m.sentAt))
+	binary.LittleEndian.PutUint64(hdr[21:29], math.Float64bits(m.delay))
+	for i := 0; i < copies; i++ {
+		if err := p.writeFrame(hdr[:], m.data); err != nil {
+			return fmt.Errorf("cluster: tcp send %d→%d seq %d: %w", from, to, m.seq, err)
+		}
+	}
+	bufpool.PutBytes(m.data)
+	return nil
+}
+
+// recv waits for the next data frame from the peer.
+func (t *TCPTransport) recv(from, to int, timeout time.Duration) (message, bool, error) {
+	p, err := t.peer(from)
+	if err != nil {
+		return message{}, false, err
+	}
+	if timeout <= 0 {
+		m, ok := <-p.inbox
+		return m, ok, nil
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case m, ok := <-p.inbox:
+		return m, ok, nil
+	case <-timer.C:
+		return message{}, false, ErrRecvTimeout
+	}
+}
+
+func (t *TCPTransport) recordRetx(from, to, seq, epoch int, data []byte, sum uint32) {
+	t.retxW.record(from, to, seq, epoch, data, sum)
+}
+
+func (t *TCPTransport) clearRetx(rank int) { t.retxW.clear(rank) }
+
+// retransmit NACKs the sending peer over the wire and waits for its
+// replay frame. The sender's reader goroutine services the NACK from its
+// local replay window, so recovery works across process boundaries. One
+// semantic differs from the in-process fabric: there the replay window
+// survives the sender's exit, while here the sender's process must still
+// be alive to answer — collectives satisfy this naturally because every
+// attempt ends with an AgreeMax before any rank leaves.
+func (t *TCPTransport) retransmit(from, to, seq, epoch int) ([]byte, uint32, error) {
+	p, err := t.peer(from)
+	if err != nil {
+		return nil, 0, err
+	}
+	var hdr [9]byte
+	hdr[0] = frameNack
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(seq))
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(epoch))
+	if err := p.writeFrame(hdr[:], nil); err != nil {
+		return nil, 0, fmt.Errorf("%w: nack %d→%d seq %d undeliverable (%v)", ErrPeerFailed, from, to, seq, err)
+	}
+	timeout := t.cfg.RecvTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case a, ok := <-p.retx:
+		if !ok {
+			return nil, 0, fmt.Errorf("%w: rank %d closed while replaying seq %d", ErrPeerFailed, from, seq)
+		}
+		if int(a.seq) != seq || int(a.epoch) != epoch {
+			return nil, 0, fmt.Errorf("cluster: tcp replay mismatch from rank %d: got seq %d epoch %d, want %d/%d", from, a.seq, a.epoch, seq, epoch)
+		}
+		switch a.status {
+		case retxOK:
+			return a.data, a.sum, nil
+		case retxNotYetSent:
+			return nil, 0, errNotYetSent
+		default:
+			mRetxEvictions.Inc()
+			return nil, 0, fmt.Errorf("%w: link %d→%d seq %d (remote window)", ErrRetransmitGone, from, to, seq)
+		}
+	case <-timer.C:
+		// The replay itself went missing; the caller's retry budget
+		// decides whether to NACK again.
+		return nil, 0, errNotYetSent
+	}
+}
+
+// agreeMax is the TCP control plane: every rank sends (clock, value) to
+// rank 0, which answers with the maximum clock (plus the α·ceil(log2 N)
+// tree cost, matching the in-process barrier) and the maximum value.
+func (t *TCPTransport) agreeMax(rank int, clock float64, v int) (float64, int, error) {
+	if t.n == 1 {
+		return clock, v, nil
+	}
+	t.agreeMu.Lock()
+	gen := t.agreeGen
+	t.agreeGen++
+	t.agreeMu.Unlock()
+	timeout := t.cfg.agreeTimeout()
+
+	if rank != 0 {
+		p, err := t.peer(0)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := p.writeCtl(frameAgree, gen, clock, int64(v)); err != nil {
+			return 0, 0, fmt.Errorf("%w: barrier proposal to rank 0 undeliverable (%v)", ErrPeerFailed, err)
+		}
+		rel, err := p.waitCtl(frameRelease, gen, timeout)
+		if err != nil {
+			return 0, 0, err
+		}
+		return rel.clock, int(rel.val), nil
+	}
+
+	// Rank 0 gathers every peer's proposal, resolves, and releases.
+	maxClock, maxVal := clock, int64(v)
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		a, err := p.waitCtl(frameAgree, gen, timeout)
+		if err != nil {
+			return 0, 0, err
+		}
+		if a.clock > maxClock {
+			maxClock = a.clock
+		}
+		if a.val > maxVal {
+			maxVal = a.val
+		}
+	}
+	leave := maxClock + t.cfg.Latency.Seconds()*math.Ceil(math.Log2(float64(t.n)))
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		if err := p.writeCtl(frameRelease, gen, leave, maxVal); err != nil {
+			return 0, 0, fmt.Errorf("%w: barrier release to rank %d undeliverable (%v)", ErrPeerFailed, p.rank, err)
+		}
+	}
+	return leave, int(maxVal), nil
+}
+
+func (p *tcpPeer) writeCtl(kind byte, gen uint32, clock float64, val int64) error {
+	var hdr [21]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:5], gen)
+	binary.LittleEndian.PutUint64(hdr[5:13], math.Float64bits(clock))
+	binary.LittleEndian.PutUint64(hdr[13:21], uint64(val))
+	return p.writeFrame(hdr[:], nil)
+}
+
+// waitCtl blocks for the next control frame from the peer and verifies
+// its kind and generation.
+func (p *tcpPeer) waitCtl(kind byte, gen uint32, timeout time.Duration) (tcpCtl, error) {
+	var timer *time.Timer
+	var expired <-chan time.Time
+	if timeout > 0 {
+		timer = time.NewTimer(timeout)
+		defer timer.Stop()
+		expired = timer.C
+	}
+	select {
+	case c, ok := <-p.ctl:
+		if !ok {
+			return tcpCtl{}, fmt.Errorf("%w: barrier aborted, rank %d disconnected", ErrPeerFailed, p.rank)
+		}
+		if c.kind != kind || c.gen != gen {
+			return tcpCtl{}, fmt.Errorf("cluster: tcp barrier protocol error with rank %d: got kind %d gen %d, want %d/%d (AgreeMax must be called in the same order on every rank)",
+				p.rank, c.kind, c.gen, kind, gen)
+		}
+		return c, nil
+	case <-expired:
+		return tcpCtl{}, fmt.Errorf("%w: barrier, rank %d missing after %v", ErrRecvTimeout, p.rank, timeout)
+	}
+}
+
+// readLoop demultiplexes one connection: data frames feed the inbox,
+// NACKs are serviced inline from the local replay window, replay answers
+// and control frames wake their waiters. On error or EOF every channel
+// is closed so blocked receivers fail fast — exactly the closed-mailbox
+// semantics of the in-process fabric.
+func (t *TCPTransport) readLoop(p *tcpPeer) {
+	defer func() {
+		p.close()
+		close(p.inbox)
+		close(p.retx)
+		close(p.ctl)
+	}()
+	br := bufio.NewReaderSize(p.conn, 64<<10)
+	for {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			return
+		}
+		frameLen := int(binary.LittleEndian.Uint32(lenBuf[:]))
+		if frameLen < 1 || frameLen > maxFrameBytes {
+			return
+		}
+		mTransportBytesIn.Add(int64(frameLen) + 4)
+		kind, err := br.ReadByte()
+		if err != nil {
+			return
+		}
+		body := frameLen - 1
+		switch kind {
+		case frameData:
+			if body < 28 {
+				return
+			}
+			var hdr [28]byte
+			if _, err := io.ReadFull(br, hdr[:]); err != nil {
+				return
+			}
+			payload := bufpool.Bytes(body - 28)
+			if _, err := io.ReadFull(br, payload); err != nil {
+				return
+			}
+			m := message{
+				data:   payload,
+				from:   p.rank,
+				seq:    int(binary.LittleEndian.Uint32(hdr[0:4])),
+				epoch:  int(binary.LittleEndian.Uint32(hdr[4:8])),
+				sum:    binary.LittleEndian.Uint32(hdr[8:12]),
+				sentAt: math.Float64frombits(binary.LittleEndian.Uint64(hdr[12:20])),
+				delay:  math.Float64frombits(binary.LittleEndian.Uint64(hdr[20:28])),
+			}
+			select {
+			case p.inbox <- m:
+			case <-t.closed:
+				return
+			}
+		case frameNack:
+			if body != 8 {
+				return
+			}
+			var hdr [8]byte
+			if _, err := io.ReadFull(br, hdr[:]); err != nil {
+				return
+			}
+			seq := int(binary.LittleEndian.Uint32(hdr[0:4]))
+			epoch := int(binary.LittleEndian.Uint32(hdr[4:8]))
+			if err := t.serveNack(p, seq, epoch); err != nil {
+				return
+			}
+		case frameRetx:
+			if body < 13 {
+				return
+			}
+			var hdr [13]byte
+			if _, err := io.ReadFull(br, hdr[:]); err != nil {
+				return
+			}
+			a := tcpRetx{
+				status: hdr[0],
+				seq:    binary.LittleEndian.Uint32(hdr[1:5]),
+				epoch:  binary.LittleEndian.Uint32(hdr[5:9]),
+				sum:    binary.LittleEndian.Uint32(hdr[9:13]),
+			}
+			a.data = make([]byte, body-13)
+			if _, err := io.ReadFull(br, a.data); err != nil {
+				return
+			}
+			select {
+			case p.retx <- a:
+			case <-t.closed:
+				return
+			}
+		case frameAgree, frameRelease:
+			if body != 20 {
+				return
+			}
+			var hdr [20]byte
+			if _, err := io.ReadFull(br, hdr[:]); err != nil {
+				return
+			}
+			c := tcpCtl{
+				kind:  kind,
+				gen:   binary.LittleEndian.Uint32(hdr[0:4]),
+				clock: math.Float64frombits(binary.LittleEndian.Uint64(hdr[4:12])),
+				val:   int64(binary.LittleEndian.Uint64(hdr[12:20])),
+			}
+			select {
+			case p.ctl <- c:
+			case <-t.closed:
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// serveNack answers a peer's replay request from the local rank's
+// sender-side window.
+func (t *TCPTransport) serveNack(p *tcpPeer, seq, epoch int) error {
+	data, sum, err := t.retxW.lookup(t.rank, p.rank, seq, epoch)
+	status := byte(retxOK)
+	if err != nil {
+		data, sum = nil, 0
+		if errors.Is(err, errNotYetSent) {
+			status = retxNotYetSent
+		} else {
+			status = retxGone
+		}
+	}
+	var hdr [14]byte
+	hdr[0] = frameRetx
+	hdr[1] = status
+	binary.LittleEndian.PutUint32(hdr[2:6], uint32(seq))
+	binary.LittleEndian.PutUint32(hdr[6:10], uint32(epoch))
+	binary.LittleEndian.PutUint32(hdr[10:14], sum)
+	return p.writeFrame(hdr[:], data)
+}

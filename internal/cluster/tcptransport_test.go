@@ -1,0 +1,385 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startMesh forms an n-rank TCP mesh on loopback ephemeral ports, every
+// rank in its own goroutine (standing in for its own process). It returns
+// the connected transports indexed by rank.
+func startMesh(t *testing.T, n int) []*TCPTransport {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	peers := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen rank %d: %v", i, err)
+		}
+		lns[i] = ln
+		peers[i] = ln.Addr().String()
+	}
+	trs := make([]*TCPTransport, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			trs[i], errs[i] = NewTCPTransport(TCPOptions{
+				Rank: i, Peers: peers, Listener: lns[i], DialTimeout: 10 * time.Second,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d mesh: %v", i, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, tr := range trs {
+			if tr != nil {
+				tr.Close()
+			}
+		}
+	})
+	return trs
+}
+
+// runMesh executes body once per rank, each rank against its own Cluster
+// bound to its own TCPTransport — the in-test equivalent of N processes.
+// It returns the per-rank results and the first error.
+func runMesh(t *testing.T, cfg Config, trs []*TCPTransport, body func(*Rank) error) ([]*Result, error) {
+	t.Helper()
+	n := len(trs)
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := cfg
+			c.Transport = trs[i]
+			results[i], errs[i] = Run(c, body)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+func TestTCPMeshExchange(t *testing.T) {
+	trs := startMesh(t, 2)
+	cfg := Config{Ranks: 2, ParallelCompute: true}
+	results, err := runMesh(t, cfg, trs, func(r *Rank) error {
+		if r.ID == 0 {
+			return r.Send(1, []byte("over the wire"))
+		}
+		got, err := r.Recv(0)
+		if err != nil {
+			return err
+		}
+		if string(got) != "over the wire" {
+			return fmt.Errorf("payload %q", got)
+		}
+		if r.Now() <= 0 {
+			return fmt.Errorf("virtual clock did not advance (%v)", r.Now())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("exchange: %v", err)
+	}
+	// The (α, β) model charges the receiver: α + 13 bytes / β.
+	c := cfg.withDefaults()
+	want := c.Latency.Seconds() + 13/c.BandwidthBytes
+	if got := results[1].Time; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("rank 1 virtual time %v, want %v", got, want)
+	}
+	if results[1].WallSeconds <= 0 {
+		t.Fatalf("wall-clock time not measured")
+	}
+}
+
+// ringBody is a deterministic 4-rank ring reduction used to compare the
+// two fabrics: N-1 SendRecv rounds accumulating uint32 sums, then an
+// AgreeMax. It uses only modeled time (no measured compute), so its
+// virtual clocks must be bit-identical on any transport.
+func ringBody(acc *[]uint32) func(*Rank) error {
+	return func(r *Rank) error {
+		buf := make([]byte, 8*4)
+		vals := make([]uint32, 8)
+		for i := range vals {
+			vals[i] = uint32(r.ID + 1)
+		}
+		for round := 0; round < r.N-1; round++ {
+			for i, v := range vals {
+				binary.LittleEndian.PutUint32(buf[4*i:], v)
+			}
+			got, err := r.SendRecv((r.ID+1)%r.N, buf, (r.ID+r.N-1)%r.N)
+			if err != nil {
+				return err
+			}
+			for i := range vals {
+				vals[i] += binary.LittleEndian.Uint32(got[4*i:])
+			}
+			r.Elapse(CatHPR, 1e-6)
+		}
+		if _, err := r.AgreeMax(r.ID); err != nil {
+			return err
+		}
+		*acc = vals
+		return nil
+	}
+}
+
+func TestTCPRingMatchesInProcess(t *testing.T) {
+	const n = 4
+	cfg := Config{Ranks: n, ParallelCompute: true}
+
+	// Reference run on the default in-process fabric.
+	refVals := make([][]uint32, n)
+	var mu sync.Mutex
+	refRes, err := Run(cfg, func(r *Rank) error {
+		var v []uint32
+		err := ringBody(&v)(r)
+		mu.Lock()
+		refVals[r.ID] = v
+		mu.Unlock()
+		return err
+	})
+	if err != nil {
+		t.Fatalf("in-process run: %v", err)
+	}
+
+	// Same program over the TCP mesh.
+	trs := startMesh(t, n)
+	tcpVals := make([][]uint32, n)
+	tcpRes, err := runMesh(t, cfg, trs, func(r *Rank) error {
+		var v []uint32
+		err := ringBody(&v)(r)
+		mu.Lock()
+		tcpVals[r.ID] = v
+		mu.Unlock()
+		return err
+	})
+	if err != nil {
+		t.Fatalf("tcp run: %v", err)
+	}
+
+	for i := 0; i < n; i++ {
+		if len(tcpVals[i]) != len(refVals[i]) {
+			t.Fatalf("rank %d: value length %d vs %d", i, len(tcpVals[i]), len(refVals[i]))
+		}
+		for j := range refVals[i] {
+			if tcpVals[i][j] != refVals[i][j] {
+				t.Fatalf("rank %d elem %d: tcp %d, in-process %d", i, j, tcpVals[i][j], refVals[i][j])
+			}
+		}
+		// Virtual clocks are modeled, not measured: bit-identical across
+		// fabrics.
+		if tcpRes[i].Time != refRes.RankTimes[i] {
+			t.Fatalf("rank %d virtual time: tcp %v, in-process %v", i, tcpRes[i].Time, refRes.RankTimes[i])
+		}
+		if len(tcpRes[i].RankTimes) != 1 {
+			t.Fatalf("rank %d: multi-process result should carry one local rank time, got %d", i, len(tcpRes[i].RankTimes))
+		}
+	}
+}
+
+func TestTCPReliableCorruptRecovery(t *testing.T) {
+	trs := startMesh(t, 2)
+	cfg := Config{
+		Ranks: 2, ParallelCompute: true, Reliable: true,
+		RecvTimeout: 2 * time.Second,
+		Fault: FaultOn(func(fc FaultContext) bool {
+			return fc.From == 0 && fc.To == 1 && fc.Seq == 1 && fc.Attempt == 0
+		}, FaultCorrupt, 0),
+	}
+	_, err := runMesh(t, cfg, trs, func(r *Rank) error {
+		if r.ID == 0 {
+			for s := 0; s < 3; s++ {
+				if err := r.Send(1, []byte(fmt.Sprintf("payload-%d", s))); err != nil {
+					return err
+				}
+			}
+			// Unlike the in-process fabric, a TCP sender must outlive the
+			// NACK it services: wait for the receiver's ack before exiting.
+			_, err := r.Recv(1)
+			return err
+		}
+		for s := 0; s < 3; s++ {
+			got, err := r.Recv(0)
+			if err != nil {
+				return fmt.Errorf("recv %d: %w", s, err)
+			}
+			if want := fmt.Sprintf("payload-%d", s); string(got) != want {
+				return fmt.Errorf("recv %d: %q, want %q", s, got, want)
+			}
+		}
+		return r.Send(0, []byte("ack"))
+	})
+	if err != nil {
+		t.Fatalf("corrupt recovery over tcp: %v", err)
+	}
+}
+
+func TestTCPReliableDropRecovery(t *testing.T) {
+	trs := startMesh(t, 2)
+	cfg := Config{
+		Ranks: 2, ParallelCompute: true, Reliable: true,
+		RecvTimeout:  200 * time.Millisecond,
+		RetryBackoff: time.Microsecond,
+		Fault: FaultOn(func(fc FaultContext) bool {
+			return fc.From == 0 && fc.To == 1 && fc.Seq == 0 && fc.Attempt == 0
+		}, FaultDrop, 0),
+	}
+	_, err := runMesh(t, cfg, trs, func(r *Rank) error {
+		if r.ID == 0 {
+			if err := r.Send(1, []byte("dropped then replayed")); err != nil {
+				return err
+			}
+			// Stay alive until the receiver has NACKed and recovered: the
+			// replay is serviced by this process's reader goroutine, but the
+			// transport must not be closed under it.
+			_, err := r.Recv(1)
+			return err
+		}
+		got, err := r.Recv(0)
+		if err != nil {
+			return err
+		}
+		if string(got) != "dropped then replayed" {
+			return fmt.Errorf("payload %q", got)
+		}
+		return r.Send(0, []byte("done"))
+	})
+	if err != nil {
+		t.Fatalf("drop recovery over tcp: %v", err)
+	}
+}
+
+func TestTCPAgreeMax(t *testing.T) {
+	const n = 3
+	trs := startMesh(t, n)
+	cfg := Config{Ranks: n, ParallelCompute: true}
+	var mu sync.Mutex
+	agreed := make([]int, n)
+	results, err := runMesh(t, cfg, trs, func(r *Rank) error {
+		r.Elapse(CatOther, float64(r.ID)*1e-3) // skewed clocks
+		v, err := r.AgreeMax(10 * (r.ID + 1))
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		agreed[r.ID] = v
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("agree over tcp: %v", err)
+	}
+	c := cfg.withDefaults()
+	want := float64(n-1)*1e-3 + c.Latency.Seconds()*math.Ceil(math.Log2(n))
+	for i := 0; i < n; i++ {
+		if agreed[i] != 10*n {
+			t.Fatalf("rank %d agreed on %d, want %d", i, agreed[i], 10*n)
+		}
+		if math.Abs(results[i].Time-want) > 1e-12 {
+			t.Fatalf("rank %d left barrier at %v, want %v", i, results[i].Time, want)
+		}
+	}
+}
+
+func TestTCPWorldSizeMismatch(t *testing.T) {
+	ln0, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{ln0.Addr().String(), ln1.Addr().String()}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		tr, err := NewTCPTransport(TCPOptions{Rank: 0, Peers: addrs, Listener: ln0, DialTimeout: 3 * time.Second})
+		if tr != nil {
+			tr.Close()
+		}
+		errs[0] = err
+	}()
+	go func() {
+		defer wg.Done()
+		// Rank 1 believes the world has three ranks.
+		tr, err := NewTCPTransport(TCPOptions{
+			Rank: 1, Peers: []string{addrs[0], addrs[1], "127.0.0.1:1"},
+			Listener: ln1, DialTimeout: 3 * time.Second,
+		})
+		if tr != nil {
+			tr.Close()
+		}
+		errs[1] = err
+	}()
+	wg.Wait()
+	if errs[0] == nil && errs[1] == nil {
+		t.Fatalf("mismatched world sizes formed a mesh")
+	}
+}
+
+func TestTCPOptionValidation(t *testing.T) {
+	if _, err := NewTCPTransport(TCPOptions{Rank: 0, Peers: nil}); err == nil {
+		t.Fatalf("empty peer list accepted")
+	}
+	if _, err := NewTCPTransport(TCPOptions{Rank: 5, Peers: []string{"a", "b"}}); err == nil {
+		t.Fatalf("out-of-range rank accepted")
+	}
+	tr := startMesh(t, 2)[0]
+	if _, err := New(Config{Ranks: 3, Transport: tr}); err == nil {
+		t.Fatalf("Ranks/world mismatch accepted at bind")
+	}
+}
+
+func TestTCPPeerFailureSurfaces(t *testing.T) {
+	trs := startMesh(t, 2)
+	cfg := Config{Ranks: 2, ParallelCompute: true}
+	var recvErr error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		c := cfg
+		c.Transport = trs[0]
+		// Rank 0 exits immediately without sending.
+		Run(c, func(r *Rank) error { return nil })
+	}()
+	go func() {
+		defer wg.Done()
+		c := cfg
+		c.Transport = trs[1]
+		_, recvErr = Run(c, func(r *Rank) error {
+			_, err := r.Recv(0)
+			return err
+		})
+	}()
+	wg.Wait()
+	if !errors.Is(recvErr, ErrPeerFailed) {
+		t.Fatalf("recv from exited tcp peer: %v, want ErrPeerFailed", recvErr)
+	}
+}

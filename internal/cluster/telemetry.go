@@ -14,3 +14,17 @@ var (
 	mDedups        = telemetry.C("cluster.dedups")
 	mRetxEvictions = telemetry.C("cluster.retx_window_evictions")
 )
+
+// Transport telemetry. The TCP backend counts every outbound connection
+// it establishes (dials), every inbound one it admits (accepts), every
+// failed dial attempt that was retried while the mesh formed
+// (reconnects), and the framed bytes that actually crossed the wire in
+// each direction — the observable difference between the simulated
+// fabric and a real one.
+var (
+	mTransportDials      = telemetry.C("cluster.transport.dials")
+	mTransportAccepts    = telemetry.C("cluster.transport.accepts")
+	mTransportReconnects = telemetry.C("cluster.transport.reconnects")
+	mTransportBytesOut   = telemetry.C("cluster.transport.bytes_out")
+	mTransportBytesIn    = telemetry.C("cluster.transport.bytes_in")
+)

@@ -1,0 +1,79 @@
+package cluster
+
+// Transport abstraction. A Cluster charges time through the (α, β) model
+// and enforces message integrity (checksums, sequence numbers, epochs) —
+// but the bytes themselves move through a Transport. Two implementations
+// exist:
+//
+//   - chanTransport (chantransport.go): the original in-process fabric.
+//     Every rank is a goroutine of one process and messages move through
+//     buffered Go channels. This is the default and its behavior is
+//     byte-for-byte what the pre-Transport cluster did, so all
+//     virtual-time numbers stay reproducible.
+//   - TCPTransport (tcptransport.go): each rank is its own OS process and
+//     messages move as length-prefixed frames over a TCP mesh, so the
+//     collectives cross real sockets.
+//
+// The interface is sealed (its methods are unexported): both backends
+// live in this package, and the integrity/reliability layers sit above
+// the interface so every Transport gets checksums, NACK-driven
+// retransmission and chaos injection for free.
+
+import "time"
+
+// Transport moves framed messages between ranks. Implementations are
+// provided by this package (the interface is sealed); callers select one
+// via Config.Transport and may hand it to multiple API layers, but only
+// the Cluster drives it.
+type Transport interface {
+	// LocalRank returns (rank, true) when this transport hosts exactly one
+	// rank of a multi-process cluster (each peer runs in its own OS
+	// process), or (0, false) when all ranks are local goroutines.
+	LocalRank() (int, bool)
+
+	// Close releases fabric resources (sockets, listeners). It is safe to
+	// call more than once.
+	Close() error
+
+	// bind hands the transport the cluster configuration (with defaults
+	// applied) before the run starts. Implementations validate that the
+	// configured world size matches their own.
+	bind(cfg Config) error
+
+	// send delivers `copies` copies of m on the from→to link. The
+	// transport takes ownership of m.data: the in-process fabric hands it
+	// to the receiver, the TCP fabric recycles it after writing the frame.
+	send(from, to int, m message, copies int) error
+
+	// recv returns the next message on the from→to link. ok == false
+	// means the sending rank exited (or its connection closed) and the
+	// message will never arrive; a timeout > 0 bounds the wall-clock wait
+	// and surfaces as ErrRecvTimeout.
+	recv(from, to int, timeout time.Duration) (m message, ok bool, err error)
+
+	// recordRetx stores a pristine copy of an outgoing message in the
+	// sender-side replay window of the from→to link (reliable delivery).
+	recordRetx(from, to, seq, epoch int, data []byte, sum uint32)
+
+	// retransmit fetches a replay of the identified message from the
+	// sender's replay window: the in-process fabric reads the shared
+	// window directly, the TCP fabric NACKs the peer over the wire and
+	// waits for its replay frame. It returns errNotYetSent when the
+	// sender simply has not sent that sequence number yet, or an
+	// ErrRetransmitGone-wrapped error when the window no longer holds it.
+	retransmit(from, to, seq, epoch int) (data []byte, sum uint32, err error)
+
+	// clearRetx drops every replay window fed by the given rank (epoch
+	// advance: the retained traffic belongs to an abandoned attempt).
+	clearRetx(rank int)
+
+	// agreeMax is the control plane: rank contributes (clock, v), all
+	// ranks leave together at the returned clock (max over contributions
+	// plus the α·ceil(log2 N) tree cost) with the maximum contributed
+	// value. It must be immune to injected point-to-point faults.
+	agreeMax(rank int, clock float64, v int) (leave float64, agreed int, err error)
+
+	// closeRank marks a local rank's body as returned so peers blocked on
+	// recv or agreeMax fail fast instead of hanging.
+	closeRank(rank int)
+}

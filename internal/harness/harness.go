@@ -10,6 +10,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"time"
@@ -215,9 +216,13 @@ func (t *Table) Fprint(w io.Writer) {
 	}
 }
 
-// F formats a float compactly for table cells.
+// F formats a float compactly for table cells. Undefined values (NaN,
+// e.g. a range-normalized metric of a constant field) print as "n/a" so
+// they cannot be misread as a measured zero.
 func F(v float64) string {
 	switch {
+	case math.IsNaN(v):
+		return "n/a"
 	case v == 0:
 		return "0"
 	case v >= 1000:
@@ -232,7 +237,13 @@ func F(v float64) string {
 }
 
 // E formats a float in scientific notation (for NRMSE-style cells).
-func E(v float64) string { return fmt.Sprintf("%.2e", v) }
+// Undefined values (NaN) print as "n/a".
+func E(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2e", v)
+}
 
 // Pct formats a fraction as a percentage.
 func Pct(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }

@@ -65,7 +65,8 @@ func Compare(orig, recon []float32) ErrorStats {
 		variance = 0
 	}
 	std := math.Sqrt(variance)
-	if s.Range > 0 {
+	switch {
+	case s.Range > 0:
 		s.NRMSE = s.RMSE / s.Range
 		s.MaxRel = s.MaxAbs / s.Range
 		s.ErrStd = std / s.Range
@@ -74,6 +75,21 @@ func Compare(orig, recon []float32) ErrorStats {
 		} else {
 			s.PSNR = math.Inf(1)
 		}
+	case s.RMSE == 0:
+		// A constant field reconstructed exactly: no error, so the
+		// range-normalized metrics are legitimately zero and PSNR is
+		// unbounded.
+		s.PSNR = math.Inf(1)
+	default:
+		// A constant field reconstructed with error: there is no range to
+		// normalize by, so the relative metrics are undefined — NaN, not
+		// the perfect-looking 0 this case used to report. Callers print
+		// them as "n/a"; the absolute metrics (MaxAbs, RMSE) still tell
+		// the real story.
+		s.NRMSE = math.NaN()
+		s.MaxRel = math.NaN()
+		s.ErrStd = math.NaN()
+		s.PSNR = math.NaN()
 	}
 	return s
 }

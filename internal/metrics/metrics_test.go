@@ -55,10 +55,47 @@ func TestCompareDegenerate(t *testing.T) {
 	if s := Compare([]float32{1, 2}, []float32{1}); s.N != 0 || !s.Mismatched {
 		t.Fatalf("length mismatch should yield N=0 and Mismatched, got %+v", s)
 	}
-	// constant data: zero range
+	// constant data with error: zero range, see TestCompareConstantField
 	s := Compare([]float32{5, 5}, []float32{5, 6})
-	if s.Range != 0 || s.NRMSE != 0 {
+	if s.Range != 0 || !math.IsNaN(s.NRMSE) {
 		t.Fatalf("constant orig: %+v", s)
+	}
+}
+
+// TestCompareConstantField locks in the Range == 0 semantics: a constant
+// original used to report NRMSE = MaxRel = PSNR = 0 even when the
+// reconstruction was wrong — indistinguishable from a terrible PSNR and
+// easily misread as perfect relative error. Now the relative metrics are
+// NaN (undefined: there is no range to normalize by) whenever there IS
+// error, and PSNR is +Inf only for an exact reconstruction.
+func TestCompareConstantField(t *testing.T) {
+	// Exact reconstruction of a constant field: no error at all.
+	s := Compare([]float32{3, 3, 3}, []float32{3, 3, 3})
+	if s.Range != 0 || s.RMSE != 0 {
+		t.Fatalf("exact constant: %+v", s)
+	}
+	if !math.IsInf(s.PSNR, 1) {
+		t.Fatalf("exact constant PSNR = %v, want +Inf", s.PSNR)
+	}
+	if s.NRMSE != 0 || s.MaxRel != 0 || s.ErrStd != 0 {
+		t.Fatalf("exact constant relative metrics should be 0: %+v", s)
+	}
+
+	// Constant field with reconstruction error: the absolute metrics are
+	// real, the range-normalized ones undefined.
+	s = Compare([]float32{3, 3, 3}, []float32{3, 4, 3})
+	if s.MaxAbs != 1 {
+		t.Fatalf("MaxAbs %v, want 1", s.MaxAbs)
+	}
+	if s.RMSE == 0 {
+		t.Fatalf("RMSE must be nonzero: %+v", s)
+	}
+	for name, v := range map[string]float64{
+		"NRMSE": s.NRMSE, "MaxRel": s.MaxRel, "ErrStd": s.ErrStd, "PSNR": s.PSNR,
+	} {
+		if !math.IsNaN(v) {
+			t.Fatalf("%s = %v for constant field with error, want NaN", name, v)
+		}
 	}
 }
 

@@ -65,15 +65,18 @@ END {
 }' "$raw" > "$OUT"
 echo "wrote $OUT"
 
-# The zero-allocation gate: BenchmarkSteadyStateAddInto must report
-# 0 allocs/op (the pools are warmed before the timed loop).
-bad=$(awk '/^BenchmarkSteadyStateAddInto/ {
+# The zero-allocation gate: both steady-state hot paths — the homomorphic
+# add (BenchmarkSteadyStateAddInto) AND the compressor
+# (BenchmarkSteadyStateCompressInto) — must report 0 allocs/op (the pools
+# are warmed before the timed loop). The ring collectives run both once
+# per step, so a single alloc/op in either is a hot-path regression.
+bad=$(awk '/^BenchmarkSteadyState(AddInto|CompressInto)/ {
     for (i = 3; i + 1 <= NF; i += 2)
         if ($(i + 1) == "allocs/op" && $(i) + 0 > 0) print $1 ": " $(i) " allocs/op"
 }' "$raw")
 if [ -n "$bad" ]; then
-    echo "FAIL: steady-state homomorphic add allocates on the hot path:" >&2
+    echo "FAIL: steady-state hot path allocates:" >&2
     echo "$bad" >&2
     exit 1
 fi
-echo "bench: OK (steady-state AddInto at 0 allocs/op)"
+echo "bench: OK (steady-state AddInto and CompressInto at 0 allocs/op)"
