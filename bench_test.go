@@ -12,6 +12,7 @@ package hzccl
 import (
 	"fmt"
 	"math"
+	"sort"
 	"testing"
 
 	"hzccl/internal/bitio"
@@ -279,7 +280,7 @@ func (cb *collectiveBench) run(b *testing.B, kernel string, mode core.Mode) floa
 	b.ReportAllocs()
 	c := core.New(core.Options{ErrorBound: cb.eb, Mode: mode, Rates: cb.rates, MTSpeedup: 6})
 	cfg := cluster.Config{Ranks: cb.nodes, BandwidthBytes: 0.4e9}
-	var last float64
+	var last, lastWall float64
 	for i := 0; i < b.N; i++ {
 		res, err := cluster.Run(cfg, func(r *cluster.Rank) error {
 			var err error
@@ -307,9 +308,74 @@ func (cb *collectiveBench) run(b *testing.B, kernel string, mode core.Mode) floa
 			b.Fatal(err)
 		}
 		last = res.Time
+		lastWall = res.WallSeconds
 	}
 	b.ReportMetric(last*1e6, "virtual-us")
+	b.ReportMetric(lastWall*1e3, "wall-ms")
 	return last
+}
+
+// BenchmarkAllreduceTraceOverhead quantifies what execution tracing costs:
+// the same 8-rank hZCCL Allreduce runs untraced and traced, interleaved
+// within one timed loop so machine drift hits both sides equally, and the
+// relative wall-time difference is reported as trace-overhead-pct.
+// scripts/bench.sh gates it at 5%.
+func BenchmarkAllreduceTraceOverhead(b *testing.B) {
+	cb := newCollectiveBench(b, 8, 1<<17)
+	c := core.New(core.Options{ErrorBound: cb.eb, Mode: core.SingleThread, Rates: cb.rates})
+	cfg := cluster.Config{Ranks: cb.nodes, BandwidthBytes: 0.4e9}
+	body := func(r *cluster.Rank) error {
+		_, _, err := c.AllreduceHZ(r, cb.data[r.ID])
+		return err
+	}
+	run := func(traced bool) float64 {
+		var res *cluster.Result
+		var err error
+		if traced {
+			cl, _, terr := cluster.NewTraced(cfg)
+			if terr != nil {
+				b.Fatal(terr)
+			}
+			res, err = cl.Run(body)
+		} else {
+			res, err = cluster.Run(cfg, body)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.WallSeconds
+	}
+	run(false) // warm pools once so neither side pays first-run setup
+	run(true)
+	b.ResetTimer()
+	untraced := make([]float64, 0, b.N)
+	traced := make([]float64, 0, b.N)
+	for i := 0; i < b.N; i++ {
+		untraced = append(untraced, run(false))
+		traced = append(traced, run(true))
+	}
+	b.StopTimer()
+	// Medians, not means: a single GC pause or scheduler preemption in one
+	// ~4ms iteration would otherwise dominate the comparison.
+	medU, medT := median(untraced), median(traced)
+	b.ReportMetric(medU*1e3, "untraced-wall-ms")
+	b.ReportMetric(medT*1e3, "traced-wall-ms")
+	if medU > 0 {
+		b.ReportMetric((medT-medU)/medU*100, "trace-overhead-pct")
+	}
+}
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
 }
 
 // BenchmarkFig2Breakdown reproduces the C-Coll runtime breakdown.

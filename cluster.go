@@ -1,10 +1,14 @@
 package hzccl
 
 import (
+	"fmt"
+	"io"
+	"sync"
 	"time"
 
 	"hzccl/internal/cluster"
 	"hzccl/internal/core"
+	"hzccl/internal/telemetry"
 )
 
 // ClusterConfig describes the simulated multi-node machine the collectives
@@ -49,6 +53,31 @@ type ClusterConfig struct {
 	// the body only for the local rank, and peers run their own processes
 	// against the same peer list.
 	Transport Transport
+	// Trace, when non-nil, records the run's execution trace: virtual-time
+	// slices, wall-clock compute spans, and one flow edge per
+	// point-to-point message (send → recv), exported in Chrome trace-event
+	// JSON by Trace.WriteChrome. On a TCP transport each process records
+	// its own file; MergeChromeTraces joins them into one multi-process
+	// timeline with arrows crossing process boundaries.
+	Trace *Trace
+}
+
+// Trace accumulates the execution trace of one run; see
+// ClusterConfig.Trace. The zero value is ready to use.
+type Trace = cluster.Trace
+
+// TraceMeta identifies the process that produced a trace file (rank,
+// world size, wall-clock epoch); MergeChromeTraces uses it to align
+// per-process files.
+type TraceMeta = cluster.TraceMeta
+
+// MergeChromeTraces joins per-process Chrome trace files from a
+// TCP-transport run into one multi-rank timeline: pids are remapped per
+// rank, wall clocks are aligned via the handshake-agreed epoch in each
+// file's hzcclMeta, and send→recv flow arrows pair up across process
+// boundaries. See `hzccl-collective -trace-merge`.
+func MergeChromeTraces(w io.Writer, traces ...io.Reader) error {
+	return cluster.MergeChromeTraces(w, traces...)
 }
 
 // Transport is the message fabric a cluster runs on. It is a sealed
@@ -239,6 +268,7 @@ func (r *Rank) Allreduce(data []float32, b Backend, opt CollectiveOptions) ([]fl
 			return r.Allreduce(data, eff, o)
 		})
 	}
+	r.r.BeginOp("allreduce")
 	c := core.New(opt.core())
 	switch b {
 	case BackendCColl:
@@ -274,6 +304,7 @@ func (r *Rank) ReduceScatter(data []float32, b Backend, opt CollectiveOptions) (
 			return r.ReduceScatter(data, eff, o)
 		})
 	}
+	r.r.BeginOp("reduce_scatter")
 	c := core.New(opt.core())
 	switch b {
 	case BackendCColl:
@@ -313,12 +344,20 @@ func RunCluster(cfg ClusterConfig, body func(*Rank) error) (*RunResult, error) {
 		RetryBudget:    cfg.RetryBudget,
 		RetryBackoff:   cfg.RetryBackoff,
 		Transport:      cfg.Transport,
+		Trace:          cfg.Trace,
 	}, func(cr *cluster.Rank) error {
 		return body(&Rank{r: cr, rec: rec})
 	})
+	if err != nil {
+		// A failed collective is exactly what the flight recorder exists
+		// for: dump the last events (NACKs, retransmissions, faults,
+		// consensus rounds) before the caller sees the error.
+		dumpFlightOnError(err)
+	}
 	if res == nil {
 		return nil, err
 	}
+	mWallSeconds.Observe(int64(res.WallSeconds * 1e9))
 	out := &RunResult{
 		Seconds:      res.Time,
 		RankSeconds:  res.RankTimes,
@@ -330,4 +369,38 @@ func RunCluster(cfg ClusterConfig, body func(*Rank) error) (*RunResult, error) {
 		out.Breakdown[string(k)] = v
 	}
 	return out, err
+}
+
+// mWallSeconds is the real elapsed time of every RunCluster call.
+// Observations are in nanoseconds (the registry's integer unit); the
+// name matches RunResult.WallSeconds, the value it samples.
+var mWallSeconds = telemetry.H("collective.wall_seconds", telemetry.DurationBuckets())
+
+// flightDump controls the automatic flight-recorder dump on collective
+// failure: nil (the default) disables it; CLIs opt in with
+// SetFlightDumpWriter.
+var (
+	flightDumpMu sync.Mutex
+	flightDump   io.Writer
+)
+
+// SetFlightDumpWriter makes every failed RunCluster dump the flight
+// recorder's retained events to w (typically os.Stderr) before returning
+// the error. Pass nil to disable. CLIs enable this so a chaos abort or
+// exhausted retry budget ships its own post-mortem.
+func SetFlightDumpWriter(w io.Writer) {
+	flightDumpMu.Lock()
+	flightDump = w
+	flightDumpMu.Unlock()
+}
+
+func dumpFlightOnError(err error) {
+	flightDumpMu.Lock()
+	w := flightDump
+	flightDumpMu.Unlock()
+	if w == nil {
+		return
+	}
+	fmt.Fprintf(w, "collective failed: %v\n", err)
+	telemetry.Flight().WriteText(w)
 }

@@ -27,6 +27,18 @@
 // identical collective on the default in-process fabric and prints each
 // rank's digest in the same format. scripts/tcp_smoke.sh automates the
 // comparison.
+//
+// Observability: -obs-listen ADDR serves /healthz, /metrics (Prometheus),
+// /debug/vars, /debug/pprof/*, /flightrecorder and /trace over HTTP for
+// the lifetime of the process (-obs-linger keeps it up after the work
+// finishes, for scrapers). -trace works in transport mode too: on
+// -transport=tcp each process writes its own trace file, and
+//
+//	hzccl-collective -trace-merge merged.json rank0.json rank1.json ...
+//
+// joins them into one Perfetto-loadable multi-rank timeline. On any
+// collective failure the flight recorder's retained events are dumped to
+// stderr.
 package main
 
 import (
@@ -48,6 +60,7 @@ import (
 	"hzccl/internal/datasets"
 	"hzccl/internal/harness"
 	"hzccl/internal/metrics"
+	"hzccl/internal/obs"
 	"hzccl/internal/telemetry"
 )
 
@@ -70,18 +83,58 @@ func main() {
 		tcpRank    = flag.Int("rank", 0, "this process's rank for -transport=tcp")
 		tcpPeers   = flag.String("peers", "", "comma-separated host:port listen addresses of all ranks (indexed by rank) for -transport=tcp")
 		backendStr = flag.String("backend", "hzccl", "collective backend for -transport: mpi, ccoll or hzccl")
+		obsListen  = flag.String("obs-listen", "", "serve the live introspection endpoint (healthz, metrics, pprof, flight recorder, trace) on this host:port")
+		obsLinger  = flag.Duration("obs-linger", 0, "keep the -obs-listen endpoint up this long after the work finishes")
+		traceMerge = flag.String("trace-merge", "", "merge the per-process trace files given as arguments into this output file and exit")
 	)
 	flag.Parse()
 
-	if *transport != "" {
-		if err := runTransport(*transport, *tcpRank, *tcpPeers, *backendStr, *nodes, *message, *rel); err != nil {
-			fmt.Fprintf(os.Stderr, "hzccl-collective: transport: %v\n", err)
+	// Collective failures dump the flight recorder's retained events, so a
+	// crashed run leaves a post-mortem on stderr.
+	hzccl.SetFlightDumpWriter(os.Stderr)
+
+	if *traceMerge != "" {
+		if err := mergeTraces(*traceMerge, flag.Args()); err != nil {
+			fmt.Fprintf(os.Stderr, "hzccl-collective: trace-merge: %v\n", err)
 			os.Exit(1)
 		}
-		if err := dumpMetrics(*metricsOut); err != nil {
+		fmt.Printf("wrote %s (merged %d traces; open in chrome://tracing or ui.perfetto.dev)\n", *traceMerge, len(flag.Args()))
+		return
+	}
+
+	// In transport mode -trace records this process's rank-local trace;
+	// the same Trace object backs the /trace endpoint.
+	var transportTrace *hzccl.Trace
+	if *transport != "" && *traceFile != "" {
+		transportTrace = &hzccl.Trace{}
+	}
+	if *obsListen != "" {
+		srv, err := startObs(*obsListen, *transport, *tcpRank, *tcpPeers, *nodes, transportTrace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hzccl-collective: obs: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+	}
+	// finish runs the common exit work: the -metrics snapshot, then the
+	// -obs-linger window during which the endpoint stays scrapable.
+	finish := func() {
+		if err := telemetry.DumpSnapshot(*metricsOut); err != nil {
 			fmt.Fprintf(os.Stderr, "hzccl-collective: metrics: %v\n", err)
 			os.Exit(1)
 		}
+		if *obsListen != "" && *obsLinger > 0 {
+			fmt.Fprintf(os.Stderr, "obs: lingering %v\n", *obsLinger)
+			time.Sleep(*obsLinger)
+		}
+	}
+
+	if *transport != "" {
+		if err := runTransport(*transport, *tcpRank, *tcpPeers, *backendStr, *nodes, *message, *rel, *traceFile, transportTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "hzccl-collective: transport: %v\n", err)
+			os.Exit(1)
+		}
+		finish()
 		return
 	}
 
@@ -90,10 +143,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "hzccl-collective: chaos: %v\n", err)
 			os.Exit(1)
 		}
-		if err := dumpMetrics(*metricsOut); err != nil {
-			fmt.Fprintf(os.Stderr, "hzccl-collective: metrics: %v\n", err)
-			os.Exit(1)
-		}
+		finish()
 		return
 	}
 
@@ -103,10 +153,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceFile)
-		if err := dumpMetrics(*metricsOut); err != nil {
-			fmt.Fprintf(os.Stderr, "hzccl-collective: metrics: %v\n", err)
-			os.Exit(1)
-		}
+		finish()
 		return
 	}
 
@@ -136,33 +183,57 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if err := dumpMetrics(*metricsOut); err != nil {
-		fmt.Fprintf(os.Stderr, "hzccl-collective: metrics: %v\n", err)
-		os.Exit(1)
-	}
+	finish()
 }
 
-// dumpMetrics writes the process-wide telemetry snapshot to dest: "" is a
-// nop, "-" writes JSON to stdout, otherwise dest is a file path and a
-// ".prom" suffix selects the Prometheus text format over JSON.
-func dumpMetrics(dest string) error {
-	if dest == "" {
-		return nil
+// startObs boots the live introspection endpoint with this process's
+// identity: in transport mode the rank and world size from the flags, in
+// experiment/chaos/trace mode rank −1 (one process hosts every rank).
+func startObs(addr, transportKind string, tcpRank int, tcpPeers string, nodes int, trace *hzccl.Trace) (*obs.Server, error) {
+	rank, world, name := -1, nodes, transportKind
+	switch transportKind {
+	case "tcp":
+		rank = tcpRank
+		world = len(strings.Split(tcpPeers, ","))
+	case "":
+		name = "inproc"
 	}
-	snap := telemetry.Capture()
-	var w io.Writer = os.Stdout
-	if dest != "-" {
-		f, err := os.Create(dest)
+	if transportKind != "tcp" && world == 0 {
+		world = 4 // runTransport's inproc default
+	}
+	opts := obs.Options{Rank: rank, World: world, Transport: name}
+	if trace != nil {
+		opts.Trace = trace.WriteChrome
+	}
+	srv, err := obs.Start(addr, opts)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "obs: serving on http://%s\n", srv.Addr())
+	return srv, nil
+}
+
+// mergeTraces joins per-process trace files (written by -transport=tcp
+// -trace) into one multi-rank timeline.
+func mergeTraces(out string, inputs []string) error {
+	if len(inputs) < 2 {
+		return fmt.Errorf("need at least two per-process trace files as arguments")
+	}
+	readers := make([]io.Reader, len(inputs))
+	for i, path := range inputs {
+		f, err := os.Open(path)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		w = f
+		readers[i] = f
 	}
-	if strings.HasSuffix(dest, ".prom") {
-		return snap.WritePrometheus(w)
+	f, err := os.Create(out)
+	if err != nil {
+		return err
 	}
-	return snap.WriteJSON(w)
+	defer f.Close()
+	return hzccl.MergeChromeTraces(f, readers...)
 }
 
 // parseBackend maps a -backend flag value to a collective backend.
@@ -194,7 +265,9 @@ func digest32(v []float32) uint32 {
 // (modeled) and wall-clock times. "tcp" makes this process rank `rank` of
 // the mesh described by `peers`; "inproc" runs all ranks in this process
 // so its digests serve as the reference the TCP run must match bitwise.
-func runTransport(kind string, rank int, peers, backendStr string, nodes, message int, rel float64) error {
+// With a trace attached the run is recorded and written to traceFile —
+// on TCP each process produces its own rank-local file for -trace-merge.
+func runTransport(kind string, rank int, peers, backendStr string, nodes, message int, rel float64, traceFile string, trace *hzccl.Trace) error {
 	backend, err := parseBackend(backendStr)
 	if err != nil {
 		return err
@@ -215,6 +288,7 @@ func runTransport(kind string, rank int, peers, backendStr string, nodes, messag
 	cfg := hzccl.ClusterConfig{
 		Latency:        2 * time.Microsecond,
 		BandwidthBytes: 0.4e9,
+		Trace:          trace,
 	}
 	switch kind {
 	case "tcp":
@@ -270,6 +344,17 @@ func runTransport(kind string, rank int, peers, backendStr string, nodes, messag
 		} {
 			fmt.Printf("  %-30s %d\n", name, telemetry.C(name).Value())
 		}
+	}
+	if trace != nil && traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.WriteChrome(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (merge per-process files with -trace-merge)\n", traceFile)
 	}
 	return nil
 }

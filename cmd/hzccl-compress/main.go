@@ -23,7 +23,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"math"
 	"os"
 	"strconv"
@@ -70,33 +69,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hzccl-compress: %v\n", err)
 		os.Exit(1)
 	}
-	if err := dumpMetrics(*metricsOut); err != nil {
+	if err := telemetry.DumpSnapshot(*metricsOut); err != nil {
 		fmt.Fprintf(os.Stderr, "hzccl-compress: metrics: %v\n", err)
 		os.Exit(1)
 	}
-}
-
-// dumpMetrics writes the telemetry snapshot to dest: "" is a nop, "-"
-// writes JSON to stdout, otherwise dest is a file path and a ".prom"
-// suffix selects the Prometheus text format over JSON.
-func dumpMetrics(dest string) error {
-	if dest == "" {
-		return nil
-	}
-	snap := telemetry.Capture()
-	var w io.Writer = os.Stdout
-	if dest != "-" {
-		f, err := os.Create(dest)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
-	}
-	if strings.HasSuffix(dest, ".prom") {
-		return snap.WritePrometheus(w)
-	}
-	return snap.WriteJSON(w)
 }
 
 // fmtMetric formats one quality metric, printing undefined (NaN) values —

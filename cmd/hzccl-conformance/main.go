@@ -9,6 +9,10 @@
 // With no file arguments every catalog dataset is checked at -n elements.
 // The exit status is non-zero if any oracle reports a contract violation,
 // making the command usable as a CI gate over real dataset files.
+// -metrics dumps the telemetry snapshot at exit ('-' = JSON to stdout,
+// FILE.prom = Prometheus text); -obs-listen serves the live introspection
+// endpoint (healthz, metrics, pprof, flight recorder) while the oracles
+// run, and -obs-linger keeps it up afterwards for scrapers.
 package main
 
 import (
@@ -27,6 +31,8 @@ import (
 	"hzccl/internal/floatbytes"
 	"hzccl/internal/fzlight"
 	"hzccl/internal/metrics"
+	"hzccl/internal/obs"
+	"hzccl/internal/telemetry"
 )
 
 type input struct {
@@ -94,9 +100,31 @@ func main() {
 		verbose   = flag.Bool("v", false, "print per-input pass lines")
 		chaosSeed = flag.Int64("chaos", 0, "run the collective oracle over a faulty fabric seeded with this value (0 = healthy fabric)")
 		chaosRate = flag.Float64("chaos-rate", 0.03, "per-class fault probability (drop/corrupt/duplicate/delay) for -chaos")
+
+		metricsOut = flag.String("metrics", "", "dump the telemetry snapshot at exit: '-' = JSON to stdout, FILE = JSON, FILE.prom = Prometheus text format")
+		obsListen  = flag.String("obs-listen", "", "serve the live introspection endpoint (healthz, metrics, pprof, flight recorder) on this host:port")
+		obsLinger  = flag.Duration("obs-linger", 0, "keep the -obs-listen endpoint up this long after the oracles finish")
 	)
 	flag.Parse()
-	if err := run(*eb, *abs, *threads, *ranks, *n, *which, *verbose, *chaosSeed, *chaosRate, flag.Args()); err != nil {
+	if *obsListen != "" {
+		srv, err := obs.Start(*obsListen, obs.Options{Rank: -1, World: *ranks, Transport: "inproc"})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hzccl-conformance: obs: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "obs: serving on http://%s\n", srv.Addr())
+	}
+	err := run(*eb, *abs, *threads, *ranks, *n, *which, *verbose, *chaosSeed, *chaosRate, flag.Args())
+	if merr := telemetry.DumpSnapshot(*metricsOut); merr != nil {
+		fmt.Fprintf(os.Stderr, "hzccl-conformance: metrics: %v\n", merr)
+		os.Exit(1)
+	}
+	if *obsListen != "" && *obsLinger > 0 {
+		fmt.Fprintf(os.Stderr, "obs: lingering %v\n", *obsLinger)
+		time.Sleep(*obsLinger)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "hzccl-conformance: %v\n", err)
 		os.Exit(1)
 	}

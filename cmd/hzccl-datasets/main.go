@@ -19,6 +19,7 @@ import (
 	"hzccl/internal/floatbytes"
 	"hzccl/internal/fzlight"
 	"hzccl/internal/metrics"
+	"hzccl/internal/telemetry"
 )
 
 func main() {
@@ -29,10 +30,16 @@ func main() {
 		length  = flag.Int("len", 1<<22, "elements to generate")
 		out     = flag.String("o", "", "output file (raw float32)")
 		summary = flag.Bool("summary", false, "print compression statistics instead of writing a file")
+
+		metricsOut = flag.String("metrics", "", "dump the telemetry snapshot at exit: '-' = JSON to stdout, FILE = JSON, FILE.prom = Prometheus text format")
 	)
 	flag.Parse()
 	if err := run(*list, *name, *field, *length, *out, *summary); err != nil {
 		fmt.Fprintf(os.Stderr, "hzccl-datasets: %v\n", err)
+		os.Exit(1)
+	}
+	if err := telemetry.DumpSnapshot(*metricsOut); err != nil {
+		fmt.Fprintf(os.Stderr, "hzccl-datasets: metrics: %v\n", err)
 		os.Exit(1)
 	}
 }

@@ -43,6 +43,7 @@ func (r *Rank) Broadcast(data []float32, root int, b Backend, opt CollectiveOpti
 	if err := validateOptions("broadcast", b, opt); err != nil {
 		return nil, err
 	}
+	r.r.BeginOp("broadcast")
 	c := core.New(opt.core())
 	if b == BackendMPI {
 		return c.BroadcastPlain(r.r, data, root)
@@ -63,6 +64,7 @@ func (r *Rank) Reduce(data []float32, root int, b Backend, opt CollectiveOptions
 			return r.Reduce(data, root, eff, o)
 		})
 	}
+	r.r.BeginOp("reduce")
 	c := core.New(opt.core())
 	switch b {
 	case BackendMPI:
@@ -101,6 +103,7 @@ func (r *Rank) Gather(data []float32, root int, b Backend, opt CollectiveOptions
 	if err := validateOptions("gather", b, opt); err != nil {
 		return nil, err
 	}
+	r.r.BeginOp("gather")
 	c := core.New(opt.core())
 	if b == BackendMPI {
 		return c.GatherPlain(r.r, data, root)
@@ -113,6 +116,7 @@ func (r *Rank) Allgather(data []float32, b Backend, opt CollectiveOptions) ([][]
 	if err := validateOptions("allgather", b, opt); err != nil {
 		return nil, err
 	}
+	r.r.BeginOp("allgather")
 	c := core.New(opt.core())
 	if b == BackendMPI {
 		return c.AllgatherPlain(r.r, data)
@@ -126,6 +130,7 @@ func (r *Rank) Alltoall(data []float32, b Backend, opt CollectiveOptions) ([][]f
 	if err := validateOptions("alltoall", b, opt); err != nil {
 		return nil, err
 	}
+	r.r.BeginOp("alltoall")
 	c := core.New(opt.core())
 	if b == BackendMPI {
 		return c.AlltoallPlain(r.r, data)

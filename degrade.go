@@ -177,6 +177,7 @@ func (r *Rank) runDegradable(b Backend, opt CollectiveOptions, op string, run fu
 			} else {
 				mDegradations.Inc()
 			}
+			r.r.NoteDegrade(int(ladder[rung]), int(ladder[rung+1]))
 			rung++
 			tries = 0
 		}

@@ -1,0 +1,81 @@
+package hzccl_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"hzccl"
+	"hzccl/internal/telemetry"
+)
+
+// TestFlightDumpOnChaosFailure drives an Allreduce into an unrecoverable
+// injected fault — every delivery attempt on link 1→2 is corrupted, so
+// the reliable layer's retry budget runs out — and asserts the flight
+// recorder dump the failure emits names the sabotaged link: the injected
+// faults, the receiver's NACKs and the replayed-but-damaged
+// retransmissions, all on 1→2.
+func TestFlightDumpOnChaosFailure(t *testing.T) {
+	telemetry.Flight().Reset()
+	var dump bytes.Buffer
+	hzccl.SetFlightDumpWriter(&dump)
+	defer hzccl.SetFlightDumpWriter(nil)
+
+	data := sineField(4096, 3)
+	_, err := hzccl.RunCluster(hzccl.ClusterConfig{
+		Ranks:       4,
+		Reliable:    true,
+		RecvTimeout: 200 * time.Millisecond,
+		RetryBudget: 3,
+		Fault:       hzccl.FaultOn(hzccl.OnLink(1, 2, 0), hzccl.FaultCorrupt, 0),
+	}, func(r *hzccl.Rank) error {
+		_, err := r.Allreduce(data, hzccl.BackendHZCCL, hzccl.CollectiveOptions{ErrorBound: 1e-3})
+		return err
+	})
+	if !errors.Is(err, hzccl.ErrRetryBudgetExhausted) {
+		t.Fatalf("corrupting every attempt on link 1→2 should exhaust the retry budget, got %v", err)
+	}
+
+	text := dump.String()
+	if !strings.Contains(text, "collective failed:") || !strings.Contains(text, "flight recorder:") {
+		t.Fatalf("failure did not emit a flight recorder dump:\n%s", text)
+	}
+	for _, want := range []string{
+		"fault from=1 to=2 seq=0",      // the injected corruption
+		"nack from=1 to=2 seq=0",       // the receiver demanding a replay
+		"retransmit from=1 to=2 seq=0", // the replay (corrupted again in flight)
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("flight dump is missing %q:\n%s", want, text)
+		}
+	}
+	// Other links may show NACKs too (a stalled rank cascades into
+	// neighbor timeouts), but injected faults must only appear on 1→2.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "fault from=") && !strings.Contains(line, "fault from=1 to=2") {
+			t.Fatalf("flight dump shows an injected fault off the sabotaged link: %s", line)
+		}
+	}
+}
+
+// TestFlightDumpWriterUnsetIsQuiet proves failures without a configured
+// dump writer stay silent (libraries must not spam stderr).
+func TestFlightDumpWriterUnsetIsQuiet(t *testing.T) {
+	hzccl.SetFlightDumpWriter(nil)
+	data := sineField(256, 5)
+	_, err := hzccl.RunCluster(hzccl.ClusterConfig{
+		Ranks:       3,
+		Reliable:    true,
+		RecvTimeout: 100 * time.Millisecond,
+		RetryBudget: 2,
+		Fault:       hzccl.FaultOn(hzccl.OnLink(0, 1, 0), hzccl.FaultCorrupt, 0),
+	}, func(r *hzccl.Rank) error {
+		_, err := r.Allreduce(data, hzccl.BackendMPI, hzccl.CollectiveOptions{})
+		return err
+	})
+	if !errors.Is(err, hzccl.ErrRetryBudgetExhausted) {
+		t.Fatalf("want retry-budget exhaustion, got %v", err)
+	}
+}

@@ -52,6 +52,10 @@ func newChanTransport() *chanTransport {
 
 func (t *chanTransport) LocalRank() (int, bool) { return 0, false }
 
+// epochHint: all ranks share this process's clock, so no alignment is
+// needed.
+func (t *chanTransport) epochHint() (time.Time, bool) { return time.Time{}, false }
+
 func (t *chanTransport) Close() error { return nil }
 
 func (t *chanTransport) bind(cfg Config) error {

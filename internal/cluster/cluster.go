@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"hzccl/internal/bufpool"
+	"hzccl/internal/telemetry"
 )
 
 // Category labels where virtual time went, matching the paper's breakdown
@@ -98,6 +99,12 @@ type Config struct {
 	// TCPTransport runs this process as one rank of a multi-process
 	// cluster; Run then executes the body only for that local rank.
 	Transport Transport
+	// Trace, when non-nil, records every virtual-time advance, wall-clock
+	// compute span and cross-rank message flow into the given trace —
+	// equivalent to NewTraced but usable when the caller owns Trace
+	// creation (each process of a TCP mesh writes its own file, merged
+	// later with MergeChromeTraces).
+	Trace *Trace
 }
 
 func (c Config) withDefaults() Config {
@@ -235,6 +242,10 @@ type message struct {
 	sum   uint32
 	delay float64
 	epoch int
+	// trace is the sender's collective-op trace ID (BeginOp), carried with
+	// the message — across the wire on the TCP fabric — so the receiver
+	// can pair its delivery with the remote send in a merged trace.
+	trace uint64
 }
 
 // Cluster owns the transport and timing state for one run.
@@ -264,7 +275,28 @@ func New(cfg Config) (*Cluster, error) {
 	if err := tr.bind(cfg); err != nil {
 		return nil, err
 	}
-	return &Cluster{cfg: cfg, tr: tr, epoch: time.Now()}, nil
+	c := &Cluster{cfg: cfg, tr: tr, epoch: time.Now()}
+	if hint, ok := tr.epochHint(); ok {
+		// A multi-process transport supplies a mesh-wide epoch so wall
+		// timestamps from different processes share one time base.
+		c.epoch = hint
+	}
+	if cfg.Trace != nil {
+		c.attachTrace(cfg.Trace)
+	}
+	return c, nil
+}
+
+// attachTrace wires a trace into the cluster and stamps it with the
+// producing process's identity (rank −1 means this process hosts every
+// rank) and wall-clock epoch.
+func (c *Cluster) attachTrace(tr *Trace) {
+	c.trace = tr
+	meta := TraceMeta{Rank: -1, World: c.cfg.Ranks, EpochNanos: c.epoch.UnixNano()}
+	if local, ok := c.tr.LocalRank(); ok {
+		meta.Rank = local
+	}
+	tr.setMeta(meta)
 }
 
 // Run executes body once per rank, each on its own goroutine, and gathers
@@ -397,6 +429,69 @@ type Rank struct {
 	// sequence number (a loss was detected before them) so they can be
 	// redelivered in order instead of being sacrificed with the lost one.
 	pending []map[int]message
+	// opCount numbers collective operations started on this rank (BeginOp);
+	// opTrace is the current operation's trace ID, stamped on every
+	// outgoing message. Collectives execute in the same program order on
+	// every rank, so the per-rank ordinal is a cluster-wide consistent ID
+	// with no coordination — the same invariant the AgreeMax generation
+	// counter relies on.
+	opCount uint64
+	opTrace uint64
+}
+
+// BeginOp marks the start of a collective operation on this rank and
+// returns its trace ID: the 1-based ordinal of the op in this rank's
+// program order, which — because every rank runs the collectives in the
+// same order — identifies the same operation on every rank without any
+// coordination. Until the next BeginOp, every message this rank sends
+// carries the ID, so merged multi-process traces and flight-recorder
+// dumps attribute traffic to the collective that produced it.
+func (r *Rank) BeginOp(name string) uint64 {
+	r.opCount++
+	r.opTrace = r.opCount
+	flight.Record(r.ID, telemetry.FlightOp, int64(r.opTrace), 0, 0, 0)
+	if tr := r.c.trace; tr != nil {
+		tr.recordInstant(Instant{Name: "op " + name, Rank: r.ID, Ts: r.wallNow()})
+	}
+	return r.opTrace
+}
+
+// wallNow returns wall seconds since the cluster's trace epoch.
+func (r *Rank) wallNow() float64 { return time.Since(r.c.epoch).Seconds() }
+
+// flowID renders the globally unique identity of one message for flow
+// pairing: trace ID, link, epoch and sequence number. Sender and receiver
+// derive the same string independently.
+func flowID(trace uint64, from, to, epoch, seq int) string {
+	return fmt.Sprintf("t%d:%d>%d:%d.%d", trace, from, to, epoch, seq)
+}
+
+// noteRecv records the delivery side of a message: a flight-recorder
+// event always, plus — when traced — the finish half of the flow edge,
+// anchored to a wall slice spanning the receive wait.
+func (r *Rank) noteRecv(m message, waitStart time.Time) {
+	flight.Record(r.ID, telemetry.FlightRecv, int64(m.from), int64(r.ID), int64(m.seq), int64(len(m.data)))
+	if tr := r.c.trace; tr != nil {
+		tr.recordFlow(FlowPoint{
+			Phase: 'f',
+			ID:    flowID(m.trace, m.from, r.ID, m.epoch, m.seq),
+			Name:  fmt.Sprintf("recv %d<%d", r.ID, m.from),
+			Rank:  r.ID,
+			Start: waitStart.Sub(r.c.epoch).Seconds(),
+			Dur:   time.Since(waitStart).Seconds(),
+		})
+	}
+}
+
+// NoteDegrade records a degradation-ladder move (backend indices `from` →
+// `to`) in the flight recorder and, when traced, as an instant on the
+// wall timeline. Purely observational; the ladder logic lives above the
+// cluster.
+func (r *Rank) NoteDegrade(from, to int) {
+	flight.Record(r.ID, telemetry.FlightDegrade, int64(from), int64(to), 0, 0)
+	if tr := r.c.trace; tr != nil {
+		tr.recordInstant(Instant{Name: fmt.Sprintf("degrade %d→%d", from, to), Rank: r.ID, Ts: r.wallNow()})
+	}
 }
 
 // Config returns the cluster configuration (with defaults applied) the
@@ -503,13 +598,31 @@ func (r *Rank) Send(to int, data []byte) error {
 	if to == r.ID {
 		return fmt.Errorf("%w: self-send", ErrBadPeer)
 	}
-	m := message{sentAt: r.now, from: r.ID, seq: r.sendSeq[to], epoch: r.epoch}
+	m := message{sentAt: r.now, from: r.ID, seq: r.sendSeq[to], epoch: r.epoch, trace: r.opTrace}
 	r.sendSeq[to]++
+	tr := r.c.trace
+	var wallStart time.Time
+	if tr != nil {
+		wallStart = time.Now()
+	}
 	r.Quiesce(func() {
 		m.data = bufpool.Bytes(len(data))
 		copy(m.data, data)
 		m.sum = checksum(m.data)
 	})
+	flight.Record(r.ID, telemetry.FlightSend, int64(r.ID), int64(to), int64(m.seq), int64(len(data)))
+	if tr != nil {
+		// The send half of the flow edge, anchored to the copy/checksum
+		// work that physically happened on this rank.
+		tr.recordFlow(FlowPoint{
+			Phase: 's',
+			ID:    flowID(m.trace, r.ID, to, m.epoch, m.seq),
+			Name:  fmt.Sprintf("send %d>%d", r.ID, to),
+			Rank:  r.ID,
+			Start: wallStart.Sub(r.c.epoch).Seconds(),
+			Dur:   time.Since(wallStart).Seconds(),
+		})
+	}
 	if r.c.cfg.Reliable {
 		// Record the pristine payload in the per-link replay window before
 		// the fault hook can damage or drop it.
@@ -554,10 +667,15 @@ func (r *Rank) Recv(from int) ([]byte, error) {
 // recvStrict is the fail-fast receive path: every integrity violation is
 // reported to the caller.
 func (r *Rank) recvStrict(from int) ([]byte, error) {
+	waitStart := time.Now()
 	want := r.recvSeq[from]
 	if m, ok := r.takePending(from, want); ok {
 		r.recvSeq[from] = want + 1
-		return r.verifyPayload(m, from)
+		data, err := r.verifyPayload(m, from)
+		if err == nil {
+			r.noteRecv(m, waitStart)
+		}
+		return data, err
 	}
 	for {
 		m, ok, err := r.c.tr.recv(from, r.ID, r.c.cfg.RecvTimeout)
@@ -573,6 +691,7 @@ func (r *Rank) recvStrict(from int) ([]byte, error) {
 		if m.epoch != r.epoch {
 			if m.epoch < r.epoch {
 				mDedups.Inc() // stale traffic from an aborted attempt
+				flight.Record(r.ID, telemetry.FlightDedup, int64(m.from), int64(r.ID), int64(m.seq), int64(m.epoch))
 				continue
 			}
 			return nil, fmt.Errorf("cluster: rank %d got epoch %d message from rank %d while in epoch %d (AdvanceEpoch must be globally synchronized)",
@@ -589,7 +708,11 @@ func (r *Rank) recvStrict(from int) ([]byte, error) {
 			return nil, fmt.Errorf("%w: from rank %d, expected seq %d got %d (later message retained)", ErrMessageLost, from, want, m.seq)
 		}
 		r.recvSeq[from] = want + 1
-		return r.verifyPayload(m, from)
+		data, err := r.verifyPayload(m, from)
+		if err == nil {
+			r.noteRecv(m, waitStart)
+		}
+		return data, err
 	}
 }
 
@@ -644,6 +767,7 @@ func (r *Rank) takePending(from, seq int) (message, bool) {
 // protocol error.
 func (r *Rank) AdvanceEpoch() {
 	r.epoch++
+	flight.Record(r.ID, telemetry.FlightEpoch, int64(r.epoch), 0, 0, 0)
 	for i := range r.sendSeq {
 		r.sendSeq[i] = 0
 	}
@@ -688,6 +812,7 @@ func (r *Rank) AgreeMax(v int) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	flight.Record(r.ID, telemetry.FlightAgree, int64(v), int64(agreed), 0, 0)
 	if leave > r.now {
 		if tr := r.c.trace; tr != nil {
 			tr.record(TraceEvent{Rank: r.ID, Category: CatMPI, Start: r.now, Dur: leave - r.now})

@@ -345,17 +345,26 @@ func TestTraceRecordsTimeline(t *testing.T) {
 	if decoded.DisplayTimeUnit != "ms" {
 		t.Fatalf("displayTimeUnit = %q, want ms", decoded.DisplayTimeUnit)
 	}
-	var complete, meta int
+	var complete, meta, flows int
 	for _, ev := range decoded.TraceEvents {
 		switch ev["ph"] {
 		case "X":
-			complete++
+			// Virtual-time slices live on pid 0; the wall pid additionally
+			// carries the flow-anchor slices of every send/recv.
+			if ev["pid"] == float64(chromePidVirtual) {
+				complete++
+			}
 		case "M":
 			meta++
+		case "s", "f":
+			flows++
 		}
 	}
 	if complete != len(evs) {
-		t.Fatalf("chrome trace has %d complete events, want %d", complete, len(evs))
+		t.Fatalf("chrome trace has %d virtual complete events, want %d", complete, len(evs))
+	}
+	if flows < 2 {
+		t.Fatalf("chrome trace has %d flow events, want at least the send/recv pair", flows)
 	}
 	if meta == 0 {
 		t.Fatal("chrome trace missing process_name metadata")

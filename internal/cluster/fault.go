@@ -3,6 +3,8 @@ package cluster
 import (
 	"errors"
 	"hash/crc32"
+
+	"hzccl/internal/telemetry"
 )
 
 // Fault injection and message integrity.
@@ -175,6 +177,12 @@ func (c *Cluster) applyFaultAttempt(m *message, to, attempt int) (copies int, dr
 	}
 	fc := FaultContext{From: m.from, To: to, Seq: m.seq, Len: len(m.data), Epoch: m.epoch, Attempt: attempt}
 	action, delay := c.cfg.Fault(fc)
+	if action != FaultDeliver {
+		// Every injected fault — original sends and retransmissions alike,
+		// chaos schedules included — leaves a flight-recorder event, so a
+		// post-mortem dump shows which link was sabotaged and how.
+		flight.Record(m.from, telemetry.FlightFault, int64(m.from), int64(to), int64(m.seq), int64(action))
+	}
 	switch action {
 	case FaultDrop:
 		return 0, true

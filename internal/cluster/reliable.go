@@ -34,6 +34,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
+
+	"hzccl/internal/telemetry"
 )
 
 // Reliable-delivery errors.
@@ -68,11 +71,12 @@ type retxWindow struct {
 
 // recvReliable is the recovering receive path (Config.Reliable).
 func (r *Rank) recvReliable(from int) ([]byte, error) {
+	waitStart := time.Now()
 	timeouts := 0
 	for {
 		want := r.recvSeq[from]
 		if m, ok := r.takePending(from, want); ok {
-			return r.deliverReliable(m, from, want)
+			return r.deliverReliable(m, from, want, waitStart)
 		}
 		m, ok, err := r.c.tr.recv(from, r.ID, r.c.cfg.RecvTimeout)
 		if err != nil {
@@ -108,6 +112,7 @@ func (r *Rank) recvReliable(from int) ([]byte, error) {
 		if m.epoch != r.epoch {
 			if m.epoch < r.epoch {
 				mDedups.Inc() // stale traffic from an abandoned attempt
+				flight.Record(r.ID, telemetry.FlightDedup, int64(m.from), int64(r.ID), int64(m.seq), int64(m.epoch))
 				continue
 			}
 			return nil, fmt.Errorf("cluster: rank %d got epoch %d message from rank %d while in epoch %d (AdvanceEpoch must be globally synchronized)",
@@ -116,6 +121,7 @@ func (r *Rank) recvReliable(from int) ([]byte, error) {
 		switch {
 		case m.seq < want:
 			mDedups.Inc() // duplicate delivery: silently dedup
+			flight.Record(r.ID, telemetry.FlightDedup, int64(m.from), int64(r.ID), int64(m.seq), int64(m.epoch))
 			continue
 		case m.seq > want:
 			// A gap means `want` was dropped: retain the later message for
@@ -128,16 +134,17 @@ func (r *Rank) recvReliable(from int) ([]byte, error) {
 			r.recvSeq[from] = want + 1
 			return data, nil
 		}
-		return r.deliverReliable(m, from, want)
+		return r.deliverReliable(m, from, want, waitStart)
 	}
 }
 
 // deliverReliable verifies an in-sequence message and, on corruption,
 // drives the NACK/replay recovery.
-func (r *Rank) deliverReliable(m message, from, want int) ([]byte, error) {
+func (r *Rank) deliverReliable(m message, from, want int, waitStart time.Time) ([]byte, error) {
 	data, err := r.verifyPayload(m, from)
 	if err == nil {
 		r.recvSeq[from] = want + 1
+		r.noteRecv(m, waitStart)
 		return data, nil
 	}
 	if !errors.Is(err, ErrMessageCorrupt) {
@@ -158,6 +165,7 @@ func (r *Rank) recover(from, want int, cause error) ([]byte, error) {
 	alpha := cfg.Latency.Seconds()
 	for attempt := 1; attempt <= cfg.RetryBudget; attempt++ {
 		mNacks.Inc()
+		flight.Record(r.ID, telemetry.FlightNack, int64(from), int64(r.ID), int64(want), int64(attempt))
 		// The NACK control message flies back to the sender: one α.
 		r.Elapse(CatMPI, alpha)
 		data, sum, err := r.c.tr.retransmit(from, r.ID, want, r.epoch)
@@ -172,6 +180,13 @@ func (r *Rank) recover(from, want int, cause error) ([]byte, error) {
 		_, dropped := r.c.applyFaultAttempt(&m, r.ID, attempt)
 		if !dropped {
 			mRetransmits.Inc()
+			flight.Record(r.ID, telemetry.FlightRetransmit, int64(from), int64(r.ID), int64(want), int64(attempt))
+			if tr := r.c.trace; tr != nil {
+				tr.recordInstant(Instant{
+					Name: fmt.Sprintf("retransmit %d>%d seq %d", from, r.ID, want),
+					Rank: r.ID, Ts: r.wallNow(),
+				})
+			}
 			r.chargeArrival(m) // α + bytes/β (+ injected delay)
 			var s uint32
 			r.Quiesce(func() { s = checksum(m.data) })

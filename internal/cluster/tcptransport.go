@@ -14,15 +14,24 @@ package cluster
 //
 // Wire protocol (all integers little-endian):
 //
-//	handshake   "hZCC" ver=1 | u32 rank | u32 world       (both directions)
+//	handshake   "hZCC" ver=2 | u32 rank | u32 world | u64 epochNanos   (both directions)
 //	frame       u32 length | u8 type | body
-//	  data      u32 seq | u32 epoch | u32 sum | f64 sentAt | f64 delay | payload
+//	  data      u32 seq | u32 epoch | u32 sum | f64 sentAt | f64 delay | u64 trace | payload
 //	  nack      u32 seq | u32 epoch
 //	  retx      u8 status | u32 seq | u32 epoch | u32 sum | payload
 //	  agree     u32 gen | f64 clock | i64 value
 //	  release   u32 gen | f64 clock | i64 value
 //
 // The frame length covers everything after the length field itself.
+//
+// Version 2 extends version 1 in two places, both for distributed
+// tracing: the handshake carries the sender's start time (UnixNano), and
+// every process anchors its trace timestamps to the minimum start time
+// observed across the mesh — the full mesh guarantees every process sees
+// every other's epoch, so the minimum is identical everywhere and merged
+// per-process traces line up without a clock-sync protocol. Data frames
+// additionally carry the sender's 64-bit collective trace ID, so a
+// receiving process can pair its delivery with the remote send.
 
 import (
 	"bufio"
@@ -33,6 +42,7 @@ import (
 	"math"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hzccl/internal/bufpool"
@@ -41,7 +51,15 @@ import (
 // TCP protocol constants.
 const (
 	tcpMagic   = "hZCC"
-	tcpVersion = 1
+	tcpVersion = 2
+
+	// tcpHelloLen is the handshake size: magic, version, rank, world,
+	// epoch nanos.
+	tcpHelloLen = 4 + 1 + 4 + 4 + 8
+
+	// tcpDataHdrLen is the data-frame body prefix after the type byte:
+	// seq, epoch, sum, sentAt, delay, trace.
+	tcpDataHdrLen = 4 + 4 + 4 + 8 + 8 + 8
 
 	frameData    = 1
 	frameNack    = 2
@@ -141,6 +159,13 @@ type TCPTransport struct {
 	agreeMu  sync.Mutex
 	agreeGen uint32
 
+	// ownEpochNanos is this process's start time, sent in every handshake;
+	// meshEpochNanos tracks the minimum over all epochs observed (our own
+	// and every peer's), which every process of the full mesh resolves to
+	// the same value — the shared trace-clock anchor.
+	ownEpochNanos  int64
+	meshEpochNanos atomic.Int64
+
 	closed    chan struct{}
 	closeOnce sync.Once
 }
@@ -167,6 +192,8 @@ func NewTCPTransport(opt TCPOptions) (*TCPTransport, error) {
 		peers:  make([]*tcpPeer, n),
 		closed: make(chan struct{}),
 	}
+	t.ownEpochNanos = time.Now().UnixNano()
+	t.meshEpochNanos.Store(t.ownEpochNanos)
 	ln := opt.Listener
 	if ln == nil && n > 1 {
 		var err error
@@ -294,19 +321,21 @@ func newTCPPeer(rank int, conn net.Conn) *tcpPeer {
 }
 
 // handshake exchanges identity with a freshly connected peer (both sides
-// send, both verify) and returns the peer's rank.
+// send, both verify) and returns the peer's rank. The peer's start time
+// folds into the mesh epoch (minimum over all ranks' start times).
 func (t *TCPTransport) handshake(conn net.Conn) (int, error) {
 	conn.SetDeadline(time.Now().Add(5 * time.Second))
 	defer conn.SetDeadline(time.Time{})
-	var out [13]byte
+	var out [tcpHelloLen]byte
 	copy(out[:4], tcpMagic)
 	out[4] = tcpVersion
 	binary.LittleEndian.PutUint32(out[5:9], uint32(t.rank))
 	binary.LittleEndian.PutUint32(out[9:13], uint32(t.n))
+	binary.LittleEndian.PutUint64(out[13:21], uint64(t.ownEpochNanos))
 	if _, err := conn.Write(out[:]); err != nil {
 		return 0, err
 	}
-	var in [13]byte
+	var in [tcpHelloLen]byte
 	if _, err := io.ReadFull(conn, in[:]); err != nil {
 		return 0, err
 	}
@@ -321,7 +350,21 @@ func (t *TCPTransport) handshake(conn net.Conn) (int, error) {
 	if world != t.n {
 		return 0, fmt.Errorf("peer rank %d built for a %d-rank world, this one has %d", rank, world, t.n)
 	}
+	peerEpoch := int64(binary.LittleEndian.Uint64(in[13:21]))
+	for {
+		cur := t.meshEpochNanos.Load()
+		if peerEpoch >= cur || t.meshEpochNanos.CompareAndSwap(cur, peerEpoch) {
+			break
+		}
+	}
 	return rank, nil
+}
+
+// epochHint anchors trace wall clocks to the mesh epoch, the minimum
+// start time across all ranks — identical in every process once the mesh
+// is complete, so merged per-process traces share one time base.
+func (t *TCPTransport) epochHint() (time.Time, bool) {
+	return time.Unix(0, t.meshEpochNanos.Load()), true
 }
 
 // LocalRank reports that exactly one rank lives in this process.
@@ -399,13 +442,14 @@ func (t *TCPTransport) send(from, to int, m message, copies int) error {
 	if err != nil {
 		return err
 	}
-	var hdr [29]byte
+	var hdr [1 + tcpDataHdrLen]byte
 	hdr[0] = frameData
 	binary.LittleEndian.PutUint32(hdr[1:5], uint32(m.seq))
 	binary.LittleEndian.PutUint32(hdr[5:9], uint32(m.epoch))
 	binary.LittleEndian.PutUint32(hdr[9:13], m.sum)
 	binary.LittleEndian.PutUint64(hdr[13:21], math.Float64bits(m.sentAt))
 	binary.LittleEndian.PutUint64(hdr[21:29], math.Float64bits(m.delay))
+	binary.LittleEndian.PutUint64(hdr[29:37], m.trace)
 	for i := 0; i < copies; i++ {
 		if err := p.writeFrame(hdr[:], m.data); err != nil {
 			return fmt.Errorf("cluster: tcp send %d→%d seq %d: %w", from, to, m.seq, err)
@@ -611,14 +655,14 @@ func (t *TCPTransport) readLoop(p *tcpPeer) {
 		body := frameLen - 1
 		switch kind {
 		case frameData:
-			if body < 28 {
+			if body < tcpDataHdrLen {
 				return
 			}
-			var hdr [28]byte
+			var hdr [tcpDataHdrLen]byte
 			if _, err := io.ReadFull(br, hdr[:]); err != nil {
 				return
 			}
-			payload := bufpool.Bytes(body - 28)
+			payload := bufpool.Bytes(body - tcpDataHdrLen)
 			if _, err := io.ReadFull(br, payload); err != nil {
 				return
 			}
@@ -630,6 +674,7 @@ func (t *TCPTransport) readLoop(p *tcpPeer) {
 				sum:    binary.LittleEndian.Uint32(hdr[8:12]),
 				sentAt: math.Float64frombits(binary.LittleEndian.Uint64(hdr[12:20])),
 				delay:  math.Float64frombits(binary.LittleEndian.Uint64(hdr[20:28])),
+				trace:  binary.LittleEndian.Uint64(hdr[28:36]),
 			}
 			select {
 			case p.inbox <- m:

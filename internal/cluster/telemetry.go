@@ -28,3 +28,11 @@ var (
 	mTransportBytesOut   = telemetry.C("cluster.transport.bytes_out")
 	mTransportBytesIn    = telemetry.C("cluster.transport.bytes_in")
 )
+
+// flight is the process-global flight recorder: every send, delivery,
+// NACK, retransmission, dedup, epoch advance, consensus round,
+// degradation move and injected fault leaves a structured event in its
+// lock-free ring, dumped on collective failure or via the /flightrecorder
+// endpoint. Recording is allocation-free and gated on the telemetry
+// enabled flag.
+var flight = telemetry.Flight()

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Trace merging. On a TCP transport every process records its own trace
+// file — rank-local virtual and wall timelines plus its half of each
+// message-flow edge. MergeChromeTraces stitches those files into one
+// Chrome trace: process ids are remapped so every rank keeps its two
+// timelines (virtual and wall) side by side, wall timestamps are shifted
+// onto a common clock using the handshake-agreed epoch carried in each
+// file's hzcclMeta, and the flow endpoints — whose ids were derived
+// independently but identically by sender and receiver — pair up so
+// Perfetto draws arrows across process boundaries.
+
+// MergeChromeTraces reads per-process Chrome trace files (as written by
+// Trace.WriteChrome on a TCP-transport run) and writes one merged trace.
+// Each input must carry hzcclMeta with a non-negative rank; wall-clock
+// timestamps are aligned by shifting each file onto the earliest epoch
+// observed across the inputs. The merged file loads in chrome://tracing
+// or https://ui.perfetto.dev as one multi-rank timeline.
+func MergeChromeTraces(w io.Writer, traces ...io.Reader) error {
+	if len(traces) == 0 {
+		return errors.New("cluster: no trace files to merge")
+	}
+	files := make([]chromeTrace, 0, len(traces))
+	var minEpoch int64
+	for i, r := range traces {
+		var ct chromeTrace
+		if err := json.NewDecoder(r).Decode(&ct); err != nil {
+			return fmt.Errorf("cluster: trace input %d: %w", i, err)
+		}
+		if ct.Meta == nil {
+			return fmt.Errorf("cluster: trace input %d carries no hzcclMeta; only traces written by this package's tracer can be merged", i)
+		}
+		if ct.Meta.Rank < 0 {
+			return fmt.Errorf("cluster: trace input %d was recorded by an in-process run (rank -1); merging applies to one-process-per-rank TCP runs", i)
+		}
+		if i == 0 || ct.Meta.EpochNanos < minEpoch {
+			minEpoch = ct.Meta.EpochNanos
+		}
+		files = append(files, ct)
+	}
+	seen := make(map[int]bool, len(files))
+	out := make([]chromeEvent, 0, 64)
+	for i, ct := range files {
+		rank := ct.Meta.Rank
+		if seen[rank] {
+			return fmt.Errorf("cluster: trace input %d duplicates rank %d", i, rank)
+		}
+		seen[rank] = true
+		// Two merged pids per rank keep the virtual and wall timelines
+		// adjacent and stable regardless of input order.
+		basePid := rank * 2
+		shift := float64(ct.Meta.EpochNanos-minEpoch) / 1e3 // ns → µs
+		out = append(out,
+			chromeEvent{Name: "process_name", Ph: "M", Pid: basePid + chromePidVirtual,
+				Args: map[string]any{"name": fmt.Sprintf("rank %d virtual time", rank)}},
+			chromeEvent{Name: "process_name", Ph: "M", Pid: basePid + chromePidWall,
+				Args: map[string]any{"name": fmt.Sprintf("rank %d wall clock", rank)}},
+		)
+		for _, ev := range ct.TraceEvents {
+			if ev.Ph == "M" {
+				continue // per-file metadata is replaced by the per-rank names above
+			}
+			if ev.Pid == chromePidWall {
+				ev.Ts += shift
+			}
+			ev.Pid = basePid + ev.Pid
+			out = append(out, ev)
+		}
+	}
+	// Stable timestamp order (metadata first) makes the merged file easy to
+	// diff and stream; viewers do not require it.
+	sort.SliceStable(out, func(i, j int) bool {
+		mi, mj := out[i].Ph == "M", out[j].Ph == "M"
+		if mi != mj {
+			return mi
+		}
+		return out[i].Ts < out[j].Ts
+	})
+	merged := chromeTrace{
+		TraceEvents:     out,
+		DisplayTimeUnit: "ms",
+		Meta:            &TraceMeta{Rank: -1, World: files[0].Meta.World, EpochNanos: minEpoch},
+	}
+	return json.NewEncoder(w).Encode(merged)
+}

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// encodeTrace renders a chromeTrace as a merge input.
+func encodeTrace(t *testing.T, ct chromeTrace) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(ct); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestMergeChromeTracesAlignsAndRemaps(t *testing.T) {
+	rank0 := chromeTrace{
+		TraceEvents: []chromeEvent{
+			{Name: "process_name", Ph: "M", Pid: chromePidVirtual},
+			{Name: "CPR", Ph: "X", Ts: 5, Dur: 3, Pid: chromePidVirtual, Tid: 0},
+			{Name: "send 0>1", Ph: "X", Ts: 10, Dur: 2, Pid: chromePidWall, Tid: 0},
+			{Name: "msg", Ph: "s", Cat: "msg", ID: "t1:0>1:0.0", Ts: 11, Pid: chromePidWall, Tid: 0},
+		},
+		DisplayTimeUnit: "ms",
+		Meta:            &TraceMeta{Rank: 0, World: 2, EpochNanos: 1_000_000},
+	}
+	rank1 := chromeTrace{
+		TraceEvents: []chromeEvent{
+			{Name: "recv 1<0", Ph: "X", Ts: 4, Dur: 2, Pid: chromePidWall, Tid: 1},
+			{Name: "msg", Ph: "f", Cat: "msg", ID: "t1:0>1:0.0", Bp: "e", Ts: 5, Pid: chromePidWall, Tid: 1},
+		},
+		DisplayTimeUnit: "ms",
+		// 9 µs behind rank 0's epoch: wall events must shift by +9 µs...
+		Meta: &TraceMeta{Rank: 1, World: 2, EpochNanos: 1_000_000 - 9_000},
+	}
+
+	var out bytes.Buffer
+	if err := MergeChromeTraces(&out, encodeTrace(t, rank0), encodeTrace(t, rank1)); err != nil {
+		t.Fatal(err)
+	}
+	var merged chromeTrace
+	if err := json.Unmarshal(out.Bytes(), &merged); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v", err)
+	}
+	if merged.Meta == nil || merged.Meta.World != 2 || merged.Meta.Rank != -1 {
+		t.Fatalf("merged meta = %+v, want world 2, rank -1", merged.Meta)
+	}
+	if merged.Meta.EpochNanos != 1_000_000-9_000 {
+		t.Fatalf("merged epoch = %d, want the minimum input epoch", merged.Meta.EpochNanos)
+	}
+
+	byName := map[string]chromeEvent{}
+	var procNames []string
+	for _, ev := range merged.TraceEvents {
+		if ev.Ph == "M" {
+			procNames = append(procNames, ev.Args["name"].(string))
+			continue
+		}
+		byName[ev.Name+"/"+ev.Ph] = ev
+	}
+	// Per-rank process names replace the per-file metadata.
+	if len(procNames) != 4 {
+		t.Fatalf("merged trace has %d process_name entries, want 4 (2 ranks × 2 timelines)", len(procNames))
+	}
+	for _, want := range []string{"rank 0 virtual time", "rank 0 wall clock", "rank 1 virtual time", "rank 1 wall clock"} {
+		if !strings.Contains(strings.Join(procNames, "|"), want) {
+			t.Fatalf("merged process names %v missing %q", procNames, want)
+		}
+	}
+
+	// Rank 1 holds the minimum epoch, so its wall timeline stays put while
+	// rank 0's shifts forward by the 9 µs its clock started later.
+	if ev := byName["CPR/X"]; ev.Pid != 0 || ev.Ts != 5 {
+		t.Fatalf("virtual event remapped to pid %d ts %v, want pid 0 ts 5 (virtual timelines never shift)", ev.Pid, ev.Ts)
+	}
+	if ev := byName["send 0>1/X"]; ev.Pid != 0*2+chromePidWall || ev.Ts != 10+9 {
+		t.Fatalf("rank 0 wall event at pid %d ts %v, want pid 1 ts 19", ev.Pid, ev.Ts)
+	}
+	if ev := byName["recv 1<0/X"]; ev.Pid != 1*2+chromePidWall || ev.Ts != 4 {
+		t.Fatalf("rank 1 wall event at pid %d ts %v, want pid 3 ts 4", ev.Pid, ev.Ts)
+	}
+	// The flow endpoints keep their shared ID and land on different pids.
+	s, f := byName["msg/s"], byName["msg/f"]
+	if s.ID != f.ID || s.ID == "" {
+		t.Fatalf("flow ids diverged after merge: s=%q f=%q", s.ID, f.ID)
+	}
+	if s.Pid == f.Pid {
+		t.Fatalf("flow endpoints share pid %d after merge; want distinct processes", s.Pid)
+	}
+	if f.Bp != "e" {
+		t.Fatalf("flow finish lost its binding point: %+v", f)
+	}
+}
+
+func TestMergeChromeTracesRejectsBadInput(t *testing.T) {
+	if err := MergeChromeTraces(&bytes.Buffer{}); err == nil {
+		t.Fatal("merging zero inputs should fail")
+	}
+	if err := MergeChromeTraces(&bytes.Buffer{}, strings.NewReader("not json")); err == nil {
+		t.Fatal("merging a non-JSON input should fail")
+	}
+	noMeta := encodeTrace(t, chromeTrace{DisplayTimeUnit: "ms"})
+	if err := MergeChromeTraces(&bytes.Buffer{}, noMeta); err == nil || !strings.Contains(err.Error(), "hzcclMeta") {
+		t.Fatalf("merging a meta-less input: err = %v, want hzcclMeta complaint", err)
+	}
+	inProc := encodeTrace(t, chromeTrace{Meta: &TraceMeta{Rank: -1, World: 4}})
+	if err := MergeChromeTraces(&bytes.Buffer{}, inProc); err == nil || !strings.Contains(err.Error(), "in-process") {
+		t.Fatalf("merging an in-process trace: err = %v, want in-process complaint", err)
+	}
+	dup0 := encodeTrace(t, chromeTrace{Meta: &TraceMeta{Rank: 0, World: 2}})
+	dup0b := encodeTrace(t, chromeTrace{Meta: &TraceMeta{Rank: 0, World: 2}})
+	if err := MergeChromeTraces(&bytes.Buffer{}, dup0, dup0b); err == nil || !strings.Contains(err.Error(), "duplicates rank") {
+		t.Fatalf("merging duplicate ranks: err = %v, want duplicate complaint", err)
+	}
+}

@@ -76,4 +76,11 @@ type Transport interface {
 	// closeRank marks a local rank's body as returned so peers blocked on
 	// recv or agreeMax fail fast instead of hanging.
 	closeRank(rank int)
+
+	// epochHint returns the wall-clock instant trace timestamps should be
+	// anchored to, when the transport has one that is shared by every
+	// process of the mesh (the TCP handshake agrees on the minimum of all
+	// ranks' start times). ok == false means the transport has no shared
+	// epoch and the cluster anchors to its own creation time.
+	epochHint() (time.Time, bool)
 }

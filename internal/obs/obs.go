@@ -1,0 +1,160 @@
+// Package obs serves live introspection over HTTP: Prometheus metrics,
+// expvar, pprof, a health probe, the flight recorder, and the current
+// execution trace. A CLI opts in with -obs-listen; nothing is served (and
+// nothing is registered on the global http mux) otherwise.
+//
+// Endpoints:
+//
+//	/healthz                 liveness + identity (rank, world, transport,
+//	                         uptime, degradation and flight-event counts)
+//	/metrics                 telemetry snapshot, Prometheus text format
+//	                         (?format=json for the JSON snapshot)
+//	/debug/vars              expvar JSON including the live telemetry
+//	                         snapshot under "hzccl"
+//	/debug/pprof/*           the standard Go profiling endpoints
+//	/flightrecorder          the flight recorder's retained events, JSON
+//	                         (?format=text for the dump format used on
+//	                         collective failure)
+//	/trace                   the current Chrome trace, when the process
+//	                         registered a trace source
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"hzccl/internal/telemetry"
+)
+
+// Options identifies the serving process and optionally connects a trace
+// source.
+type Options struct {
+	// Rank and World identify this process on a multi-process transport;
+	// leave Rank -1 (and World the rank count) for in-process runs.
+	Rank  int
+	World int
+	// Transport names the fabric ("tcp", "inproc").
+	Transport string
+	// Trace, when non-nil, renders the current execution trace (Chrome
+	// trace-event JSON) for GET /trace.
+	Trace func(io.Writer) error
+}
+
+// Server is one live introspection endpoint bound to a listener.
+type Server struct {
+	ln    net.Listener
+	srv   *http.Server
+	opts  Options
+	start time.Time
+}
+
+// expvarOnce guards telemetry.PublishExpvar, which panics on a second
+// registration (an expvar rule). Tests start many servers per process.
+var expvarOnce sync.Once
+
+// Start listens on addr (host:port; an empty or ":0" port picks an
+// ephemeral one) and serves the introspection endpoints until Close. The
+// handlers live on a private mux, so nothing leaks into the process-global
+// http.DefaultServeMux.
+func Start(addr string, opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	expvarOnce.Do(func() { telemetry.PublishExpvar("hzccl") })
+	s := &Server{ln: ln, opts: opts, start: time.Now()}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/flightrecorder", s.handleFlight)
+	mux.HandleFunc("/trace", s.handleTrace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ephemeral ports).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops serving and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Health is the /healthz response body.
+type Health struct {
+	Status        string  `json:"status"`
+	Rank          int     `json:"rank"`
+	World         int     `json:"world"`
+	Transport     string  `json:"transport"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Degradations is the process-cumulative backend-downgrade count; a
+	// non-zero value on a healthy fabric is worth a look.
+	Degradations int64 `json:"degradations"`
+	// FlightEvents is the number of events the flight recorder retains
+	// right now.
+	FlightEvents int `json:"flight_events"`
+	// TelemetryEnabled reports whether the metric/flight sinks are live.
+	TelemetryEnabled bool `json:"telemetry_enabled"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := Health{
+		Status:           "ok",
+		Rank:             s.opts.Rank,
+		World:            s.opts.World,
+		Transport:        s.opts.Transport,
+		UptimeSeconds:    time.Since(s.start).Seconds(),
+		Degradations:     telemetry.C("collective.degradations").Value(),
+		FlightEvents:     int(telemetry.Flight().Len()),
+		TelemetryEnabled: telemetry.Enabled(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(h) //nolint:errcheck // best-effort response
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := telemetry.Capture()
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		snap.WriteJSON(w) //nolint:errcheck
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snap.WritePrometheus(w) //nolint:errcheck
+}
+
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	f := telemetry.Flight()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		f.WriteText(w) //nolint:errcheck
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	f.WriteJSON(w) //nolint:errcheck
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Trace == nil {
+		http.Error(w, "no trace source registered (run with tracing enabled)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.opts.Trace(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

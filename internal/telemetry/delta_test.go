@@ -1,0 +1,261 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Delta edge cases: the snapshot subtraction the harness uses to
+// attribute process-global cumulative metrics to individual runs.
+
+func TestDeltaCounterAbsentFromPrev(t *testing.T) {
+	prev := Snapshot{Counters: map[string]int64{"a": 3}}
+	cur := Snapshot{Counters: map[string]int64{"a": 5, "b": 7}}
+	d := cur.Delta(prev)
+	if d.Counters["a"] != 2 {
+		t.Fatalf("a delta = %d, want 2", d.Counters["a"])
+	}
+	if d.Counters["b"] != 7 {
+		t.Fatalf("b (absent from prev) delta = %d, want 7", d.Counters["b"])
+	}
+}
+
+func TestDeltaCounterAbsentFromCur(t *testing.T) {
+	// A metric present in prev but absent from cur means the registry was
+	// swapped or reset between snapshots; the delta intentionally omits it
+	// (a negative "growth" would be noise, not signal).
+	prev := Snapshot{Counters: map[string]int64{"gone": 9, "kept": 1}}
+	cur := Snapshot{Counters: map[string]int64{"kept": 4}}
+	d := cur.Delta(prev)
+	if _, ok := d.Counters["gone"]; ok {
+		t.Fatalf("metric absent from cur leaked into delta: %v", d.Counters)
+	}
+	if d.Counters["kept"] != 3 {
+		t.Fatalf("kept delta = %d, want 3", d.Counters["kept"])
+	}
+}
+
+func TestDeltaHistogramBuckets(t *testing.T) {
+	prev := Snapshot{Histograms: map[string]HistogramSnapshot{
+		"h": {Count: 3, Sum: 30, Buckets: []BucketSnapshot{
+			{Le: "10", Count: 2}, {Le: "+Inf", Count: 1},
+		}},
+	}}
+	cur := Snapshot{Histograms: map[string]HistogramSnapshot{
+		"h": {Count: 7, Sum: 95, Buckets: []BucketSnapshot{
+			{Le: "10", Count: 4}, {Le: "100", Count: 2}, {Le: "+Inf", Count: 1},
+		}},
+		"fresh": {Count: 1, Sum: 5, Buckets: []BucketSnapshot{{Le: "10", Count: 1}}},
+	}}
+	d := cur.Delta(prev)
+
+	h := d.Histograms["h"]
+	if h.Count != 4 || h.Sum != 65 {
+		t.Fatalf("histogram count/sum delta = %d/%d, want 4/65", h.Count, h.Sum)
+	}
+	got := map[string]int64{}
+	for _, b := range h.Buckets {
+		got[b.Le] = b.Count
+	}
+	// le=10 grew by 2, le=100 is new (grew by 2), +Inf is unchanged and
+	// must be omitted (zero-delta buckets are dropped).
+	if got["10"] != 2 || got["100"] != 2 {
+		t.Fatalf("bucket deltas = %v, want 10:2 100:2", got)
+	}
+	if _, ok := got["+Inf"]; ok {
+		t.Fatalf("unchanged +Inf bucket leaked into delta: %v", got)
+	}
+
+	f := d.Histograms["fresh"]
+	if f.Count != 1 || f.Sum != 5 || len(f.Buckets) != 1 {
+		t.Fatalf("histogram absent from prev should pass through: %+v", f)
+	}
+
+	if h.Mean() != 65.0/4.0 {
+		t.Fatalf("delta mean = %v", h.Mean())
+	}
+}
+
+func TestDeltaGaugesKeepCurrentValue(t *testing.T) {
+	prev := Snapshot{Gauges: map[string]float64{"g": 10}}
+	cur := Snapshot{Gauges: map[string]float64{"g": 4}}
+	if d := cur.Delta(prev); d.Gauges["g"] != 4 {
+		t.Fatalf("gauge delta = %v, want the current value 4", d.Gauges["g"])
+	}
+}
+
+// promSample is one parsed Prometheus text-format sample.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parseProm is a minimal in-repo parser for the Prometheus text
+// exposition format (version 0.0.4), validating exactly what a scraper
+// depends on: every series is announced by a TYPE line, every sample line
+// is "name{labels} value", and nothing else appears.
+func parseProm(t *testing.T, text string) (types map[string]string, samples []promSample) {
+	t.Helper()
+	types = make(map[string]string)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			switch fields[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("unknown metric type in %q", line)
+			}
+			types[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		val, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("sample %q has a non-numeric value: %v", line, err)
+		}
+		series := line[:sp]
+		s := promSample{labels: map[string]string{}, value: val}
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("unterminated label set in %q", line)
+			}
+			s.name = series[:i]
+			for _, pair := range strings.Split(series[i+1:len(series)-1], ",") {
+				kv := strings.SplitN(pair, "=", 2)
+				if len(kv) != 2 || !strings.HasPrefix(kv[1], `"`) || !strings.HasSuffix(kv[1], `"`) {
+					t.Fatalf("malformed label %q in %q", pair, line)
+				}
+				s.labels[kv[0]] = kv[1][1 : len(kv[1])-1]
+			}
+		} else {
+			s.name = series
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return types, samples
+}
+
+// TestPrometheusRoundTrip writes a live registry in the text format and
+// validates it with the in-repo parser: TYPE lines for every family,
+// cumulative le buckets, and the mandatory +Inf terminal bucket carrying
+// the total count.
+func TestPrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("demo.requests").Add(42)
+	r.Gauge("demo.load", func() float64 { return 1.5 })
+	h := r.Histogram("demo.latency_ns", []int64{10, 100, 1000})
+	h.Observe(5)   // -> le=10
+	h.Observe(5)   // -> le=10
+	h.Observe(50)  // -> le=100
+	h.Observe(1e6) // -> overflow (+Inf only)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	types, samples := parseProm(t, buf.String())
+
+	if types["demo_requests"] != "counter" || types["demo_load"] != "gauge" || types["demo_latency_ns"] != "histogram" {
+		t.Fatalf("TYPE lines wrong: %v", types)
+	}
+
+	byName := map[string][]promSample{}
+	for _, s := range samples {
+		byName[s.name] = append(byName[s.name], s)
+	}
+	if v := byName["demo_requests"][0].value; v != 42 {
+		t.Fatalf("counter sample = %v", v)
+	}
+	if v := byName["demo_load"][0].value; v != 1.5 {
+		t.Fatalf("gauge sample = %v", v)
+	}
+
+	// Histogram: buckets must be cumulative in le order and end at +Inf
+	// == _count == 4.
+	buckets := byName["demo_latency_ns_bucket"]
+	if len(buckets) != 3 {
+		t.Fatalf("got %d bucket samples, want 3 (10, 100, +Inf): %+v", len(buckets), buckets)
+	}
+	wantCum := map[string]float64{"10": 2, "100": 3, "+Inf": 4}
+	prevCum := -1.0
+	for _, b := range buckets {
+		le := b.labels["le"]
+		if b.value != wantCum[le] {
+			t.Fatalf("bucket le=%s = %v, want %v (cumulative)", le, b.value, wantCum[le])
+		}
+		if b.value < prevCum {
+			t.Fatalf("buckets not monotonically cumulative: %+v", buckets)
+		}
+		prevCum = b.value
+	}
+	if buckets[len(buckets)-1].labels["le"] != "+Inf" {
+		t.Fatalf("terminal bucket is not +Inf: %+v", buckets)
+	}
+	if v := byName["demo_latency_ns_count"][0].value; v != 4 {
+		t.Fatalf("_count = %v, want 4", v)
+	}
+	if v := byName["demo_latency_ns_sum"][0].value; v != 5+5+50+1e6 {
+		t.Fatalf("_sum = %v", v)
+	}
+}
+
+// TestPrometheusDeltaParses closes the loop: a Delta snapshot must also
+// serialize into parseable text (the -metrics run-attribution path).
+func TestPrometheusDeltaParses(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("loop.n")
+	h := r.Histogram("loop.ns", []int64{10})
+	prev := r.Snapshot()
+	c.Add(3)
+	h.Observe(4)
+	d := r.Snapshot().Delta(prev)
+
+	var buf bytes.Buffer
+	if err := d.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, samples := parseProm(t, buf.String())
+	found := false
+	for _, s := range samples {
+		if s.name == "loop_n" && s.value == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("delta counter missing from prometheus text:\n%s", buf.String())
+	}
+}
+
+// Guard the exact exported names the dashboards scrape.
+func TestPromNameMapping(t *testing.T) {
+	for in, want := range map[string]string{
+		"cluster.transport.bytes_out": "cluster_transport_bytes_out",
+		"collective.wall_seconds":     "collective_wall_seconds",
+		"9lead":                       "_lead",
+	} {
+		if got := promName(in); got != want {
+			t.Fatalf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

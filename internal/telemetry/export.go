@@ -5,6 +5,7 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"strings"
 )
@@ -207,6 +208,30 @@ func (r *Registry) WriteJSON(w io.Writer) error { return r.Snapshot().WriteJSON(
 // WritePrometheus snapshots the registry and writes it in Prometheus text
 // format.
 func (r *Registry) WritePrometheus(w io.Writer) error { return r.Snapshot().WritePrometheus(w) }
+
+// DumpSnapshot writes the default registry's snapshot to dest: "" is a
+// nop, "-" writes JSON to stdout, otherwise dest is a file path and a
+// ".prom" suffix selects the Prometheus text format over JSON. It backs
+// the -metrics flag shared by every CLI.
+func DumpSnapshot(dest string) error {
+	if dest == "" {
+		return nil
+	}
+	snap := Capture()
+	var w io.Writer = os.Stdout
+	if dest != "-" {
+		f, err := os.Create(dest)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if strings.HasSuffix(dest, ".prom") {
+		return snap.WritePrometheus(w)
+	}
+	return snap.WriteJSON(w)
+}
 
 // PublishExpvar publishes the default registry under the given expvar
 // name, so processes serving /debug/vars expose the live snapshot.

@@ -1,0 +1,280 @@
+package telemetry
+
+// Flight recorder: a fixed-size, lock-free ring buffer of the last N
+// structured runtime events (sends, receives, NACKs, retransmissions,
+// epoch advances, consensus rounds, degradation-ladder moves, injected
+// faults). It is the post-mortem companion to the cumulative metrics:
+// counters tell you *that* cluster.retransmits went up, the flight
+// recorder tells you *which* message on *which* link was replayed, in
+// what order, right before a failure — without rerunning under -trace.
+//
+// Design constraints match the rest of this package:
+//
+//   - Near-zero hot-path cost. Record is one atomic increment to claim a
+//     slot plus a handful of atomic stores; no locks, no allocations, no
+//     formatting. Formatting happens only at dump time.
+//   - Crash-ready. The ring is always recording (unless telemetry is
+//     disabled); the cluster runtime dumps it automatically when a
+//     collective fails, and the obs endpoint serves it on demand.
+//   - Concurrency-safe. Slots are published with a sequence word
+//     (write: clear, fill, publish; read: check-read-recheck), so readers
+//     never see a torn event and `go test -race` stays clean.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// FlightKind labels one class of recorded event.
+type FlightKind uint8
+
+// Flight event kinds. The A–D argument slots are interpreted per kind;
+// see FlightEvent.Detail for the exact mapping.
+const (
+	FlightNone       FlightKind = iota
+	FlightOp                    // collective op begins: A=trace ID
+	FlightSend                  // point-to-point send: A=from B=to C=seq D=bytes
+	FlightRecv                  // delivery: A=from B=to C=seq D=bytes
+	FlightNack                  // replay requested: A=from B=to C=seq D=attempt
+	FlightRetransmit            // replay delivered: A=from B=to C=seq D=attempt
+	FlightDedup                 // duplicate/stale message discarded: A=from B=to C=seq D=epoch
+	FlightEpoch                 // AdvanceEpoch: A=new epoch
+	FlightAgree                 // AgreeMax round: A=proposed B=agreed
+	FlightDegrade               // backend ladder move: A=from backend B=to backend
+	FlightFault                 // fault injected: A=from B=to C=seq D=action
+	FlightError                 // rank body failed
+)
+
+var flightKindNames = [...]string{
+	FlightNone:       "none",
+	FlightOp:         "op",
+	FlightSend:       "send",
+	FlightRecv:       "recv",
+	FlightNack:       "nack",
+	FlightRetransmit: "retransmit",
+	FlightDedup:      "dedup",
+	FlightEpoch:      "epoch",
+	FlightAgree:      "agree",
+	FlightDegrade:    "degrade",
+	FlightFault:      "fault",
+	FlightError:      "error",
+}
+
+func (k FlightKind) String() string {
+	if int(k) < len(flightKindNames) {
+		return flightKindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// FlightEvent is one recorded event, decoded out of the ring.
+type FlightEvent struct {
+	// Seq is the event's global 1-based ordinal; dumps are sorted by it.
+	Seq uint64 `json:"seq"`
+	// Nanos is the wall-clock time of the record (UnixNano).
+	Nanos int64 `json:"nanos"`
+	// Rank is the local rank that recorded the event.
+	Rank int `json:"rank"`
+	// Kind classifies the event; A–D are its kind-specific arguments.
+	Kind       FlightKind `json:"kind"`
+	A, B, C, D int64
+}
+
+// Detail renders the kind-specific arguments as "key=value" pairs.
+func (e FlightEvent) Detail() string {
+	switch e.Kind {
+	case FlightOp:
+		return fmt.Sprintf("trace=%d", e.A)
+	case FlightSend, FlightRecv:
+		return fmt.Sprintf("from=%d to=%d seq=%d bytes=%d", e.A, e.B, e.C, e.D)
+	case FlightNack, FlightRetransmit:
+		return fmt.Sprintf("from=%d to=%d seq=%d attempt=%d", e.A, e.B, e.C, e.D)
+	case FlightDedup:
+		return fmt.Sprintf("from=%d to=%d seq=%d epoch=%d", e.A, e.B, e.C, e.D)
+	case FlightEpoch:
+		return fmt.Sprintf("epoch=%d", e.A)
+	case FlightAgree:
+		return fmt.Sprintf("proposed=%d agreed=%d", e.A, e.B)
+	case FlightDegrade:
+		return fmt.Sprintf("from=%d to=%d", e.A, e.B)
+	case FlightFault:
+		return fmt.Sprintf("from=%d to=%d seq=%d action=%d", e.A, e.B, e.C, e.D)
+	}
+	return ""
+}
+
+// flightSlot is one ring entry. The seq word is the publication fence:
+// 0 while a writer is filling the slot, the event's global ordinal once
+// complete. Readers load seq, read the fields, and reload seq — a change
+// means the slot was being overwritten and the read is discarded.
+type flightSlot struct {
+	seq   atomic.Uint64
+	nanos atomic.Int64
+	rank  atomic.Int64
+	kind  atomic.Int64
+	a     atomic.Int64
+	b     atomic.Int64
+	c     atomic.Int64
+	d     atomic.Int64
+}
+
+// FlightRecorder is the ring. The zero value is unusable; create one with
+// NewFlightRecorder or use the process-global Flight().
+type FlightRecorder struct {
+	mask  uint64
+	next  atomic.Uint64
+	slots []flightSlot
+}
+
+// NewFlightRecorder creates a recorder holding the last `size` events
+// (rounded up to a power of two, minimum 64).
+func NewFlightRecorder(size int) *FlightRecorder {
+	n := 64
+	for n < size {
+		n <<= 1
+	}
+	return &FlightRecorder{mask: uint64(n - 1), slots: make([]flightSlot, n)}
+}
+
+// defaultFlight is the process-global recorder every instrumented layer
+// records into. 4096 events cover several full ring collectives at
+// paper-scale rank counts.
+var defaultFlight = NewFlightRecorder(4096)
+
+// Flight returns the process-global flight recorder.
+func Flight() *FlightRecorder { return defaultFlight }
+
+// Record appends one event. It is safe from any goroutine, never
+// allocates, and is a nop while telemetry is disabled or f is nil.
+func (f *FlightRecorder) Record(rank int, kind FlightKind, a, b, c, d int64) {
+	if f == nil || !enabled.Load() {
+		return
+	}
+	n := f.next.Add(1)
+	s := &f.slots[(n-1)&f.mask]
+	s.seq.Store(0) // invalidate while writing
+	s.nanos.Store(time.Now().UnixNano())
+	s.rank.Store(int64(rank))
+	s.kind.Store(int64(kind))
+	s.a.Store(a)
+	s.b.Store(b)
+	s.c.Store(c)
+	s.d.Store(d)
+	s.seq.Store(n) // publish
+}
+
+// Len returns the number of events recorded so far (not capped by the
+// ring size).
+func (f *FlightRecorder) Len() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.next.Load()
+}
+
+// Reset forgets all recorded events.
+func (f *FlightRecorder) Reset() {
+	if f == nil {
+		return
+	}
+	for i := range f.slots {
+		f.slots[i].seq.Store(0)
+	}
+	f.next.Store(0)
+}
+
+// Snapshot decodes the ring into events ordered oldest to newest. Slots
+// being concurrently overwritten are skipped (their previous content was
+// about to be evicted anyway).
+func (f *FlightRecorder) Snapshot() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	out := make([]FlightEvent, 0, len(f.slots))
+	for i := range f.slots {
+		s := &f.slots[i]
+		seq := s.seq.Load()
+		if seq == 0 {
+			continue
+		}
+		ev := FlightEvent{
+			Seq:   seq,
+			Nanos: s.nanos.Load(),
+			Rank:  int(s.rank.Load()),
+			Kind:  FlightKind(s.kind.Load()),
+			A:     s.a.Load(),
+			B:     s.b.Load(),
+			C:     s.c.Load(),
+			D:     s.d.Load(),
+		}
+		if s.seq.Load() != seq {
+			continue // torn read: the slot was recycled under us
+		}
+		out = append(out, ev)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// WriteText dumps the ring in a line-oriented human format: one event per
+// line, timestamps relative to the oldest retained event.
+func (f *FlightRecorder) WriteText(w io.Writer) error {
+	evs := f.Snapshot()
+	if len(evs) == 0 {
+		_, err := fmt.Fprintln(w, "flight recorder: empty")
+		return err
+	}
+	t0 := evs[0].Nanos
+	if _, err := fmt.Fprintf(w, "flight recorder: %d events retained (%d recorded)\n", len(evs), f.Len()); err != nil {
+		return err
+	}
+	for _, e := range evs {
+		detail := e.Detail()
+		if detail != "" {
+			detail = " " + detail
+		}
+		if _, err := fmt.Fprintf(w, "#%-6d +%.6fs rank=%d %s%s\n",
+			e.Seq, float64(e.Nanos-t0)/1e9, e.Rank, e.Kind, detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flightDumpJSON is the JSON dump schema: ring stats plus the decoded
+// events, each with its kind both numeric and symbolic.
+type flightDumpJSON struct {
+	Retained int               `json:"retained"`
+	Recorded uint64            `json:"recorded"`
+	Events   []flightEventJSON `json:"events"`
+}
+
+type flightEventJSON struct {
+	Seq    uint64   `json:"seq"`
+	Nanos  int64    `json:"nanos"`
+	Rank   int      `json:"rank"`
+	Kind   string   `json:"kind"`
+	Detail string   `json:"detail,omitempty"`
+	Args   [4]int64 `json:"args"`
+}
+
+// WriteJSON dumps the ring as indented JSON (the /flightrecorder
+// endpoint's ?format=json form).
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	evs := f.Snapshot()
+	dump := flightDumpJSON{Retained: len(evs), Recorded: f.Len(), Events: make([]flightEventJSON, len(evs))}
+	for i, e := range evs {
+		dump.Events[i] = flightEventJSON{
+			Seq: e.Seq, Nanos: e.Nanos, Rank: e.Rank,
+			Kind: e.Kind.String(), Detail: e.Detail(),
+			Args: [4]int64{e.A, e.B, e.C, e.D},
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(dump)
+}

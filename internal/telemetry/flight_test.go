@@ -1,0 +1,207 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecordSnapshot(t *testing.T) {
+	f := NewFlightRecorder(64)
+	f.Record(0, FlightSend, 0, 1, 7, 4096)
+	f.Record(1, FlightNack, 0, 1, 7, 2)
+	f.Record(1, FlightRetransmit, 0, 1, 7, 2)
+	evs := f.Snapshot()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d events, want 3", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d, want %d", i, e.Seq, i+1)
+		}
+		if e.Nanos == 0 {
+			t.Fatalf("event %d has no timestamp", i)
+		}
+	}
+	if evs[1].Kind != FlightNack || evs[1].Rank != 1 || evs[1].D != 2 {
+		t.Fatalf("nack event mangled: %+v", evs[1])
+	}
+	if got := evs[0].Detail(); got != "from=0 to=1 seq=7 bytes=4096" {
+		t.Fatalf("send detail = %q", got)
+	}
+}
+
+func TestFlightWraparoundKeepsNewest(t *testing.T) {
+	f := NewFlightRecorder(64) // rounds to exactly 64 slots
+	for i := 0; i < 200; i++ {
+		f.Record(0, FlightSend, int64(i), 0, 0, 0)
+	}
+	evs := f.Snapshot()
+	if len(evs) != 64 {
+		t.Fatalf("retained %d events, want 64", len(evs))
+	}
+	if evs[0].Seq != 200-64+1 || evs[len(evs)-1].Seq != 200 {
+		t.Fatalf("retained window [%d, %d], want [137, 200]", evs[0].Seq, evs[len(evs)-1].Seq)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("snapshot not contiguous at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+	if f.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", f.Len())
+	}
+}
+
+func TestFlightReset(t *testing.T) {
+	f := NewFlightRecorder(64)
+	f.Record(0, FlightEpoch, 1, 0, 0, 0)
+	f.Reset()
+	if got := f.Snapshot(); len(got) != 0 {
+		t.Fatalf("snapshot after reset has %d events", len(got))
+	}
+	if f.Len() != 0 {
+		t.Fatalf("Len after reset = %d", f.Len())
+	}
+}
+
+func TestFlightDisabledIsNop(t *testing.T) {
+	f := NewFlightRecorder(64)
+	SetEnabled(false)
+	f.Record(0, FlightSend, 0, 0, 0, 0)
+	SetEnabled(true)
+	if len(f.Snapshot()) != 0 {
+		t.Fatal("disabled recorder still recorded")
+	}
+}
+
+func TestFlightNilIsSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(0, FlightSend, 0, 0, 0, 0)
+	f.Reset()
+	if f.Snapshot() != nil || f.Len() != 0 {
+		t.Fatal("nil recorder not inert")
+	}
+}
+
+// TestFlightConcurrentRecord hammers the ring from many goroutines while
+// a reader snapshots; the race detector plus the torn-read check make
+// this the publication-correctness test.
+func TestFlightConcurrentRecord(t *testing.T) {
+	f := NewFlightRecorder(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				f.Record(g, FlightSend, int64(g), int64(i), 0, 0)
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			for _, e := range f.Snapshot() {
+				if e.Kind != FlightSend {
+					t.Errorf("torn event leaked: %+v", e)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if f.Len() != 8*500 {
+		t.Fatalf("Len = %d, want %d", f.Len(), 8*500)
+	}
+}
+
+func TestFlightWriteText(t *testing.T) {
+	f := NewFlightRecorder(64)
+	f.Record(2, FlightNack, 1, 2, 3, 1)
+	f.Record(2, FlightRetransmit, 1, 2, 3, 1)
+	f.Record(0, FlightDegrade, 2, 1, 0, 0)
+	var buf bytes.Buffer
+	if err := f.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"3 events retained",
+		"rank=2 nack from=1 to=2 seq=3 attempt=1",
+		"rank=2 retransmit from=1 to=2 seq=3 attempt=1",
+		"rank=0 degrade from=2 to=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text dump missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	if err := NewFlightRecorder(64).WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Fatalf("empty dump = %q", buf.String())
+	}
+}
+
+func TestFlightWriteJSON(t *testing.T) {
+	f := NewFlightRecorder(64)
+	f.Record(1, FlightAgree, 1, 2, 0, 0)
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Retained int
+		Recorded uint64
+		Events   []struct {
+			Seq    uint64
+			Rank   int
+			Kind   string
+			Detail string
+		}
+	}
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("JSON dump does not parse: %v\n%s", err, buf.String())
+	}
+	if dump.Retained != 1 || dump.Recorded != 1 || len(dump.Events) != 1 {
+		t.Fatalf("dump stats wrong: %+v", dump)
+	}
+	if e := dump.Events[0]; e.Kind != "agree" || e.Detail != "proposed=1 agreed=2" {
+		t.Fatalf("event mangled: %+v", e)
+	}
+}
+
+// TestFlightRecordNoAllocs is the steady-state allocation contract the
+// bench gate enforces; skipped under -race (the detector instruments
+// atomics with allocations).
+func TestFlightRecordNoAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting is unreliable under -race")
+	}
+	f := NewFlightRecorder(256)
+	allocs := testing.AllocsPerRun(1000, func() {
+		f.Record(3, FlightSend, 1, 2, 3, 4)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkSteadyStateFlightRecord is gated by scripts/bench.sh: the
+// recorder sits on every send/recv of every collective, so it must stay
+// allocation-free and cheap.
+func BenchmarkSteadyStateFlightRecord(b *testing.B) {
+	f := NewFlightRecorder(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Record(1, FlightSend, 0, 1, int64(i), 4096)
+	}
+}

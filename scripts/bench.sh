@@ -31,8 +31,15 @@ go test -run '^$' -bench "$PATTERN" -benchmem $BENCHTIME . | tee "$raw"
 # The steady-state benches always run a fixed 100 iterations — even in
 # -short mode — because allocs/op from a single iteration would show
 # one-time warmup effects (sync.Pool chain nodes) instead of the steady
-# state the gate is about. 100 iterations is still ~10ms.
+# state the gate is about. 100 iterations is still ~10ms. The flight
+# recorder's steady-state bench lives in internal/telemetry.
 go test -run '^$' -bench '^BenchmarkSteadyState' -benchmem -benchtime 100x . | tee -a "$raw"
+go test -run '^$' -bench '^BenchmarkSteadyState' -benchmem -benchtime 100x ./internal/telemetry/ | tee -a "$raw"
+
+# The tracing-overhead bench interleaves traced and untraced Allreduces,
+# so a fixed iteration count gives a stable paired comparison even in
+# -short mode.
+go test -run '^$' -bench '^BenchmarkAllreduceTraceOverhead$' -benchtime 25x . | tee -a "$raw"
 
 echo "== $OUT =="
 awk -v short="$SHORT" -v goversion="$(go version)" '
@@ -65,12 +72,14 @@ END {
 }' "$raw" > "$OUT"
 echo "wrote $OUT"
 
-# The zero-allocation gate: both steady-state hot paths — the homomorphic
-# add (BenchmarkSteadyStateAddInto) AND the compressor
-# (BenchmarkSteadyStateCompressInto) — must report 0 allocs/op (the pools
-# are warmed before the timed loop). The ring collectives run both once
-# per step, so a single alloc/op in either is a hot-path regression.
-bad=$(awk '/^BenchmarkSteadyState(AddInto|CompressInto)/ {
+# The zero-allocation gate: the steady-state hot paths — the homomorphic
+# add (BenchmarkSteadyStateAddInto), the compressor
+# (BenchmarkSteadyStateCompressInto) AND the flight recorder
+# (BenchmarkSteadyStateFlightRecord, which every send/recv/NACK records
+# into) — must report 0 allocs/op (the pools are warmed before the timed
+# loop). The ring collectives run all of them once per step, so a single
+# alloc/op in any is a hot-path regression.
+bad=$(awk '/^BenchmarkSteadyState(AddInto|CompressInto|FlightRecord)/ {
     for (i = 3; i + 1 <= NF; i += 2)
         if ($(i + 1) == "allocs/op" && $(i) + 0 > 0) print $1 ": " $(i) " allocs/op"
 }' "$raw")
@@ -79,4 +88,19 @@ if [ -n "$bad" ]; then
     echo "$bad" >&2
     exit 1
 fi
-echo "bench: OK (steady-state AddInto and CompressInto at 0 allocs/op)"
+
+# The tracing-overhead gate: attaching a Trace to an Allreduce must stay
+# within 5% of the untraced wall time (paired, interleaved measurement).
+over=$(awk '/^BenchmarkAllreduceTraceOverhead/ {
+    for (i = 3; i + 1 <= NF; i += 2)
+        if ($(i + 1) == "trace-overhead-pct") print $(i)
+}' "$raw" | tail -1)
+if [ -z "$over" ]; then
+    echo "FAIL: BenchmarkAllreduceTraceOverhead reported no trace-overhead-pct" >&2
+    exit 1
+fi
+if awk -v o="$over" 'BEGIN { exit !(o > 5) }'; then
+    echo "FAIL: tracing overhead ${over}% exceeds the 5% budget" >&2
+    exit 1
+fi
+echo "bench: OK (steady-state AddInto, CompressInto and FlightRecord at 0 allocs/op; tracing overhead ${over}% <= 5%)"

@@ -3,9 +3,13 @@
 #
 # Launches a 4-rank hZCCL Allreduce as 4 real OS processes on localhost,
 # collects each rank's result digest, and verifies that (a) all four TCP
-# ranks agree and (b) the digest is bitwise identical to the same
-# collective on the default in-process fabric. Exit code 0 means the two
-# fabrics are observationally equivalent for this run.
+# ranks agree, (b) the digest is bitwise identical to the same collective
+# on the default in-process fabric, (c) rank 0's -obs-listen endpoint
+# answers /healthz, serves a parseable Prometheus /metrics scrape and a
+# 1-second CPU profile, and (d) the four per-process trace files merge
+# into one multi-rank timeline with cross-process flow events. Exit code
+# 0 means the two fabrics are observationally equivalent for this run and
+# the observability surface works end to end.
 #
 # Usage: sh scripts/tcp_smoke.sh [MESSAGE_BYTES] [BACKEND]
 set -eu
@@ -19,13 +23,59 @@ trap 'rm -rf "$OUT"' EXIT
 go build -o "$OUT/hzccl-collective" ./cmd/hzccl-collective
 
 PEERS="127.0.0.1:$BASE_PORT,127.0.0.1:$((BASE_PORT+1)),127.0.0.1:$((BASE_PORT+2)),127.0.0.1:$((BASE_PORT+3))"
+OBS="127.0.0.1:$((BASE_PORT+9))"
 
 for r in 1 2 3; do
     "$OUT/hzccl-collective" -transport=tcp -rank "$r" -peers "$PEERS" \
-        -backend "$BACKEND" -message "$MESSAGE" > "$OUT/rank$r.out" 2>&1 &
+        -backend "$BACKEND" -message "$MESSAGE" -trace "$OUT/trace$r.json" \
+        > "$OUT/rank$r.out" 2>&1 &
 done
+# Rank 0 additionally serves the live introspection endpoint and lingers
+# so the scrape below hits a live process.
 "$OUT/hzccl-collective" -transport=tcp -rank 0 -peers "$PEERS" \
-    -backend "$BACKEND" -message "$MESSAGE" > "$OUT/rank0.out" 2>&1
+    -backend "$BACKEND" -message "$MESSAGE" -trace "$OUT/trace0.json" \
+    -obs-listen "$OBS" -obs-linger 10s > "$OUT/rank0.out" 2>"$OUT/rank0.err" &
+OBS_PID=$!
+
+# Wait for the endpoint, then scrape it while rank 0 lingers.
+tries=0
+until curl -fsS "http://$OBS/healthz" > "$OUT/healthz.json" 2>/dev/null; do
+    tries=$((tries+1))
+    if [ "$tries" -ge 50 ]; then
+        echo "tcp_smoke: FAIL: /healthz never answered on $OBS" >&2
+        cat "$OUT/rank0.err" >&2 || true
+        exit 1
+    fi
+    sleep 0.1
+done
+grep -q '"status":"ok"' "$OUT/healthz.json" || {
+    echo "tcp_smoke: FAIL: /healthz did not report ok: $(cat "$OUT/healthz.json")" >&2
+    exit 1
+}
+
+curl -fsS "http://$OBS/metrics" > "$OUT/metrics.prom"
+# The scrape must parse as Prometheus text exposition: every line is a
+# comment or "name[{labels}] value".
+awk '
+/^#/ { next }
+/^$/ { next }
+/^[A-Za-z_:][A-Za-z0-9_:]*(\{[^}]*\})? -?[0-9][0-9.eE+-]*$/ { ok++; next }
+{ print "tcp_smoke: unparseable metrics line: " $0 > "/dev/stderr"; bad++ }
+END { exit (bad > 0 || ok == 0) }' "$OUT/metrics.prom" || {
+    echo "tcp_smoke: FAIL: /metrics scrape does not parse" >&2
+    exit 1
+}
+grep -q '^cluster_transport_bytes_out' "$OUT/metrics.prom" || {
+    echo "tcp_smoke: FAIL: /metrics scrape is missing the transport counters" >&2
+    exit 1
+}
+
+curl -fsS -o "$OUT/profile.pb.gz" "http://$OBS/debug/pprof/profile?seconds=1"
+[ -s "$OUT/profile.pb.gz" ] || {
+    echo "tcp_smoke: FAIL: /debug/pprof/profile returned an empty profile" >&2
+    exit 1
+}
+
 wait
 
 "$OUT/hzccl-collective" -transport=inproc -nodes 4 \
@@ -53,5 +103,16 @@ for r in 0 1 2 3; do
 done
 [ "$FAIL" -eq 0 ] || exit 1
 
+# Merge the four per-process trace files and verify the result carries
+# cross-process flow events (Perfetto's send→recv arrows).
+"$OUT/hzccl-collective" -trace-merge "$OUT/merged.json" \
+    "$OUT/trace0.json" "$OUT/trace1.json" "$OUT/trace2.json" "$OUT/trace3.json" \
+    > /dev/null
+grep -q '"ph":"s"' "$OUT/merged.json" && grep -q '"ph":"f"' "$OUT/merged.json" || {
+    echo "tcp_smoke: FAIL: merged trace has no flow events" >&2
+    exit 1
+}
+
 echo "tcp_smoke: OK: 4 TCP processes and in-process fabric all agree (digest=$REF, backend=$BACKEND, $MESSAGE bytes)"
+echo "tcp_smoke: OK: obs endpoint served healthz, metrics and a CPU profile; traces merged with flow events"
 grep -h 'rank\|transport' "$OUT"/rank*.out
