@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-all fuzz conformance chaos tcp-smoke
+.PHONY: build test check bench bench-all fuzz conformance chaos tcp-smoke scaling
 
 build:
 	$(GO) build ./...
@@ -52,3 +52,13 @@ tcp-smoke:
 	$(GO) test -race -count=1 -run 'TestTCP' ./internal/cluster
 	sh scripts/tcp_smoke.sh
 	sh scripts/tcp_smoke.sh 65536 mpi
+	sh scripts/tcp_smoke.sh 65536 hzccl hierarchical 2x2
+
+# scaling runs the paper-scale virtual-time sweep: every algorithm
+# (ring, rd, rabenseifner, hierarchical, auto) x flavor at the worlds in
+# SCALING_WORLDS (default 8,64; the full paper scale is 8,64,128,512),
+# checked bit-identically against a float64 oracle, plus the cost-model
+# unit suite that pins the auto-selector's crossover points.
+scaling:
+	SCALING_WORLDS=$${SCALING_WORLDS:-8,64,128,512} $(GO) test -count=1 -run 'TestScalingSweep' -v .
+	$(GO) test -count=1 ./internal/costmodel

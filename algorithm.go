@@ -1,0 +1,255 @@
+package hzccl
+
+import (
+	"hzccl/internal/cluster"
+	"hzccl/internal/core"
+	"hzccl/internal/costmodel"
+	"hzccl/internal/telemetry"
+)
+
+// Algorithm selects which collective schedule Allreduce and ReduceScatter
+// run. Every algorithm is implemented for all three backends, so a
+// DegradePolicy ladder applies unchanged whichever algorithm is selected.
+type Algorithm = core.Algorithm
+
+// Algorithms. The zero value is the ring, preserving the behavior of all
+// code written before algorithm selection existed.
+const (
+	// AlgoRing is the bandwidth-optimal ring schedule (the default).
+	AlgoRing = core.AlgoRing
+	// AlgoRecursiveDoubling exchanges full vectors pairwise over log₂N
+	// rounds — latency-optimal, wins small messages.
+	AlgoRecursiveDoubling = core.AlgoRecursiveDoubling
+	// AlgoRabenseifner is recursive-halving reduce-scatter plus
+	// recursive-doubling allgather (the schedule CollectiveOptions.
+	// Recursive selected before algorithms were first-class).
+	AlgoRabenseifner = core.AlgoRabenseifner
+	// AlgoHierarchical is the two-level topology-aware schedule; node
+	// grouping comes from ClusterConfig.Topology.
+	AlgoHierarchical = core.AlgoHierarchical
+	// AlgoAuto lets the (α, β) cost model pick per message size, world
+	// size, backend and topology; the choice is recorded in
+	// RunResult.AlgoChoices.
+	AlgoAuto = core.AlgoAuto
+)
+
+// ParseAlgorithm parses the CLI spellings of an algorithm name
+// (ring | rd | rabenseifner | hierarchical | auto).
+func ParseAlgorithm(s string) (Algorithm, error) { return core.ParseAlgorithm(s) }
+
+// Topology groups ranks into "nodes" for AlgoHierarchical; set it as
+// ClusterConfig.Topology. Nil means one flat node holding every rank.
+type Topology = cluster.Topology
+
+// UniformTopology returns a topology of `nodes` nodes of `perNode` ranks.
+func UniformTopology(nodes, perNode int) *Topology { return cluster.UniformTopology(nodes, perNode) }
+
+// ParseTopology parses "8x4" (8 nodes of 4) or "3,5,8" (explicit sizes).
+func ParseTopology(s string) (*Topology, error) { return cluster.ParseTopology(s) }
+
+// ModelRates holds calibrated component throughputs in raw bytes/second,
+// used both to charge modeled virtual time for compute
+// (CollectiveOptions.Rates) and to drive AlgoAuto's selection.
+type ModelRates = core.Rates
+
+// DefaultAutoRates are the component throughputs AlgoAuto assumes when
+// CollectiveOptions.Rates is nil: single-thread fZ-light-class numbers
+// (≈1 GB/s compress, 2 GB/s decompress, 8 GB/s raw sum, 6 GB/s
+// homomorphic add). Being package constants, the auto choice is
+// deterministic for a given shape.
+var DefaultAutoRates = ModelRates{CPR: 1e9, DPR: 2e9, CPT: 8e9, HPR: 6e9}
+
+// defaultAutoRatio is the compression ratio the auto model assumes for
+// the compressed backends' wire bytes.
+const defaultAutoRatio = 4.0
+
+// AlgoChoice records which algorithm one collective call ran with.
+type AlgoChoice struct {
+	// Rank is the rank recording the choice (every rank resolves
+	// identically; each records its own entry).
+	Rank int
+	// Op names the collective ("allreduce", "reduce_scatter").
+	Op string
+	// Backend is the backend the call ran under.
+	Backend Backend
+	// Algorithm is the fixed algorithm that actually executed.
+	Algorithm Algorithm
+	// Auto is true when the algorithm was resolved from AlgoAuto.
+	Auto bool
+	// ModeledSeconds is the cost model's prediction for the chosen
+	// algorithm (auto resolutions only; 0 otherwise).
+	ModeledSeconds float64
+}
+
+// Per-algorithm selection counters, plus one for auto resolutions.
+var (
+	mAlgoRing         = telemetry.C("collective.algo.ring")
+	mAlgoRD           = telemetry.C("collective.algo.rd")
+	mAlgoRab          = telemetry.C("collective.algo.rabenseifner")
+	mAlgoHier         = telemetry.C("collective.algo.hierarchical")
+	mAlgoAutoResolved = telemetry.C("collective.algo.auto_resolved")
+)
+
+func countAlgo(algo Algorithm, auto bool) {
+	switch algo {
+	case AlgoRecursiveDoubling:
+		mAlgoRD.Inc()
+	case AlgoRabenseifner:
+		mAlgoRab.Inc()
+	case AlgoHierarchical:
+		mAlgoHier.Inc()
+	default:
+		mAlgoRing.Inc()
+	}
+	if auto {
+		mAlgoAutoResolved.Inc()
+	}
+}
+
+// resolveAlgorithm maps the requested algorithm to the fixed one that
+// will run: the legacy Recursive flag upgrades the default ring to
+// Rabenseifner for the backends that historically supported it, and
+// AlgoAuto asks the cost model. The resolution is recorded (per rank) in
+// RunResult.AlgoChoices and the collective.algo.* counters.
+func (r *Rank) resolveAlgorithm(op string, b Backend, opt CollectiveOptions, dataLen int) Algorithm {
+	algo := opt.Algorithm
+	// The legacy Recursive flag only ever switched the allreduce schedule
+	// (reduce-scatter always rang), and only for the backends that
+	// historically supported it.
+	if algo == AlgoRing && opt.Recursive && op == "allreduce" && (b == BackendMPI || b == BackendHZCCL) {
+		algo = AlgoRabenseifner
+	}
+	auto := algo == AlgoAuto
+	var modeled float64
+	if auto {
+		algo, modeled = r.chooseAlgorithm(op, b, opt, dataLen)
+	}
+	countAlgo(algo, auto)
+	if r.rec != nil {
+		r.rec.recordChoice(AlgoChoice{
+			Rank: r.ID(), Op: op, Backend: b,
+			Algorithm: algo, Auto: auto, ModeledSeconds: modeled,
+		})
+	}
+	return algo
+}
+
+// chooseAlgorithm resolves AlgoAuto deterministically: component
+// throughputs from CollectiveOptions.Rates (or DefaultAutoRates), α/β
+// from the cluster configuration, topology shape from
+// ClusterConfig.Topology.
+func (r *Rank) chooseAlgorithm(op string, b Backend, opt CollectiveOptions, dataLen int) (Algorithm, float64) {
+	cfg := r.r.Config()
+	th := DefaultAutoRates
+	if opt.Rates != nil {
+		th = *opt.Rates
+	}
+	rates := costmodel.Rates{
+		CPR: th.CPR, DPR: th.DPR, CPT: th.CPT, HPR: th.HPR,
+		Ratio: defaultAutoRatio,
+		Alpha: cfg.Latency.Seconds(),
+		Beta:  cfg.BandwidthBytes,
+	}
+	topo := costmodel.FlatTopo(r.Size())
+	if t := cfg.Topology; t != nil {
+		topo = costmodel.Topo{Nodes: t.Nodes(), MaxNode: t.MaxNodeSize()}
+	}
+	cb := costmodel.Plain
+	switch b {
+	case BackendCColl:
+		cb = costmodel.CColl
+	case BackendHZCCL:
+		cb = costmodel.HZCCL
+	}
+	bytes := float64(4 * dataLen)
+	if op == "reduce_scatter" {
+		return rates.ChooseReduceScatter(cb, r.Size(), bytes, topo)
+	}
+	return rates.ChooseAllreduce(cb, r.Size(), bytes, topo)
+}
+
+// dispatchAllreduce runs the resolved (backend, algorithm) pair.
+func (r *Rank) dispatchAllreduce(c core.Collectives, b Backend, algo Algorithm, opt CollectiveOptions, data []float32) ([]float32, error) {
+	switch b {
+	case BackendCColl:
+		switch algo {
+		case AlgoRecursiveDoubling:
+			return c.AllreduceCCollRD(r.r, data)
+		case AlgoRabenseifner:
+			return c.AllreduceCCollRecursive(r.r, data)
+		case AlgoHierarchical:
+			return c.AllreduceHierCColl(r.r, data)
+		default:
+			if opt.Segments > 1 {
+				return c.AllreduceCCollSegmented(r.r, data)
+			}
+			return c.AllreduceCColl(r.r, data)
+		}
+	case BackendHZCCL:
+		var out []float32
+		var err error
+		switch algo {
+		case AlgoRecursiveDoubling:
+			out, _, err = c.AllreduceHZRD(r.r, data)
+		case AlgoRabenseifner:
+			out, _, err = c.AllreduceHZRecursive(r.r, data)
+		case AlgoHierarchical:
+			out, _, err = c.AllreduceHierHZ(r.r, data)
+		default:
+			out, _, err = c.AllreduceHZ(r.r, data)
+		}
+		return out, err
+	default:
+		switch algo {
+		case AlgoRecursiveDoubling:
+			return c.AllreducePlainRD(r.r, data)
+		case AlgoRabenseifner:
+			return c.AllreducePlainRecursive(r.r, data)
+		case AlgoHierarchical:
+			return c.AllreduceHierPlain(r.r, data)
+		default:
+			return c.AllreducePlain(r.r, data)
+		}
+	}
+}
+
+// dispatchReduceScatter runs the resolved (backend, algorithm) pair for
+// the reduce-scatter op. The rd and rabenseifner schedules have no native
+// reduce-scatter; they run the allreduce and slice out the owned block
+// (the cost model prices them accordingly).
+func (r *Rank) dispatchReduceScatter(c core.Collectives, b Backend, algo Algorithm, opt CollectiveOptions, data []float32) ([]float32, error) {
+	switch algo {
+	case AlgoRecursiveDoubling, AlgoRabenseifner:
+		full, err := r.dispatchAllreduce(c, b, algo, opt, data)
+		if err != nil {
+			return nil, err
+		}
+		_, s, e := r.OwnedBlock(len(data))
+		out := make([]float32, e-s)
+		copy(out, full[s:e])
+		return out, nil
+	case AlgoHierarchical:
+		switch b {
+		case BackendCColl:
+			return c.ReduceScatterHierCColl(r.r, data)
+		case BackendHZCCL:
+			out, _, err := c.ReduceScatterHierHZ(r.r, data)
+			return out, err
+		default:
+			return c.ReduceScatterHierPlain(r.r, data)
+		}
+	default:
+		switch b {
+		case BackendCColl:
+			if opt.Segments > 1 {
+				return c.ReduceScatterCCollSegmented(r.r, data)
+			}
+			return c.ReduceScatterCColl(r.r, data)
+		case BackendHZCCL:
+			out, _, err := c.ReduceScatterHZ(r.r, data)
+			return out, err
+		default:
+			return c.ReduceScatterPlain(r.r, data)
+		}
+	}
+}

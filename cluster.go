@@ -53,6 +53,11 @@ type ClusterConfig struct {
 	// the body only for the local rank, and peers run their own processes
 	// against the same peer list.
 	Transport Transport
+	// Topology groups ranks into "nodes" for AlgoHierarchical and the
+	// cost model behind AlgoAuto (see Topology, UniformTopology,
+	// ParseTopology). Nil means one flat node holding every rank. Being
+	// pure configuration, it works identically on every Transport.
+	Topology *Topology
 	// Trace, when non-nil, records the run's execution trace: virtual-time
 	// slices, wall-clock compute spans, and one flow edge per
 	// point-to-point message (send → recv), exported in Chrome trace-event
@@ -146,9 +151,24 @@ type CollectiveOptions struct {
 	Segments int
 	// Recursive selects Rabenseifner's recursive-halving/doubling
 	// allreduce (log₂N rounds) instead of the ring (N−1 rounds); it wins
-	// once per-message latency matters. Supported by BackendMPI and
-	// BackendHZCCL; BackendCColl always rings.
+	// once per-message latency matters. Kept for compatibility: it maps
+	// to Algorithm = AlgoRabenseifner for BackendMPI and BackendHZCCL
+	// (the backends that historically supported it) when Algorithm is
+	// unset. New code should set Algorithm directly.
 	Recursive bool
+	// Algorithm selects the collective schedule for Allreduce and
+	// ReduceScatter: AlgoRing (the zero value, the historical behavior),
+	// AlgoRecursiveDoubling, AlgoRabenseifner, AlgoHierarchical, or
+	// AlgoAuto to let the cost model pick per shape. Every algorithm is
+	// implemented for every backend. An out-of-range value is rejected
+	// with ErrBadAlgorithm.
+	Algorithm Algorithm
+	// Rates, when non-nil, switches compute-time charging from measured
+	// wall time to the calibrated model (rawBytes/rate); required for
+	// paper-scale rank counts where measuring each tiny block would
+	// dominate. The same throughputs also drive AlgoAuto's selection
+	// (DefaultAutoRates is assumed when nil).
+	Rates *ModelRates
 	// Degrade, when non-nil, enables graceful backend degradation: if the
 	// collective fails (retry budget exhausted, receive timeout), all
 	// ranks agree to retry and, persistently failing, fall back down the
@@ -170,6 +190,7 @@ func (o CollectiveOptions) core() core.Options {
 		MTThreads:  o.MTThreads,
 		MTSpeedup:  o.MTSpeedup,
 		Segments:   o.Segments,
+		Rates:      o.Rates,
 	}
 }
 
@@ -188,6 +209,10 @@ type RunResult struct {
 	// Degradations records every backend downgrade a DegradePolicy
 	// performed during the run, ordered by rank then occurrence.
 	Degradations []Degradation
+	// AlgoChoices records which algorithm each Allreduce/ReduceScatter
+	// call resolved to (one entry per rank per call, ordered by rank then
+	// occurrence), including cost-model resolutions of AlgoAuto.
+	AlgoChoices []AlgoChoice
 	// WallSeconds is the real elapsed time of the run, reported next to
 	// the virtual model. On the default in-process fabric it includes all
 	// ranks' serialized compute; on a TCP transport it is this process's
@@ -227,7 +252,7 @@ func (r *RunResult) BreakdownShares() []BreakdownShare {
 // be called from the rank's own body function.
 type Rank struct {
 	r   *cluster.Rank
-	rec *degradeRecorder
+	rec *runRecorder
 }
 
 // ID returns this rank's index in [0, Size).
@@ -269,26 +294,8 @@ func (r *Rank) Allreduce(data []float32, b Backend, opt CollectiveOptions) ([]fl
 		})
 	}
 	r.r.BeginOp("allreduce")
-	c := core.New(opt.core())
-	switch b {
-	case BackendCColl:
-		if opt.Segments > 1 {
-			return c.AllreduceCCollSegmented(r.r, data)
-		}
-		return c.AllreduceCColl(r.r, data)
-	case BackendHZCCL:
-		if opt.Recursive {
-			out, _, err := c.AllreduceHZRecursive(r.r, data)
-			return out, err
-		}
-		out, _, err := c.AllreduceHZ(r.r, data)
-		return out, err
-	default:
-		if opt.Recursive {
-			return c.AllreducePlainRecursive(r.r, data)
-		}
-		return c.AllreducePlain(r.r, data)
-	}
+	algo := r.resolveAlgorithm("allreduce", b, opt, len(data))
+	return r.dispatchAllreduce(core.New(opt.core()), b, algo, opt, data)
 }
 
 // ReduceScatter sums data element-wise across all ranks and returns this
@@ -305,19 +312,8 @@ func (r *Rank) ReduceScatter(data []float32, b Backend, opt CollectiveOptions) (
 		})
 	}
 	r.r.BeginOp("reduce_scatter")
-	c := core.New(opt.core())
-	switch b {
-	case BackendCColl:
-		if opt.Segments > 1 {
-			return c.ReduceScatterCCollSegmented(r.r, data)
-		}
-		return c.ReduceScatterCColl(r.r, data)
-	case BackendHZCCL:
-		out, _, err := c.ReduceScatterHZ(r.r, data)
-		return out, err
-	default:
-		return c.ReduceScatterPlain(r.r, data)
-	}
+	algo := r.resolveAlgorithm("reduce_scatter", b, opt, len(data))
+	return r.dispatchReduceScatter(core.New(opt.core()), b, algo, opt, data)
 }
 
 // OwnedBlock returns the block index this rank holds after ReduceScatter,
@@ -332,7 +328,7 @@ func (r *Rank) OwnedBlock(dataLen int) (index, start, end int) {
 // returns the virtual-time result. If any rank's body returns an error,
 // RunCluster returns the first one after all ranks finish.
 func RunCluster(cfg ClusterConfig, body func(*Rank) error) (*RunResult, error) {
-	rec := &degradeRecorder{}
+	rec := &runRecorder{}
 	res, err := cluster.Run(cluster.Config{
 		Ranks:          cfg.Ranks,
 		Latency:        cfg.Latency,
@@ -344,6 +340,7 @@ func RunCluster(cfg ClusterConfig, body func(*Rank) error) (*RunResult, error) {
 		RetryBudget:    cfg.RetryBudget,
 		RetryBackoff:   cfg.RetryBackoff,
 		Transport:      cfg.Transport,
+		Topology:       cfg.Topology,
 		Trace:          cfg.Trace,
 	}, func(cr *cluster.Rank) error {
 		return body(&Rank{r: cr, rec: rec})
@@ -363,6 +360,7 @@ func RunCluster(cfg ClusterConfig, body func(*Rank) error) (*RunResult, error) {
 		RankSeconds:  res.RankTimes,
 		Breakdown:    make(map[string]float64, len(res.Breakdown)),
 		Degradations: rec.take(),
+		AlgoChoices:  rec.takeChoices(),
 		WallSeconds:  res.WallSeconds,
 	}
 	for k, v := range res.Breakdown {

@@ -19,7 +19,8 @@
 // a real cluster over TCP sockets and runs a single Allreduce:
 //
 //	hzccl-collective -transport=tcp -rank 0 -peers h0:p0,h1:p1,... \
-//	    [-backend mpi|ccoll|hzccl] [-message BYTES] [-rel BOUND]
+//	    [-backend mpi|ccoll|hzccl] [-algorithm ring|rd|rabenseifner|hierarchical|auto] \
+//	    [-topology NODESxSIZE|s0,s1,...] [-message BYTES] [-rel BOUND]
 //
 // Every process prints its rank's result digest, virtual time and
 // wall-clock time; digests must agree across ranks and match
@@ -83,6 +84,8 @@ func main() {
 		tcpRank    = flag.Int("rank", 0, "this process's rank for -transport=tcp")
 		tcpPeers   = flag.String("peers", "", "comma-separated host:port listen addresses of all ranks (indexed by rank) for -transport=tcp")
 		backendStr = flag.String("backend", "hzccl", "collective backend for -transport: mpi, ccoll or hzccl")
+		algoStr    = flag.String("algorithm", "ring", "collective algorithm for -transport: ring, rd, rabenseifner, hierarchical or auto")
+		topoStr    = flag.String("topology", "", "node grouping for -transport: NODESxSIZE (e.g. 2x2) or comma-separated node sizes (e.g. 3,5,8); empty = flat")
 		obsListen  = flag.String("obs-listen", "", "serve the live introspection endpoint (healthz, metrics, pprof, flight recorder, trace) on this host:port")
 		obsLinger  = flag.Duration("obs-linger", 0, "keep the -obs-listen endpoint up this long after the work finishes")
 		traceMerge = flag.String("trace-merge", "", "merge the per-process trace files given as arguments into this output file and exit")
@@ -130,7 +133,7 @@ func main() {
 	}
 
 	if *transport != "" {
-		if err := runTransport(*transport, *tcpRank, *tcpPeers, *backendStr, *nodes, *message, *rel, *traceFile, transportTrace); err != nil {
+		if err := runTransport(*transport, *tcpRank, *tcpPeers, *backendStr, *algoStr, *topoStr, *nodes, *message, *rel, *traceFile, transportTrace); err != nil {
 			fmt.Fprintf(os.Stderr, "hzccl-collective: transport: %v\n", err)
 			os.Exit(1)
 		}
@@ -267,10 +270,21 @@ func digest32(v []float32) uint32 {
 // so its digests serve as the reference the TCP run must match bitwise.
 // With a trace attached the run is recorded and written to traceFile —
 // on TCP each process produces its own rank-local file for -trace-merge.
-func runTransport(kind string, rank int, peers, backendStr string, nodes, message int, rel float64, traceFile string, trace *hzccl.Trace) error {
+func runTransport(kind string, rank int, peers, backendStr, algoStr, topoStr string, nodes, message int, rel float64, traceFile string, trace *hzccl.Trace) error {
 	backend, err := parseBackend(backendStr)
 	if err != nil {
 		return err
+	}
+	algo, err := hzccl.ParseAlgorithm(algoStr)
+	if err != nil {
+		return err
+	}
+	var topo *hzccl.Topology
+	if topoStr != "" {
+		topo, err = hzccl.ParseTopology(topoStr)
+		if err != nil {
+			return err
+		}
 	}
 	if message == 0 {
 		message = 1 << 18
@@ -283,11 +297,12 @@ func runTransport(kind string, rank int, peers, backendStr string, nodes, messag
 		return err
 	}
 	eb := metrics.AbsBound(rel, base)
-	opt := hzccl.CollectiveOptions{ErrorBound: eb}
+	opt := hzccl.CollectiveOptions{ErrorBound: eb, Algorithm: algo}
 
 	cfg := hzccl.ClusterConfig{
 		Latency:        2 * time.Microsecond,
 		BandwidthBytes: 0.4e9,
+		Topology:       topo,
 		Trace:          trace,
 	}
 	switch kind {
@@ -332,9 +347,13 @@ func runTransport(kind string, rank int, peers, backendStr string, nodes, messag
 		ranks = append(ranks, id)
 	}
 	sort.Ints(ranks)
+	algoLabel := algo.String()
+	if algo == hzccl.AlgoAuto && len(res.AlgoChoices) > 0 {
+		algoLabel = "auto:" + res.AlgoChoices[0].Algorithm.String()
+	}
 	for _, id := range ranks {
-		fmt.Printf("rank %d/%d backend=%s bytes=%d digest=%08x virtual=%.3fms wall=%.3fms\n",
-			id, cfg.Ranks, backend, message, digests[id], res.Seconds*1e3, res.WallSeconds*1e3)
+		fmt.Printf("rank %d/%d backend=%s algo=%s bytes=%d digest=%08x virtual=%.3fms wall=%.3fms\n",
+			id, cfg.Ranks, backend, algoLabel, message, digests[id], res.Seconds*1e3, res.WallSeconds*1e3)
 	}
 	if kind == "tcp" {
 		for _, name := range []string{

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	hzccl-conformance [-eb 1e-3] [-ranks 5] [-oracles compressor,homomorphic,collective] [file.f32 ...]
+//	hzccl-conformance [-eb 1e-3] [-ranks 5] [-oracles compressor,homomorphic,collective] \
+//	    [-algorithms ring,rd,rabenseifner,hierarchical] [-topology NODESxSIZE|s0,s1,...] [file.f32 ...]
 //
 // With no file arguments every catalog dataset is checked at -n elements.
 // The exit status is non-zero if any oracle reports a contract violation,
@@ -97,6 +98,10 @@ func main() {
 		n       = flag.Int("n", 1<<16, "elements per synthetic dataset (catalog mode)")
 		which   = flag.String("oracles", "compressor,homomorphic,collective",
 			"comma-separated oracle subset to run")
+		algoSpec = flag.String("algorithms", "",
+			"comma-separated collective schedules for the collective oracle (ring, rd, rabenseifner, hierarchical); empty = ring")
+		topoSpec = flag.String("topology", "",
+			"node grouping for the collective oracle: NODESxSIZE (e.g. 2x2) or comma-separated node sizes summing to -ranks; empty = flat")
 		verbose   = flag.Bool("v", false, "print per-input pass lines")
 		chaosSeed = flag.Int64("chaos", 0, "run the collective oracle over a faulty fabric seeded with this value (0 = healthy fabric)")
 		chaosRate = flag.Float64("chaos-rate", 0.03, "per-class fault probability (drop/corrupt/duplicate/delay) for -chaos")
@@ -115,7 +120,7 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "obs: serving on http://%s\n", srv.Addr())
 	}
-	err := run(*eb, *abs, *threads, *ranks, *n, *which, *verbose, *chaosSeed, *chaosRate, flag.Args())
+	err := run(*eb, *abs, *threads, *ranks, *n, *which, *algoSpec, *topoSpec, *verbose, *chaosSeed, *chaosRate, flag.Args())
 	if merr := telemetry.DumpSnapshot(*metricsOut); merr != nil {
 		fmt.Fprintf(os.Stderr, "hzccl-conformance: metrics: %v\n", merr)
 		os.Exit(1)
@@ -130,12 +135,36 @@ func main() {
 	}
 }
 
-func run(eb float64, abs bool, threads, ranks, n int, which string, verbose bool, chaosSeed int64, chaosRate float64, args []string) error {
+func run(eb float64, abs bool, threads, ranks, n int, which, algoSpec, topoSpec string, verbose bool, chaosSeed int64, chaosRate float64, args []string) error {
 	if eb <= 0 {
 		return fmt.Errorf("-eb must be positive")
 	}
 	if chaosRate < 0 || chaosRate > 0.2 {
 		return fmt.Errorf("-chaos-rate must be in [0, 0.2] (four classes share one draw)")
+	}
+	var algos []core.Algorithm
+	if algoSpec != "" {
+		for _, s := range strings.Split(algoSpec, ",") {
+			a, err := core.ParseAlgorithm(strings.TrimSpace(s))
+			if err != nil {
+				return err
+			}
+			if a == core.AlgoAuto {
+				return fmt.Errorf("-algorithms: the collective oracle verifies fixed schedules; auto is not one")
+			}
+			algos = append(algos, a)
+		}
+	}
+	var topo *cluster.Topology
+	if topoSpec != "" {
+		t, err := cluster.ParseTopology(topoSpec)
+		if err != nil {
+			return err
+		}
+		if err := t.Validate(ranks); err != nil {
+			return err
+		}
+		topo = t
 	}
 	// With -chaos the collective oracle runs over a seeded faulty fabric
 	// with reliable delivery on: the contract must hold anyway, proving the
@@ -204,7 +233,11 @@ func run(eb float64, abs bool, threads, ranks, n int, which string, verbose bool
 			report(in.name, "homomorphic", res.Report)
 		}
 		if enabled["collective"] {
-			o := conformance.CollectiveOracle{Opt: core.Options{ErrorBound: ebAbs}}
+			o := conformance.CollectiveOracle{
+				Opt:        core.Options{ErrorBound: ebAbs},
+				Algorithms: algos,
+				Topology:   topo,
+			}
 			if chaos != nil {
 				o.Fault = chaos.Fault()
 				o.Reliable = true

@@ -15,10 +15,20 @@ import (
 // compressor internal surfacing from deep inside a ring round.
 var ErrBadErrorBound = errors.New("hzccl: compressed backend requires CollectiveOptions.ErrorBound > 0")
 
+// ErrBadAlgorithm is returned by every collective when
+// CollectiveOptions.Algorithm is not one of the defined algorithms. Like
+// ErrBadErrorBound it is a non-degradable API-usage error: silently
+// falling back to the ring would hide the misconfiguration, and a
+// DegradePolicy must abort rather than descend its ladder on it.
+var ErrBadAlgorithm = errors.New("hzccl: unknown CollectiveOptions.Algorithm")
+
 // validateOptions rejects option combinations that would otherwise fail
 // deep inside the compressor with no indication of which collective or
 // backend was misconfigured.
 func validateOptions(op string, b Backend, opt CollectiveOptions) error {
+	if !opt.Algorithm.Valid() {
+		return fmt.Errorf("%w: %s with backend %s got Algorithm(%d)", ErrBadAlgorithm, op, b, int(opt.Algorithm))
+	}
 	if b == BackendMPI {
 		return nil // no compression, no bound needed
 	}

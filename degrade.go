@@ -57,13 +57,15 @@ func (d Degradation) String() string {
 	return fmt.Sprintf("rank %d %s: %s → %s (%s)", d.Rank, d.Op, d.From, d.To, d.Reason)
 }
 
-// degradeRecorder collects Degradation records from all ranks of one run.
-type degradeRecorder struct {
-	mu  sync.Mutex
-	log []Degradation
+// runRecorder collects the per-rank event records of one cluster run:
+// backend degradations and algorithm choices.
+type runRecorder struct {
+	mu      sync.Mutex
+	log     []Degradation
+	choices []AlgoChoice
 }
 
-func (rec *degradeRecorder) record(d Degradation) {
+func (rec *runRecorder) record(d Degradation) {
 	mDegradations.Inc()
 	rec.mu.Lock()
 	rec.log = append(rec.log, d)
@@ -71,11 +73,28 @@ func (rec *degradeRecorder) record(d Degradation) {
 }
 
 // take returns the records ordered by rank (then occurrence).
-func (rec *degradeRecorder) take() []Degradation {
+func (rec *runRecorder) take() []Degradation {
 	rec.mu.Lock()
 	defer rec.mu.Unlock()
 	out := make([]Degradation, len(rec.log))
 	copy(out, rec.log)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out
+}
+
+func (rec *runRecorder) recordChoice(ch AlgoChoice) {
+	rec.mu.Lock()
+	rec.choices = append(rec.choices, ch)
+	rec.mu.Unlock()
+}
+
+// takeChoices returns the algorithm choices ordered by rank (then
+// occurrence).
+func (rec *runRecorder) takeChoices() []AlgoChoice {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	out := make([]AlgoChoice, len(rec.choices))
+	copy(out, rec.choices)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
 	return out
 }
@@ -104,9 +123,12 @@ const (
 // a lower rung (true) or abort the collective outright (false).
 func degradable(err error) bool {
 	// A structural misuse (bad peer index, mismatched epochs, missing
-	// error bound) will fail identically on every rung — or worse, "heal"
-	// by silently landing on the uncompressed rung; abort instead.
-	return !errors.Is(err, cluster.ErrBadPeer) && !errors.Is(err, ErrBadErrorBound)
+	// error bound, unknown algorithm) will fail identically on every rung
+	// — or worse, "heal" by silently landing on the uncompressed rung;
+	// abort instead.
+	return !errors.Is(err, cluster.ErrBadPeer) &&
+		!errors.Is(err, ErrBadErrorBound) &&
+		!errors.Is(err, ErrBadAlgorithm)
 }
 
 // runDegradable runs one collective under a DegradePolicy: attempt,

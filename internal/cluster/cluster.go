@@ -99,6 +99,10 @@ type Config struct {
 	// TCPTransport runs this process as one rank of a multi-process
 	// cluster; Run then executes the body only for that local rank.
 	Transport Transport
+	// Topology groups ranks into "nodes" for the hierarchical collectives
+	// (see Topology). Nil means one flat node holding every rank. Being
+	// pure configuration, it applies identically on every Transport.
+	Topology *Topology
 	// Trace, when non-nil, records every virtual-time advance, wall-clock
 	// compute span and cross-rank message flow into the given trace —
 	// equivalent to NewTraced but usable when the caller owns Trace
@@ -267,6 +271,9 @@ func New(cfg Config) (*Cluster, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Ranks < 1 {
 		return nil, fmt.Errorf("cluster: Ranks must be >= 1, got %d", cfg.Ranks)
+	}
+	if err := cfg.Topology.Validate(cfg.Ranks); err != nil {
+		return nil, err
 	}
 	tr := cfg.Transport
 	if tr == nil {

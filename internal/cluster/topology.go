@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Topology describes how ranks group into physical "nodes" for the
+// hierarchical collectives: ranks are assigned to nodes in contiguous
+// runs, node i holding NodeSizes[i] consecutive ranks. The first rank of
+// each node is its leader (the rank that speaks for the node in the
+// inter-node stage). A nil *Topology means "one flat node containing
+// every rank" — see Normalize.
+//
+// The topology is pure configuration: it rides on Config and therefore
+// works identically on every Transport (the in-process fabric and the
+// TCP mesh), since it only changes which peers a collective addresses,
+// not how messages move.
+type Topology struct {
+	// NodeSizes[i] is the number of consecutive ranks in node i. Every
+	// entry must be >= 1 and the sizes must sum to the world size.
+	NodeSizes []int
+}
+
+// UniformTopology returns a topology of `nodes` nodes of `perNode` ranks
+// each.
+func UniformTopology(nodes, perNode int) *Topology {
+	sizes := make([]int, nodes)
+	for i := range sizes {
+		sizes[i] = perNode
+	}
+	return &Topology{NodeSizes: sizes}
+}
+
+// ParseTopology parses the two CLI spellings of a topology:
+//
+//	"8x4"   — 8 nodes of 4 ranks each
+//	"3,5,8" — explicit node sizes (non-uniform)
+func ParseTopology(s string) (*Topology, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("cluster: empty topology spec")
+	}
+	if i := strings.IndexByte(s, 'x'); i >= 0 {
+		nodes, err1 := strconv.Atoi(strings.TrimSpace(s[:i]))
+		per, err2 := strconv.Atoi(strings.TrimSpace(s[i+1:]))
+		if err1 != nil || err2 != nil || nodes < 1 || per < 1 {
+			return nil, fmt.Errorf("cluster: bad topology %q (want NODESxSIZE, e.g. 8x4)", s)
+		}
+		return UniformTopology(nodes, per), nil
+	}
+	parts := strings.Split(s, ",")
+	sizes := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("cluster: bad topology node size %q in %q", p, s)
+		}
+		sizes = append(sizes, v)
+	}
+	return &Topology{NodeSizes: sizes}, nil
+}
+
+// Normalize returns a topology usable for a `world`-rank cluster: t
+// itself when non-nil, else the single-node topology holding every rank.
+// The hierarchical algorithms call this so "no topology configured"
+// degrades to a pure intra-node run instead of an error.
+func (t *Topology) Normalize(world int) *Topology {
+	if t == nil {
+		return &Topology{NodeSizes: []int{world}}
+	}
+	return t
+}
+
+// Validate checks the topology against a world size.
+func (t *Topology) Validate(world int) error {
+	if t == nil {
+		return nil
+	}
+	if len(t.NodeSizes) == 0 {
+		return fmt.Errorf("cluster: topology has no nodes")
+	}
+	sum := 0
+	for i, s := range t.NodeSizes {
+		if s < 1 {
+			return fmt.Errorf("cluster: topology node %d has size %d (want >= 1)", i, s)
+		}
+		sum += s
+	}
+	if sum != world {
+		return fmt.Errorf("cluster: topology node sizes sum to %d, want world size %d", sum, world)
+	}
+	return nil
+}
+
+// Nodes returns the number of nodes.
+func (t *Topology) Nodes() int { return len(t.NodeSizes) }
+
+// MaxNodeSize returns the largest node's rank count.
+func (t *Topology) MaxNodeSize() int {
+	m := 0
+	for _, s := range t.NodeSizes {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// NodeOf returns the node index holding the given rank.
+func (t *Topology) NodeOf(rank int) int {
+	start := 0
+	for i, s := range t.NodeSizes {
+		if rank < start+s {
+			return i
+		}
+		start += s
+	}
+	return len(t.NodeSizes) - 1
+}
+
+// NodeStart returns the first (leader) rank of the given node.
+func (t *Topology) NodeStart(node int) int {
+	start := 0
+	for i := 0; i < node; i++ {
+		start += t.NodeSizes[i]
+	}
+	return start
+}
+
+// Members returns the ranks of the given node in ascending order; the
+// first entry is the node's leader.
+func (t *Topology) Members(node int) []int {
+	start := t.NodeStart(node)
+	out := make([]int, t.NodeSizes[node])
+	for i := range out {
+		out[i] = start + i
+	}
+	return out
+}
+
+// Leader returns the leader rank of the given node.
+func (t *Topology) Leader(node int) int { return t.NodeStart(node) }
+
+// Leaders returns every node's leader rank in node order.
+func (t *Topology) Leaders() []int {
+	out := make([]int, len(t.NodeSizes))
+	start := 0
+	for i, s := range t.NodeSizes {
+		out[i] = start
+		start += s
+	}
+	return out
+}
+
+func (t *Topology) String() string {
+	if t == nil {
+		return "flat"
+	}
+	// Prefer the compact NODESxSIZE form when uniform.
+	uniform := true
+	for _, s := range t.NodeSizes[1:] {
+		if s != t.NodeSizes[0] {
+			uniform = false
+			break
+		}
+	}
+	if uniform && len(t.NodeSizes) > 0 {
+		return fmt.Sprintf("%dx%d", len(t.NodeSizes), t.NodeSizes[0])
+	}
+	parts := make([]string, len(t.NodeSizes))
+	for i, s := range t.NodeSizes {
+		parts[i] = strconv.Itoa(s)
+	}
+	return strings.Join(parts, ",")
+}

@@ -56,6 +56,33 @@ func TestCollectiveOracleHealsUnderChaos(t *testing.T) {
 	}
 }
 
+// TestCollectiveOracleAlgorithmsHealUnderChaos runs every fixed schedule
+// — including the hierarchical one, whose leader gather and binomial
+// broadcast exercise message paths the ring never takes — over a
+// non-uniform topology on the same chaotic fabric. The contract is
+// unchanged per schedule: heal, agree with the reference, replicate
+// bitwise.
+func TestCollectiveOracleAlgorithmsHealUnderChaos(t *testing.T) {
+	o, chaos := chaosOracle(20260808)
+	o.Algorithms = core.FixedAlgorithms()
+	o.Topology = &cluster.Topology{NodeSizes: []int{3, 5}}
+	for name, check := range map[string]func(int, func(int) []float32) (*Report, error){
+		"allreduce":      o.CheckAllreduce,
+		"reduce_scatter": o.CheckReduceScatter,
+	} {
+		rep, err := check(8, genField(160))
+		if err != nil {
+			t.Fatalf("%s: run failed under chaos: %v", name, err)
+		}
+		if err := rep.Err(); err != nil {
+			t.Fatalf("%s: oracle contract violated under chaos: %v", name, err)
+		}
+	}
+	if chaos.Counts().Total() == 0 {
+		t.Fatal("chaos injected no faults; the schedule sweep proved nothing")
+	}
+}
+
 // Without reliable delivery the same schedule must be *detected* (run
 // error), never silently absorbed into wrong data.
 func TestCollectiveOracleDetectsChaosWithoutRecovery(t *testing.T) {

@@ -18,6 +18,16 @@ import (
 type CollectiveOracle struct {
 	// Opt configures the collectives under test (ErrorBound required).
 	Opt core.Options
+	// Algorithms, when non-empty, runs every flavor under each of the
+	// listed fixed schedules (core.FixedAlgorithms covers all four) and
+	// applies the full contract — reference agreement, bitwise
+	// replication, cross-flavor differential — per schedule. Empty keeps
+	// the historical ring-only behavior. AlgoAuto is rejected: the oracle
+	// verifies schedules, not the selector.
+	Algorithms []core.Algorithm
+	// Topology, when non-nil, is the node grouping handed to the cluster;
+	// the hierarchical schedules follow it, the flat ones ignore it.
+	Topology *cluster.Topology
 	// Latency and BandwidthBytes parameterize the fabric; zero selects the
 	// cluster defaults.
 	Latency        time.Duration
@@ -38,6 +48,7 @@ type CollectiveOracle struct {
 func (o CollectiveOracle) config(ranks int) cluster.Config {
 	return cluster.Config{
 		Ranks:          ranks,
+		Topology:       o.Topology,
 		Latency:        o.Latency,
 		BandwidthBytes: o.BandwidthBytes,
 		Fault:          o.Fault,
@@ -69,8 +80,50 @@ type flavorRun struct {
 	run        func(c core.Collectives, r *cluster.Rank, data []float32) ([]float32, error)
 }
 
-func flavors(kind collectiveKind) []flavorRun {
-	if kind == kindAllreduce {
+// allreduceRuns returns the plain/ccoll/hz runners of one allreduce
+// schedule.
+func allreduceRuns(algo core.Algorithm) []flavorRun {
+	switch algo {
+	case core.AlgoRecursiveDoubling:
+		return []flavorRun{
+			{"plain", false, func(c core.Collectives, r *cluster.Rank, d []float32) ([]float32, error) {
+				return c.AllreducePlainRD(r, d)
+			}},
+			{"ccoll", true, func(c core.Collectives, r *cluster.Rank, d []float32) ([]float32, error) {
+				return c.AllreduceCCollRD(r, d)
+			}},
+			{"hz", true, func(c core.Collectives, r *cluster.Rank, d []float32) ([]float32, error) {
+				out, _, err := c.AllreduceHZRD(r, d)
+				return out, err
+			}},
+		}
+	case core.AlgoRabenseifner:
+		return []flavorRun{
+			{"plain", false, func(c core.Collectives, r *cluster.Rank, d []float32) ([]float32, error) {
+				return c.AllreducePlainRecursive(r, d)
+			}},
+			{"ccoll", true, func(c core.Collectives, r *cluster.Rank, d []float32) ([]float32, error) {
+				return c.AllreduceCCollRecursive(r, d)
+			}},
+			{"hz", true, func(c core.Collectives, r *cluster.Rank, d []float32) ([]float32, error) {
+				out, _, err := c.AllreduceHZRecursive(r, d)
+				return out, err
+			}},
+		}
+	case core.AlgoHierarchical:
+		return []flavorRun{
+			{"plain", false, func(c core.Collectives, r *cluster.Rank, d []float32) ([]float32, error) {
+				return c.AllreduceHierPlain(r, d)
+			}},
+			{"ccoll", true, func(c core.Collectives, r *cluster.Rank, d []float32) ([]float32, error) {
+				return c.AllreduceHierCColl(r, d)
+			}},
+			{"hz", true, func(c core.Collectives, r *cluster.Rank, d []float32) ([]float32, error) {
+				out, _, err := c.AllreduceHierHZ(r, d)
+				return out, err
+			}},
+		}
+	default: // AlgoRing
 		return []flavorRun{
 			{"plain", false, func(c core.Collectives, r *cluster.Rank, d []float32) ([]float32, error) {
 				return c.AllreducePlain(r, d)
@@ -84,17 +137,58 @@ func flavors(kind collectiveKind) []flavorRun {
 			}},
 		}
 	}
-	return []flavorRun{
-		{"plain", false, func(c core.Collectives, r *cluster.Rank, d []float32) ([]float32, error) {
-			return c.ReduceScatterPlain(r, d)
-		}},
-		{"ccoll", true, func(c core.Collectives, r *cluster.Rank, d []float32) ([]float32, error) {
-			return c.ReduceScatterCColl(r, d)
-		}},
-		{"hz", true, func(c core.Collectives, r *cluster.Rank, d []float32) ([]float32, error) {
-			out, _, err := c.ReduceScatterHZ(r, d)
-			return out, err
-		}},
+}
+
+func flavors(kind collectiveKind, algo core.Algorithm) []flavorRun {
+	if kind == kindAllreduce {
+		return allreduceRuns(algo)
+	}
+	switch algo {
+	case core.AlgoRecursiveDoubling, core.AlgoRabenseifner:
+		// Mirror the public API: under a doubling schedule reduce-scatter
+		// is the allreduce sliced to the rank's world-owned block.
+		runs := allreduceRuns(algo)
+		for i := range runs {
+			inner := runs[i].run
+			runs[i].run = func(c core.Collectives, r *cluster.Rank, d []float32) ([]float32, error) {
+				out, err := inner(c, r, d)
+				if err != nil {
+					return nil, err
+				}
+				k := core.BlockOwned(r.ID, r.N)
+				s, e := core.BlockBounds(len(d), r.N, k)
+				block := make([]float32, e-s)
+				copy(block, out[s:e])
+				return block, nil
+			}
+		}
+		return runs
+	case core.AlgoHierarchical:
+		return []flavorRun{
+			{"plain", false, func(c core.Collectives, r *cluster.Rank, d []float32) ([]float32, error) {
+				return c.ReduceScatterHierPlain(r, d)
+			}},
+			{"ccoll", true, func(c core.Collectives, r *cluster.Rank, d []float32) ([]float32, error) {
+				return c.ReduceScatterHierCColl(r, d)
+			}},
+			{"hz", true, func(c core.Collectives, r *cluster.Rank, d []float32) ([]float32, error) {
+				out, _, err := c.ReduceScatterHierHZ(r, d)
+				return out, err
+			}},
+		}
+	default: // AlgoRing
+		return []flavorRun{
+			{"plain", false, func(c core.Collectives, r *cluster.Rank, d []float32) ([]float32, error) {
+				return c.ReduceScatterPlain(r, d)
+			}},
+			{"ccoll", true, func(c core.Collectives, r *cluster.Rank, d []float32) ([]float32, error) {
+				return c.ReduceScatterCColl(r, d)
+			}},
+			{"hz", true, func(c core.Collectives, r *cluster.Rank, d []float32) ([]float32, error) {
+				out, _, err := c.ReduceScatterHZ(r, d)
+				return out, err
+			}},
+		}
 	}
 }
 
@@ -144,30 +238,56 @@ func (o CollectiveOracle) check(kind collectiveKind, ranks int, gen func(int) []
 	// the final sum — cancellation can leave a reference far smaller than
 	// the intermediate values whose roundings accumulate.
 	plainTol := (R + 1) * R * (maxIn + 1e-300) * math.Pow(2, -23)
-	// Compressed flavors: one quantization per input plus one per C-Coll
-	// round, each bounded by eb, on top of the float32 accumulation error.
-	compTol := 2*R*eb + plainTol
 
-	outputs := map[string][][]float32{}
-	for _, f := range flavors(kind) {
-		outs, err := o.runFlavor(ranks, inputs, f)
-		if err != nil {
-			return rep, fmt.Errorf("%s %s: %w", kind, f.name, err)
-		}
-		outputs[f.name] = outs
-		tol := plainTol
-		if f.compressed {
-			tol = compTol
-		}
-		o.checkFlavor(rep, kind, f.name, ranks, n, outs, ref, tol)
+	algos := o.Algorithms
+	if len(algos) == 0 {
+		algos = []core.Algorithm{core.AlgoRing}
 	}
+	for _, algo := range algos {
+		if !algo.Valid() || algo == core.AlgoAuto {
+			return rep, fmt.Errorf("conformance: oracle requires fixed algorithms, got %v", algo)
+		}
+		compTol := compressedTol(algo, R, eb, plainTol)
+		outputs := map[string][][]float32{}
+		for _, f := range flavors(kind, algo) {
+			outs, err := o.runFlavor(ranks, inputs, f)
+			if err != nil {
+				return rep, fmt.Errorf("%s %s@%s: %w", kind, f.name, algo, err)
+			}
+			outputs[f.name] = outs
+			tol := plainTol
+			if f.compressed {
+				tol = compTol
+			}
+			o.checkFlavor(rep, kind, fmt.Sprintf("%s@%s", f.name, algo), ranks, n, outs, ref, tol)
+		}
 
-	// Direct cross-flavor differential between the two compressed paths:
-	// the paper's claim is that the homomorphic flavor matches C-Coll
-	// within the accumulated bound, not merely that both track the exact
-	// sum loosely.
-	o.crossFlavor(rep, kind, ranks, n, outputs["ccoll"], outputs["hz"], 2*compTol)
+		// Direct cross-flavor differential between the two compressed
+		// paths: the paper's claim is that the homomorphic flavor matches
+		// C-Coll within the accumulated bound, not merely that both track
+		// the exact sum loosely.
+		o.crossFlavor(rep, kind, algo, ranks, n, outputs["ccoll"], outputs["hz"], 2*compTol)
+	}
 	return rep, nil
+}
+
+// compressedTol is the reference-agreement bound for a compressed flavor:
+// one quantization per input plus one per reduction round, each bounded
+// by eb, on top of the float32 accumulation error. The ring re-quantizes
+// once per hop (folded into the 2·R·eb term); the doubling schedules once
+// per log₂ round plus the non-power-of-two fold; the hierarchical
+// schedule once per stage boundary (intra reduce-scatter, leader gather,
+// inter ring, broadcast/scatter — plus the intra hops its two rings take,
+// already covered by the R term).
+func compressedTol(algo core.Algorithm, R, eb, plainTol float64) float64 {
+	extra := 0.0
+	switch algo {
+	case core.AlgoRecursiveDoubling, core.AlgoRabenseifner:
+		extra = 2 * (2*math.Ceil(math.Log2(R+1)) + 4) * eb
+	case core.AlgoHierarchical:
+		extra = 2 * 8 * eb
+	}
+	return 2*R*eb + extra + plainTol
 }
 
 // runFlavor executes one flavor on a fresh cluster and collects per-rank
@@ -231,9 +351,11 @@ func (o CollectiveOracle) checkFlavor(rep *Report, kind collectiveKind, name str
 			rep.pass()
 		}
 	}
-	// Allreduce must leave every rank with the bitwise-identical vector:
-	// each block is reduced once by one rank and broadcast, so even
-	// float32 non-associativity cannot excuse a mismatch.
+	// Allreduce must leave every rank with the bitwise-identical vector.
+	// Ring and hierarchical schedules reduce each block once and
+	// broadcast it; the doubling schedules combine identical partials in
+	// commuted operand orders, and float32 addition is commutative — so
+	// even non-associativity cannot excuse a mismatch under any schedule.
 	if kind == kindAllreduce && ranks > 1 {
 		base := outs[0]
 		for rank := 1; rank < ranks; rank++ {
@@ -252,11 +374,11 @@ func (o CollectiveOracle) checkFlavor(rep *Report, kind collectiveKind, name str
 }
 
 // crossFlavor compares the two compressed flavors element-wise.
-func (o CollectiveOracle) crossFlavor(rep *Report, kind collectiveKind, ranks, n int, ccoll, hz [][]float32, tol float64) {
+func (o CollectiveOracle) crossFlavor(rep *Report, kind collectiveKind, algo core.Algorithm, ranks, n int, ccoll, hz [][]float32, tol float64) {
 	if ccoll == nil || hz == nil {
 		return
 	}
-	subject := fmt.Sprintf("%s/ccoll vs hz", kind)
+	subject := fmt.Sprintf("%s/ccoll vs hz@%s", kind, algo)
 	for rank := 0; rank < ranks; rank++ {
 		a, b := ccoll[rank], hz[rank]
 		if len(a) != len(b) {

@@ -206,6 +206,54 @@ func TestCollectiveOracleAgreement(t *testing.T) {
 	}
 }
 
+// TestCollectiveOracleAllAlgorithms sweeps every fixed schedule (ring,
+// recursive doubling, Rabenseifner, hierarchical) over a non-uniform
+// 3/5/8 node topology, holding the full contract — reference agreement,
+// bitwise replication, cross-flavor differential — per schedule.
+func TestCollectiveOracleAllAlgorithms(t *testing.T) {
+	const ranks = 16 // 3+5+8
+	o := CollectiveOracle{
+		Opt:        core.Options{ErrorBound: 1e-3},
+		Algorithms: core.FixedAlgorithms(),
+		Topology:   &cluster.Topology{NodeSizes: []int{3, 5, 8}},
+	}
+	n := ranks*17 + 1 // never divisible by the rank count
+	rep, err := o.CheckAllreduce(ranks, genField(n))
+	if err != nil {
+		t.Fatalf("allreduce: %v", err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatalf("allreduce: %v", err)
+	}
+	// Four schedules × three flavors, each at least (length + agreement)
+	// per rank: a sanity floor proving all schedules actually ran.
+	if rep.Checks < 4*3*2*ranks {
+		t.Fatalf("only %d checks ran; the schedule sweep did not cover all algorithms", rep.Checks)
+	}
+	rep, err = o.CheckReduceScatter(ranks, genField(n))
+	if err != nil {
+		t.Fatalf("reduce_scatter: %v", err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatalf("reduce_scatter: %v", err)
+	}
+}
+
+// The oracle verifies schedules, not the cost-model selector: AlgoAuto in
+// the algorithm list (like any undefined value) must be rejected up
+// front, not silently resolved.
+func TestCollectiveOracleRejectsAutoAndInvalid(t *testing.T) {
+	for _, algo := range []core.Algorithm{core.AlgoAuto, core.Algorithm(42)} {
+		o := CollectiveOracle{
+			Opt:        core.Options{ErrorBound: 1e-3},
+			Algorithms: []core.Algorithm{algo},
+		}
+		if _, err := o.CheckAllreduce(2, genField(32)); err == nil {
+			t.Fatalf("oracle accepted %v", algo)
+		}
+	}
+}
+
 // The second acceptance injection: a ring message corrupted in flight must
 // surface as a checksum error from the run, never as silently wrong data.
 func TestCollectiveOracleDetectsCorruptedRingMessage(t *testing.T) {

@@ -87,6 +87,49 @@ func FuzzCollectiveShapes(f *testing.F) {
 	})
 }
 
+// FuzzHierarchicalChaos drives the hierarchical schedules across fuzzed
+// non-uniform node topologies under seeded fault schedules with reliable
+// delivery. The leader gather, inter-leader ring and binomial broadcast
+// take message paths the flat ring never does, so their recovery and
+// epoch handling get their own corpus. Node sizes are fuzzed in 1..8
+// (three nodes, 3..24 ranks); the committed seed pins the paper-shaped
+// non-uniform 3/5/8 grouping. Fault rates are capped at 4% per class so
+// every schedule stays recoverable within the default retry budget.
+func FuzzHierarchicalChaos(f *testing.F) {
+	f.Add(int64(358), uint8(2), uint8(4), uint8(7), uint8(48), uint8(10), uint8(10))
+	f.Add(int64(-11), uint8(0), uint8(0), uint8(1), uint8(9), uint8(15), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, n1, n2, n3, nSel, dropSel, corruptSel uint8) {
+		sizes := []int{1 + int(n1)%8, 1 + int(n2)%8, 1 + int(n3)%8}
+		ranks := sizes[0] + sizes[1] + sizes[2]
+		n := 1 + int(nSel)%64
+		rate := func(sel uint8) float64 { return float64(sel%5) / 100 }
+		chaos := cluster.NewChaos(cluster.ChaosSpec{
+			Seed:        seed,
+			DropRate:    rate(dropSel),
+			CorruptRate: rate(corruptSel),
+		})
+		o := CollectiveOracle{
+			Opt:         core.Options{ErrorBound: 1e-3},
+			Algorithms:  []core.Algorithm{core.AlgoHierarchical},
+			Topology:    &cluster.Topology{NodeSizes: sizes},
+			Fault:       chaos.Fault(),
+			Reliable:    true,
+			RecvTimeout: 100 * time.Millisecond,
+			Corrupt:     &cluster.CorruptPattern{Spray: true, Burst: 1 + int(seed&3)},
+		}
+		gen := func(rank int) []float32 {
+			return randomField(n, seed+int64(rank)*271, 1)
+		}
+		rep, err := o.CheckAllreduce(ranks, gen)
+		if err != nil {
+			t.Fatalf("hierarchical collective failed under schedule seed=%d topo=%v: %v", seed, sizes, err)
+		}
+		if err := rep.Err(); err != nil {
+			t.Fatalf("hierarchical chaos leaked wrong data: %v", err)
+		}
+	})
+}
+
 // FuzzChaosSchedule explores seeded fault schedules against the reliable
 // transport: arbitrary (seed, rates, topology) combinations must never
 // make the healed collective produce out-of-tolerance data, and the

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"hzccl/internal/cluster"
+)
+
+// comm is a communicator: an ordered group of ranks executing one
+// collective together. The algorithm implementations in this package are
+// written against comm rather than *cluster.Rank directly, so the same
+// ring / recursive / tree code runs at any level of a topology — over
+// the whole world, over one node's members, or over the node leaders —
+// with group-local peer ids transparently translated to global ranks.
+//
+// A comm does not change message semantics: sends and receives go
+// through the underlying rank (and therefore through whatever transport,
+// reliability and fault machinery the cluster is configured with).
+type comm struct {
+	r *cluster.Rank
+	// ranks maps group-local id -> global rank. nil means the identity
+	// mapping over the full world (the common, allocation-free case).
+	ranks []int
+	// id is this rank's local id within the group.
+	id int
+}
+
+// world wraps a rank as the full-cluster communicator.
+func world(r *cluster.Rank) comm { return comm{r: r, id: r.ID} }
+
+// subcomm builds the communicator over the given global ranks (which
+// must be sorted in the group's rank order). ok is false when the
+// calling rank is not a member.
+func subcomm(r *cluster.Rank, members []int) (comm, bool) {
+	for i, g := range members {
+		if g == r.ID {
+			return comm{r: r, ranks: members, id: i}, true
+		}
+	}
+	return comm{}, false
+}
+
+// n returns the group size.
+func (g comm) n() int {
+	if g.ranks == nil {
+		return g.r.N
+	}
+	return len(g.ranks)
+}
+
+// global translates a group-local id to a global rank.
+func (g comm) global(lid int) int {
+	if g.ranks == nil {
+		return lid
+	}
+	return g.ranks[lid]
+}
+
+// sendRecv performs one ring exchange with wire-byte telemetry:
+// send payload to local id `to`, receive from local id `from`.
+func (g comm) sendRecv(to int, payload []byte, from int, compressed bool) ([]byte, error) {
+	return ringSendRecv(g.r, g.global(to), payload, g.global(from), compressed)
+}
+
+// send posts one counted send to local id `to` (see ringSend).
+func (g comm) send(to int, payload []byte, compressed bool) error {
+	return ringSend(g.r, g.global(to), payload, compressed)
+}
+
+// recv blocks for the next message from local id `from` (see ringRecv).
+func (g comm) recv(from int) ([]byte, error) {
+	return ringRecv(g.r, g.global(from))
+}
+
+// rawSend/rawRecv are the uncounted variants for control-style moves
+// (fold/unfold hand-offs, tree edges) that predate wire accounting.
+func (g comm) rawSend(to int, data []byte) error {
+	return g.r.Send(g.global(to), data)
+}
+
+func (g comm) rawRecv(from int) ([]byte, error) {
+	return g.r.Recv(g.global(from))
+}

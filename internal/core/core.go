@@ -182,7 +182,12 @@ func addInto(dst, src []float32) {
 // element-wise across ranks) and returns this rank's fully reduced block
 // (block index BlockOwned(rank, N)).
 func (c Collectives) ReduceScatterPlain(r *cluster.Rank, data []float32) ([]float32, error) {
-	n := r.N
+	return c.reduceScatterPlainG(world(r), data)
+}
+
+func (c Collectives) reduceScatterPlainG(g comm, data []float32) ([]float32, error) {
+	n := g.n()
+	r := g.r
 	if n == 1 {
 		out := make([]float32, len(data))
 		copy(out, data)
@@ -193,14 +198,14 @@ func (c Collectives) ReduceScatterPlain(r *cluster.Rank, data []float32) ([]floa
 		acc = make([]float32, len(data))
 		copy(acc, data)
 	})
-	next, prev := (r.ID+1)%n, (r.ID-1+n)%n
+	next, prev := (g.id+1)%n, (g.id-1+n)%n
 	for step := 0; step < n-1; step++ {
-		sendIdx := (r.ID - step + n) % n
-		recvIdx := (r.ID - step - 1 + n) % n
+		sendIdx := (g.id - step + n) % n
+		recvIdx := (g.id - step - 1 + n) % n
 		s, e := BlockBounds(len(data), n, sendIdx)
 		var payload []byte
 		r.Quiesce(func() { payload = floatbytes.Bytes(acc[s:e]) })
-		got, err := ringSendRecv(r, next, payload, prev, false)
+		got, err := g.sendRecv(next, payload, prev, false)
 		if err != nil {
 			return nil, err
 		}
@@ -212,30 +217,31 @@ func (c Collectives) ReduceScatterPlain(r *cluster.Rank, data []float32) ([]floa
 		}
 		c.work(r, cluster.CatCPT, 4*(re-rs), func() { addInto(acc[rs:re], recvVals) })
 	}
-	s, e := BlockBounds(len(data), n, BlockOwned(r.ID, n))
+	s, e := BlockBounds(len(data), n, BlockOwned(g.id, n))
 	out := make([]float32, e-s)
 	copy(out, acc[s:e])
 	return out, nil
 }
 
-// allgatherBytes runs a ring allgather of opaque payloads. The result maps
-// origin rank → payload (own entry included). compressed labels the
-// payloads for the wire-byte telemetry split.
-func allgatherBytes(r *cluster.Rank, own []byte, compressed bool) ([][]byte, error) {
-	n := r.N
+// allgatherBytes runs a ring allgather of opaque payloads over the
+// communicator. The result maps origin local id → payload (own entry
+// included). compressed labels the payloads for the wire-byte telemetry
+// split.
+func allgatherBytes(g comm, own []byte, compressed bool) ([][]byte, error) {
+	n := g.n()
 	out := make([][]byte, n)
-	out[r.ID] = own
+	out[g.id] = own
 	if n == 1 {
 		return out, nil
 	}
-	next, prev := (r.ID+1)%n, (r.ID-1+n)%n
+	next, prev := (g.id+1)%n, (g.id-1+n)%n
 	cur := own
 	for step := 0; step < n-1; step++ {
-		got, err := ringSendRecv(r, next, cur, prev, compressed)
+		got, err := g.sendRecv(next, cur, prev, compressed)
 		if err != nil {
 			return nil, err
 		}
-		origin := (r.ID - step - 1 + n) % n
+		origin := (g.id - step - 1 + n) % n
 		out[origin] = got
 		cur = got
 	}
@@ -245,17 +251,22 @@ func allgatherBytes(r *cluster.Rank, own []byte, compressed bool) ([][]byte, err
 // AllreducePlain is the original MPI ring allreduce: plain reduce-scatter
 // followed by plain allgather of the raw reduced blocks.
 func (c Collectives) AllreducePlain(r *cluster.Rank, data []float32) ([]float32, error) {
-	block, err := c.ReduceScatterPlain(r, data)
+	return c.allreducePlainG(world(r), data)
+}
+
+func (c Collectives) allreducePlainG(g comm, data []float32) ([]float32, error) {
+	r := g.r
+	block, err := c.reduceScatterPlainG(g, data)
 	if err != nil {
 		return nil, err
 	}
 	var own []byte
 	r.Quiesce(func() { own = floatbytes.Bytes(block) })
-	gathered, err := allgatherBytes(r, own, false)
+	gathered, err := allgatherBytes(g, own, false)
 	if err != nil {
 		return nil, err
 	}
-	return assembleBlocks(r, len(data), gathered, func(payload []byte, dst []float32) error {
+	return assembleBlocks(g, len(data), gathered, func(payload []byte, dst []float32) error {
 		var bad bool
 		r.Quiesce(func() { bad = floatbytes.ToFloat32(dst, payload) != len(dst) })
 		if bad {
@@ -266,15 +277,15 @@ func (c Collectives) AllreducePlain(r *cluster.Rank, data []float32) ([]float32,
 }
 
 // assembleBlocks reconstructs the full output array from per-origin
-// payloads, decoding each into the block the origin rank owned.
-func assembleBlocks(r *cluster.Rank, dataLen int, gathered [][]byte,
+// payloads, decoding each into the block the origin local id owned.
+func assembleBlocks(g comm, dataLen int, gathered [][]byte,
 	decode func(payload []byte, dst []float32) error) ([]float32, error) {
 	out := make([]float32, dataLen)
 	for origin, payload := range gathered {
-		k := BlockOwned(origin, r.N)
-		s, e := BlockBounds(dataLen, r.N, k)
+		k := BlockOwned(origin, g.n())
+		s, e := BlockBounds(dataLen, g.n(), k)
 		if err := decode(payload, out[s:e]); err != nil {
-			return nil, fmt.Errorf("core: rank %d decoding block %d: %w", r.ID, k, err)
+			return nil, fmt.Errorf("core: rank %d decoding block %d: %w", g.r.ID, k, err)
 		}
 	}
 	return out, nil
@@ -289,7 +300,12 @@ func assembleBlocks(r *cluster.Rank, dataLen int, gathered [][]byte,
 // (DPR) and reduces it in the raw domain (CPT) — the paper's
 // T = (N−1)(CPR + DPR + CPT).
 func (c Collectives) ReduceScatterCColl(r *cluster.Rank, data []float32) ([]float32, error) {
-	n := r.N
+	return c.reduceScatterCCollG(world(r), data)
+}
+
+func (c Collectives) reduceScatterCCollG(g comm, data []float32) ([]float32, error) {
+	n := g.n()
+	r := g.r
 	if n == 1 {
 		out := make([]float32, len(data))
 		copy(out, data)
@@ -299,10 +315,10 @@ func (c Collectives) ReduceScatterCColl(r *cluster.Rank, data []float32) ([]floa
 	acc := bufpool.Float32s(len(data))
 	defer bufpool.PutFloat32s(acc)
 	r.Quiesce(func() { copy(acc, data) })
-	next, prev := (r.ID+1)%n, (r.ID-1+n)%n
+	next, prev := (g.id+1)%n, (g.id-1+n)%n
 	for step := 0; step < n-1; step++ {
-		sendIdx := (r.ID - step + n) % n
-		recvIdx := (r.ID - step - 1 + n) % n
+		sendIdx := (g.id - step + n) % n
+		recvIdx := (g.id - step - 1 + n) % n
 		s, e := BlockBounds(len(data), n, sendIdx)
 		payload := bufpool.Bytes(fzlight.CompressBound(e-s, params))
 		var m int
@@ -314,7 +330,7 @@ func (c Collectives) ReduceScatterCColl(r *cluster.Rank, data []float32) ([]floa
 			bufpool.PutBytes(payload)
 			return nil, cerr
 		}
-		got, err := ringSendRecv(r, next, payload[:m], prev, true)
+		got, err := g.sendRecv(next, payload[:m], prev, true)
 		// Send copied the payload (and the reliable layer keeps its own
 		// pristine copy), so the buffer is dead either way.
 		bufpool.PutBytes(payload)
@@ -335,7 +351,7 @@ func (c Collectives) ReduceScatterCColl(r *cluster.Rank, data []float32) ([]floa
 		bufpool.PutFloat32s(recvVals)
 		bufpool.PutBytes(got)
 	}
-	s, e := BlockBounds(len(data), n, BlockOwned(r.ID, n))
+	s, e := BlockBounds(len(data), n, BlockOwned(g.id, n))
 	out := make([]float32, e-s)
 	copy(out, acc[s:e])
 	return out, nil
@@ -346,20 +362,24 @@ func (c Collectives) ReduceScatterCColl(r *cluster.Rank, data []float32) ([]floa
 // compressed bytes around the ring, and decompresses the N−1 received
 // blocks (DPR) — the paper's T_AG = CPR + (N−1)·DPR.
 func (c Collectives) AllreduceCColl(r *cluster.Rank, data []float32) ([]float32, error) {
-	block, err := c.ReduceScatterCColl(r, data)
+	return c.allreduceCCollG(world(r), data)
+}
+
+func (c Collectives) allreduceCCollG(g comm, data []float32) ([]float32, error) {
+	block, err := c.reduceScatterCCollG(g, data)
 	if err != nil {
 		return nil, err
 	}
 	opt := c.Opt
 	var own []byte
 	var cerr error
-	c.work(r, cluster.CatCPR, 4*len(block), func() {
+	c.work(g.r, cluster.CatCPR, 4*len(block), func() {
 		own, cerr = fzlight.Compress(block, opt.params())
 	})
 	if cerr != nil {
 		return nil, cerr
 	}
-	return c.allgatherAssembleCompressed(r, own, len(data))
+	return c.allgatherAssembleCompressed(g, own, len(data))
 }
 
 // allgatherAssembleCompressed runs the compressed allgather tail shared by
@@ -368,14 +388,14 @@ func (c Collectives) AllreduceCColl(r *cluster.Rank, data []float32) ([]float32,
 // the payload buffers (the local one included) recycle through bufpool
 // once decoded. Safe because allgatherBytes holds exactly one reference to
 // each payload and Send copies on enqueue.
-func (c Collectives) allgatherAssembleCompressed(r *cluster.Rank, own []byte, dataLen int) ([]float32, error) {
-	gathered, err := allgatherBytes(r, own, true)
+func (c Collectives) allgatherAssembleCompressed(g comm, own []byte, dataLen int) ([]float32, error) {
+	gathered, err := allgatherBytes(g, own, true)
 	if err != nil {
 		return nil, err
 	}
-	out, err := assembleBlocks(r, dataLen, gathered, func(payload []byte, dst []float32) error {
+	out, err := assembleBlocks(g, dataLen, gathered, func(payload []byte, dst []float32) error {
 		var derr error
-		c.work(r, cluster.CatDPR, 4*len(dst), func() {
+		c.work(g.r, cluster.CatDPR, 4*len(dst), func() {
 			derr = fzlight.DecompressInto(payload, dst)
 		})
 		return derr
@@ -409,8 +429,9 @@ func (c Collectives) allgatherAssembleCompressed(r *cluster.Rank, own []byte, da
 // retransmit window keeps its own pristine copy), received payloads and
 // replaced accumulators right after the homomorphic Add consumes them.
 // Only the owned block's buffer escapes, to the caller.
-func (c Collectives) reduceScatterHZCompressed(r *cluster.Rank, data []float32) ([]byte, *hzdyn.Stats, error) {
-	n := r.N
+func (c Collectives) reduceScatterHZCompressed(g comm, data []float32) ([]byte, *hzdyn.Stats, error) {
+	n := g.n()
+	r := g.r
 	params := c.Opt.params()
 	stats := &hzdyn.Stats{}
 
@@ -427,7 +448,7 @@ func (c Collectives) reduceScatterHZCompressed(r *cluster.Rank, data []float32) 
 		return nil
 	}
 
-	first := r.ID // the block sent at step 0
+	first := g.id // the block sent at step 0
 	fs, fe := BlockBounds(len(data), n, first)
 	var cerr error
 	c.work(r, cluster.CatCPR, 4*(fe-fs), func() { cerr = compressBlock(first) })
@@ -438,11 +459,11 @@ func (c Collectives) reduceScatterHZCompressed(r *cluster.Rank, data []float32) 
 		return cblocks[0], stats, nil
 	}
 
-	next, prev := (r.ID+1)%n, (r.ID-1+n)%n
+	next, prev := (g.id+1)%n, (g.id-1+n)%n
 	for step := 0; step < n-1; step++ {
-		sendIdx := (r.ID - step + n) % n
-		recvIdx := (r.ID - step - 1 + n) % n
-		if err := ringSend(r, next, cblocks[sendIdx], true); err != nil {
+		sendIdx := (g.id - step + n) % n
+		recvIdx := (g.id - step - 1 + n) % n
+		if err := g.send(next, cblocks[sendIdx], true); err != nil {
 			return nil, nil, err
 		}
 		bufpool.PutBytes(cblocks[sendIdx]) // copied on send: dead here
@@ -457,7 +478,7 @@ func (c Collectives) reduceScatterHZCompressed(r *cluster.Rank, data []float32) 
 				return nil, nil, cerr
 			}
 		}
-		got, err := ringRecv(r, prev)
+		got, err := g.recv(prev)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -480,7 +501,7 @@ func (c Collectives) reduceScatterHZCompressed(r *cluster.Rank, data []float32) 
 			return nil, nil, herr
 		}
 	}
-	return cblocks[BlockOwned(r.ID, n)], stats, nil
+	return cblocks[BlockOwned(g.id, n)], stats, nil
 }
 
 // compressBlocksExcept compresses every reduce-scatter block except
@@ -525,14 +546,18 @@ func (c Collectives) compressBlocksExcept(compressBlock func(int) error, first, 
 // N·CPR + 1·DPR + (N−1)·HPR): compress once, reduce homomorphically, and
 // decompress only the final owned block.
 func (c Collectives) ReduceScatterHZ(r *cluster.Rank, data []float32) ([]float32, *hzdyn.Stats, error) {
-	comp, stats, err := c.reduceScatterHZCompressed(r, data)
+	return c.reduceScatterHZG(world(r), data)
+}
+
+func (c Collectives) reduceScatterHZG(g comm, data []float32) ([]float32, *hzdyn.Stats, error) {
+	comp, stats, err := c.reduceScatterHZCompressed(g, data)
 	if err != nil {
 		return nil, nil, err
 	}
-	bs, be := BlockBounds(len(data), r.N, BlockOwned(r.ID, r.N))
+	bs, be := BlockBounds(len(data), g.n(), BlockOwned(g.id, g.n()))
 	var out []float32
 	var derr error
-	c.work(r, cluster.CatDPR, 4*(be-bs), func() {
+	c.work(g.r, cluster.CatDPR, 4*(be-bs), func() {
 		out, derr = fzlight.Decompress(comp)
 	})
 	bufpool.PutBytes(comp) // exclusively ours, dead after the decode
@@ -548,11 +573,15 @@ func (c Collectives) ReduceScatterHZ(r *cluster.Rank, data []float32) ([]float32
 // the N gathered blocks at the end — the paper's
 // T = N·CPR + (N−1)·HPR + (N−1)·DPR.
 func (c Collectives) AllreduceHZ(r *cluster.Rank, data []float32) ([]float32, *hzdyn.Stats, error) {
-	comp, stats, err := c.reduceScatterHZCompressed(r, data)
+	return c.allreduceHZG(world(r), data)
+}
+
+func (c Collectives) allreduceHZG(g comm, data []float32) ([]float32, *hzdyn.Stats, error) {
+	comp, stats, err := c.reduceScatterHZCompressed(g, data)
 	if err != nil {
 		return nil, nil, err
 	}
-	out, err := c.allgatherAssembleCompressed(r, comp, len(data))
+	out, err := c.allgatherAssembleCompressed(g, comp, len(data))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -577,7 +606,7 @@ func (c Collectives) AllreduceHZNaive(r *cluster.Rank, data []float32) ([]float3
 	if cerr != nil {
 		return nil, nil, cerr
 	}
-	out, err := c.allgatherAssembleCompressed(r, own, len(data))
+	out, err := c.allgatherAssembleCompressed(world(r), own, len(data))
 	if err != nil {
 		return nil, nil, err
 	}

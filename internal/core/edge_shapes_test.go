@@ -7,9 +7,50 @@ import (
 	"math"
 	"testing"
 
+	"hzccl/internal/cluster"
 	"hzccl/internal/conformance"
 	"hzccl/internal/core"
 )
+
+func varyingGen(n int) func(rank int) []float32 {
+	return func(rank int) []float32 {
+		out := make([]float32, n)
+		for i := range out {
+			out[i] = float32(math.Sin(float64(rank+1) * float64(i+1) / 17))
+		}
+		return out
+	}
+}
+
+// constantGen produces per-rank constant buffers: every fzlight chunk has
+// Range=0, driving the constant-block fast paths of the compressor and
+// the homomorphic add.
+func constantGen(n int) func(rank int) []float32 {
+	return func(rank int) []float32 {
+		out := make([]float32, n)
+		for i := range out {
+			out[i] = 0.5 * float32(rank+1)
+		}
+		return out
+	}
+}
+
+type edgeShape struct {
+	name string
+	n    int
+	gen  func(n int) func(rank int) []float32
+}
+
+func edgeShapes() []edgeShape {
+	return []edgeShape{
+		{"zero-length", 0, varyingGen},
+		{"one-element", 1, varyingGen}, // shorter than any world > 1
+		{"shorter-than-world", 3, varyingGen},
+		{"non-divisible", 37, varyingGen}, // 37 is prime: never divisible by ranks > 1
+		{"non-divisible-large", 101, varyingGen},
+		{"all-constant", 96, constantGen},
+	}
+}
 
 // TestCollectiveEdgeShapes runs every flavor of Reduce_scatter and
 // Allreduce through the conformance oracle at the shapes ring collectives
@@ -19,39 +60,8 @@ import (
 func TestCollectiveEdgeShapes(t *testing.T) {
 	oracle := conformance.CollectiveOracle{Opt: core.Options{ErrorBound: 1e-3}}
 
-	varying := func(n int) func(rank int) []float32 {
-		return func(rank int) []float32 {
-			out := make([]float32, n)
-			for i := range out {
-				out[i] = float32(math.Sin(float64(rank+1) * float64(i+1) / 17))
-			}
-			return out
-		}
-	}
-	constant := func(n int) func(rank int) []float32 {
-		return func(rank int) []float32 {
-			out := make([]float32, n)
-			for i := range out {
-				out[i] = 0.5 * float32(rank+1)
-			}
-			return out
-		}
-	}
-
-	shapes := []struct {
-		name string
-		n    int
-		gen  func(n int) func(rank int) []float32
-	}{
-		{"zero-length", 0, varying},
-		{"one-element", 1, varying},
-		{"non-divisible", 37, varying}, // 37 is prime: never divisible by ranks > 1
-		{"non-divisible-large", 101, varying},
-		{"all-constant", 96, constant},
-	}
-
 	for _, ranks := range []int{1, 2, 3, 5, 7} {
-		for _, sh := range shapes {
+		for _, sh := range edgeShapes() {
 			gen := sh.gen(sh.n)
 			t.Run(sh.name, func(t *testing.T) {
 				rep, err := oracle.CheckReduceScatter(ranks, gen)
@@ -69,6 +79,62 @@ func TestCollectiveEdgeShapes(t *testing.T) {
 					t.Fatalf("allreduce ranks=%d n=%d: %v", ranks, sh.n, err)
 				}
 			})
+		}
+	}
+}
+
+// edgeTopologies returns the node groupings worth stressing at a given
+// world size: the implicit flat grouping, an explicit single node, a
+// degenerate one-rank leader node, and (when the world allows) a
+// non-uniform three-node split.
+func edgeTopologies(ranks int) map[string]*cluster.Topology {
+	tops := map[string]*cluster.Topology{
+		"flat":        nil,
+		"single-node": {NodeSizes: []int{ranks}},
+	}
+	if ranks > 1 {
+		tops["leader-only-node"] = &cluster.Topology{NodeSizes: []int{1, ranks - 1}}
+	}
+	if ranks >= 5 {
+		tops["non-uniform"] = &cluster.Topology{NodeSizes: []int{2, ranks - 3, 1}}
+	}
+	return tops
+}
+
+// TestCollectiveEdgeShapesAllAlgorithms repeats the edge-shape sweep for
+// every fixed algorithm under every edge topology: recursive doubling and
+// Rabenseifner at non-power-of-two worlds (folding at worlds 3, 5, 6, 7),
+// worlds 1-3 where schedules degenerate to copies or single exchanges,
+// hierarchical runs over single-node and one-rank-node groupings, data
+// shorter than the world (empty owned blocks), and Range=0 constant
+// blocks through every schedule's codec boundaries.
+func TestCollectiveEdgeShapesAllAlgorithms(t *testing.T) {
+	for _, ranks := range []int{1, 2, 3, 5, 6, 7} {
+		for topoName, topo := range edgeTopologies(ranks) {
+			oracle := conformance.CollectiveOracle{
+				Opt:        core.Options{ErrorBound: 1e-3},
+				Algorithms: core.FixedAlgorithms(),
+				Topology:   topo,
+			}
+			for _, sh := range edgeShapes() {
+				gen := sh.gen(sh.n)
+				t.Run(sh.name+"/"+topoName, func(t *testing.T) {
+					rep, err := oracle.CheckReduceScatter(ranks, gen)
+					if err != nil {
+						t.Fatalf("reduce_scatter ranks=%d n=%d: %v", ranks, sh.n, err)
+					}
+					if err := rep.Err(); err != nil {
+						t.Fatalf("reduce_scatter ranks=%d n=%d: %v", ranks, sh.n, err)
+					}
+					rep, err = oracle.CheckAllreduce(ranks, gen)
+					if err != nil {
+						t.Fatalf("allreduce ranks=%d n=%d: %v", ranks, sh.n, err)
+					}
+					if err := rep.Err(); err != nil {
+						t.Fatalf("allreduce ranks=%d n=%d: %v", ranks, sh.n, err)
+					}
+				})
+			}
 		}
 	}
 }

@@ -87,12 +87,19 @@ func (c Collectives) BroadcastCompressed(r *cluster.Rank, data []float32, root i
 // bcastBytes moves one opaque payload from root to all ranks along a
 // binomial tree. makePayload runs only on the root.
 func (c Collectives) bcastBytes(r *cluster.Rank, makePayload func() []byte, root int) ([]byte, error) {
-	n := r.N
+	return bcastBytesG(world(r), makePayload, root)
+}
+
+// bcastBytesG is the communicator form of the binomial broadcast; root is
+// a group-local id. The hierarchical collectives run it over one node's
+// members with the leader as root.
+func bcastBytesG(g comm, makePayload func() []byte, root int) ([]byte, error) {
+	n := g.n()
 	if root < 0 || root >= n {
 		return nil, fmt.Errorf("core: broadcast root %d out of range", root)
 	}
 	var payload []byte
-	if r.ID == root {
+	if g.id == root {
 		payload = makePayload()
 		if payload == nil && n > 1 {
 			return nil, fmt.Errorf("core: broadcast payload construction failed")
@@ -101,12 +108,12 @@ func (c Collectives) bcastBytes(r *cluster.Rank, makePayload func() []byte, root
 	if n == 1 {
 		return payload, nil
 	}
-	v := vrank(r.ID, root, n)
+	v := vrank(g.id, root, n)
 	// Receive from the parent: v with its lowest set bit cleared (the
 	// MPICH binomial schedule).
 	if v != 0 {
 		parent := v & (v - 1)
-		got, err := r.Recv(unvrank(parent, root, n))
+		got, err := g.rawRecv(unvrank(parent, root, n))
 		if err != nil {
 			return nil, err
 		}
@@ -116,7 +123,7 @@ func (c Collectives) bcastBytes(r *cluster.Rank, makePayload func() []byte, root
 	for mask := nextPow2(n) >> 1; mask > 0; mask >>= 1 {
 		child := v | mask
 		if mask < lowbitFloor(v) && child < n {
-			if err := r.Send(unvrank(child, root, n), payload); err != nil {
+			if err := g.rawSend(unvrank(child, root, n), payload); err != nil {
 				return nil, err
 			}
 		}
@@ -288,7 +295,7 @@ func readU32(b []byte) uint32 {
 
 // AllgatherPlain gives every rank every other rank's data (rank-indexed).
 func (c Collectives) AllgatherPlain(r *cluster.Rank, data []float32) ([][]float32, error) {
-	gathered, err := allgatherBytes(r, floatbytes.Bytes(data), false)
+	gathered, err := allgatherBytes(world(r), floatbytes.Bytes(data), false)
 	if err != nil {
 		return nil, err
 	}
@@ -317,7 +324,7 @@ func (c Collectives) AllgatherCompressed(r *cluster.Rank, data []float32) ([][]f
 	if cerr != nil {
 		return nil, cerr
 	}
-	gathered, err := allgatherBytes(r, comp, true)
+	gathered, err := allgatherBytes(world(r), comp, true)
 	if err != nil {
 		return nil, err
 	}

@@ -49,31 +49,48 @@ func oldRank(newrank, n, p2 int) int {
 	return newrank + r
 }
 
+// unframeBlobsN unframes a payload and checks the blob count.
+func unframeBlobsN(msg []byte, want int) ([][]byte, error) {
+	out, err := unframeBlobs(msg)
+	if err != nil {
+		return nil, err
+	}
+	if len(out) != want {
+		return nil, fmt.Errorf("core: got %d framed blobs, want %d", len(out), want)
+	}
+	return out, nil
+}
+
 // AllreducePlainRecursive is the uncompressed Rabenseifner allreduce.
 func (c Collectives) AllreducePlainRecursive(r *cluster.Rank, data []float32) ([]float32, error) {
-	n := r.N
+	return c.allreducePlainRabG(world(r), data)
+}
+
+func (c Collectives) allreducePlainRabG(g comm, data []float32) ([]float32, error) {
+	n := g.n()
+	r := g.r
 	acc := make([]float32, len(data))
 	copy(acc, data)
 	if n == 1 {
 		return acc, nil
 	}
-	p2, newrank := activeRanks(r.ID, n)
+	p2, newrank := activeRanks(g.id, n)
 	rem := n - p2
 
 	// Fold phase: even ranks of the first 2r send their data to the odd
 	// partner and wait for the final result.
-	if r.ID < 2*rem {
-		if r.ID%2 == 0 {
-			if err := r.Send(r.ID+1, floatbytes.Bytes(acc)); err != nil {
+	if g.id < 2*rem {
+		if g.id%2 == 0 {
+			if err := g.rawSend(g.id+1, floatbytes.Bytes(acc)); err != nil {
 				return nil, err
 			}
-			got, err := r.Recv(r.ID + 1)
+			got, err := g.rawRecv(g.id + 1)
 			if err != nil {
 				return nil, err
 			}
 			return floatbytes.Floats(got), nil
 		}
-		got, err := r.Recv(r.ID - 1)
+		got, err := g.rawRecv(g.id - 1)
 		if err != nil {
 			return nil, err
 		}
@@ -94,7 +111,7 @@ func (c Collectives) AllreducePlainRecursive(r *cluster.Rank, data []float32) ([
 		}
 		ss, _ := BlockBounds(len(data), p2, sendLo)
 		_, se := BlockBounds(len(data), p2, sendHi-1)
-		got, err := ringSendRecv(r, partner, floatbytes.Bytes(acc[ss:se]), partner, false)
+		got, err := g.sendRecv(partner, floatbytes.Bytes(acc[ss:se]), partner, false)
 		if err != nil {
 			return nil, err
 		}
@@ -113,7 +130,7 @@ func (c Collectives) AllreducePlainRecursive(r *cluster.Rank, data []float32) ([
 		partner := oldRank(newrank^dist, n, p2)
 		ss, _ := BlockBounds(len(data), p2, lo)
 		_, se := BlockBounds(len(data), p2, hi-1)
-		got, err := ringSendRecv(r, partner, floatbytes.Bytes(acc[ss:se]), partner, false)
+		got, err := g.sendRecv(partner, floatbytes.Bytes(acc[ss:se]), partner, false)
 		if err != nil {
 			return nil, err
 		}
@@ -139,8 +156,8 @@ func (c Collectives) AllreducePlainRecursive(r *cluster.Rank, data []float32) ([
 	}
 
 	// Unfold: send the full result back to the folded partner.
-	if r.ID < 2*rem && r.ID%2 == 1 {
-		if err := r.Send(r.ID-1, floatbytes.Bytes(acc)); err != nil {
+	if g.id < 2*rem && g.id%2 == 1 {
+		if err := g.rawSend(g.id-1, floatbytes.Bytes(acc)); err != nil {
 			return nil, err
 		}
 	}
@@ -192,7 +209,12 @@ func unframeBlobs(msg []byte) ([][]byte, error) {
 // homomorphically reduces compressed block sets, the doubling stage moves
 // compressed blocks, and each rank decompresses the p2 blocks at the end.
 func (c Collectives) AllreduceHZRecursive(r *cluster.Rank, data []float32) ([]float32, *hzdyn.Stats, error) {
-	n := r.N
+	return c.allreduceHZRabG(world(r), data)
+}
+
+func (c Collectives) allreduceHZRabG(g comm, data []float32) ([]float32, *hzdyn.Stats, error) {
+	n := g.n()
+	r := g.r
 	opt := c.Opt
 	stats := &hzdyn.Stats{}
 	if n == 1 {
@@ -200,7 +222,7 @@ func (c Collectives) AllreduceHZRecursive(r *cluster.Rank, data []float32) ([]fl
 		copy(out, data)
 		return out, stats, nil
 	}
-	p2, newrank := activeRanks(r.ID, n)
+	p2, newrank := activeRanks(g.id, n)
 	rem := n - p2
 
 	// Compress all p2 blocks once.
@@ -228,18 +250,18 @@ func (c Collectives) AllreduceHZRecursive(r *cluster.Rank, data []float32) ([]fl
 	}
 
 	// Fold phase on compressed blocks.
-	if r.ID < 2*rem {
-		if r.ID%2 == 0 {
-			if err := r.Send(r.ID+1, frameBlobs(cblocks)); err != nil {
+	if g.id < 2*rem {
+		if g.id%2 == 0 {
+			if err := g.rawSend(g.id+1, frameBlobs(cblocks)); err != nil {
 				return nil, nil, err
 			}
-			got, err := r.Recv(r.ID + 1)
+			got, err := g.rawRecv(g.id + 1)
 			if err != nil {
 				return nil, nil, err
 			}
 			return floatbytes.Floats(got), stats, nil
 		}
-		got, err := r.Recv(r.ID - 1)
+		got, err := g.rawRecv(g.id - 1)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -268,7 +290,7 @@ func (c Collectives) AllreduceHZRecursive(r *cluster.Rank, data []float32) ([]fl
 		} else {
 			keepLo, keepHi, sendLo, sendHi = mid, hi, lo, mid
 		}
-		got, err := ringSendRecv(r, partner, frameBlobs(cblocks[sendLo:sendHi]), partner, true)
+		got, err := g.sendRecv(partner, frameBlobs(cblocks[sendLo:sendHi]), partner, true)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -290,7 +312,7 @@ func (c Collectives) AllreduceHZRecursive(r *cluster.Rank, data []float32) ([]fl
 	// Recursive doubling allgather of compressed blocks.
 	for dist := 1; dist < p2; dist *= 2 {
 		partner := oldRank(newrank^dist, n, p2)
-		got, err := ringSendRecv(r, partner, frameBlobs(cblocks[lo:hi]), partner, true)
+		got, err := g.sendRecv(partner, frameBlobs(cblocks[lo:hi]), partner, true)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -331,10 +353,179 @@ func (c Collectives) AllreduceHZRecursive(r *cluster.Rank, data []float32) ([]fl
 	}
 
 	// Unfold: ship the raw result to the folded partner.
-	if r.ID < 2*rem && r.ID%2 == 1 {
-		if err := r.Send(r.ID-1, floatbytes.Bytes(out)); err != nil {
+	if g.id < 2*rem && g.id%2 == 1 {
+		if err := g.rawSend(g.id-1, floatbytes.Bytes(out)); err != nil {
 			return nil, nil, err
 		}
 	}
 	return out, stats, nil
+}
+
+// AllreduceCCollRecursive is the C-Coll (DOC) Rabenseifner allreduce: the
+// same recursive-halving/doubling schedule as the plain variant, with
+// every exchanged segment compressed before the send (CPR) and
+// decompressed after the receive (DPR). Unlike the homomorphic variant
+// the reduction happens in the raw domain, so each halving round pays the
+// full decompress-operate(-recompress-next-round) cost on a halving
+// payload — completing the three-backend coverage of this algorithm
+// family for the DegradePolicy ladder.
+func (c Collectives) AllreduceCCollRecursive(r *cluster.Rank, data []float32) ([]float32, error) {
+	return c.allreduceCCollRabG(world(r), data)
+}
+
+func (c Collectives) allreduceCCollRabG(g comm, data []float32) ([]float32, error) {
+	n := g.n()
+	r := g.r
+	opt := c.Opt
+	acc := make([]float32, len(data))
+	copy(acc, data)
+	if n == 1 {
+		return acc, nil
+	}
+	p2, newrank := activeRanks(g.id, n)
+	rem := n - p2
+
+	compress := func(vals []float32) ([]byte, error) {
+		var out []byte
+		var cerr error
+		c.work(r, cluster.CatCPR, 4*len(vals), func() {
+			out, cerr = fzlight.Compress(vals, opt.params())
+		})
+		return out, cerr
+	}
+	decompressInto := func(blob []byte, dst []float32) error {
+		var derr error
+		c.work(r, cluster.CatDPR, 4*len(dst), func() {
+			derr = fzlight.DecompressInto(blob, dst)
+		})
+		return derr
+	}
+
+	// Fold phase: compressed full-vector hand-off to the odd partner.
+	if g.id < 2*rem {
+		if g.id%2 == 0 {
+			comp, err := compress(acc)
+			if err != nil {
+				return nil, err
+			}
+			if err := g.rawSend(g.id+1, comp); err != nil {
+				return nil, err
+			}
+			got, err := g.rawRecv(g.id + 1)
+			if err != nil {
+				return nil, err
+			}
+			// The final result arrives as the canonical framed block
+			// payloads every active rank decoded — decode the same bytes.
+			final, err := unframeBlobsN(got, p2)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]float32, len(data))
+			for k, blob := range final {
+				s, e := BlockBounds(len(data), p2, k)
+				if err := decompressInto(blob, out[s:e]); err != nil {
+					return nil, err
+				}
+			}
+			return out, nil
+		}
+		got, err := g.rawRecv(g.id - 1)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]float32, len(data))
+		if err := decompressInto(got, vals); err != nil {
+			return nil, err
+		}
+		c.work(r, cluster.CatCPT, 4*len(acc), func() { addInto(acc, vals) })
+	}
+
+	// Recursive halving over p2 blocks, DOC per round.
+	lo, hi := 0, p2
+	for dist := p2 / 2; dist >= 1; dist /= 2 {
+		partner := oldRank(newrank^dist, n, p2)
+		mid := (lo + hi) / 2
+		var keepLo, keepHi, sendLo, sendHi int
+		if newrank&dist == 0 {
+			keepLo, keepHi, sendLo, sendHi = lo, mid, mid, hi
+		} else {
+			keepLo, keepHi, sendLo, sendHi = mid, hi, lo, mid
+		}
+		ss, _ := BlockBounds(len(data), p2, sendLo)
+		_, se := BlockBounds(len(data), p2, sendHi-1)
+		comp, err := compress(acc[ss:se])
+		if err != nil {
+			return nil, err
+		}
+		got, err := g.sendRecv(partner, comp, partner, true)
+		if err != nil {
+			return nil, err
+		}
+		ks, _ := BlockBounds(len(data), p2, keepLo)
+		_, ke := BlockBounds(len(data), p2, keepHi-1)
+		vals := make([]float32, ke-ks)
+		if err := decompressInto(got, vals); err != nil {
+			return nil, err
+		}
+		c.work(r, cluster.CatCPT, 4*(ke-ks), func() { addInto(acc[ks:ke], vals) })
+		lo, hi = keepLo, keepHi
+	}
+
+	// Recursive-doubling allgather of canonical compressed blocks: each
+	// p2-block is compressed exactly once by the rank whose halving ended
+	// on it, and its bytes then travel verbatim (framed, never
+	// re-compressed). Every rank — the block's reducer included — decodes
+	// the same payload, so the allreduce replicates bitwise across ranks
+	// despite quantization, and the DOC allgather pays one CPR plus p2
+	// DPRs instead of a recompression per round.
+	blobs := make([][]byte, p2)
+	{
+		s, e := BlockBounds(len(data), p2, lo)
+		comp, err := compress(acc[s:e])
+		if err != nil {
+			return nil, err
+		}
+		blobs[lo] = comp
+	}
+	for dist := 1; dist < p2; dist *= 2 {
+		partner := oldRank(newrank^dist, n, p2)
+		got, err := g.sendRecv(partner, frameBlobs(blobs[lo:hi]), partner, true)
+		if err != nil {
+			return nil, err
+		}
+		var plo, phi int
+		if newrank&dist == 0 {
+			plo, phi = hi, hi+(hi-lo)
+		} else {
+			plo, phi = lo-(hi-lo), lo
+		}
+		part, err := unframeBlobsN(got, phi-plo)
+		if err != nil {
+			return nil, err
+		}
+		copy(blobs[plo:phi], part)
+		if plo < lo {
+			lo = plo
+		} else {
+			hi = phi
+		}
+	}
+
+	// Decode every block from its canonical bytes (own included).
+	out := make([]float32, len(data))
+	for k, blob := range blobs {
+		s, e := BlockBounds(len(data), p2, k)
+		if err := decompressInto(blob, out[s:e]); err != nil {
+			return nil, err
+		}
+	}
+
+	// Unfold: ship the canonical framed blocks to the folded partner.
+	if g.id < 2*rem && g.id%2 == 1 {
+		if err := g.rawSend(g.id-1, frameBlobs(blobs)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }

@@ -146,11 +146,11 @@ func (c Collectives) AllreduceCCollSegmented(r *cluster.Rank, data []float32) ([
 	if cerr != nil {
 		return nil, cerr
 	}
-	gathered, err := allgatherBytes(r, own, true)
+	gathered, err := allgatherBytes(world(r), own, true)
 	if err != nil {
 		return nil, err
 	}
-	return assembleBlocks(r, len(data), gathered, func(payload []byte, dst []float32) error {
+	return assembleBlocks(world(r), len(data), gathered, func(payload []byte, dst []float32) error {
 		var derr error
 		c.work(r, cluster.CatDPR, 4*len(dst), func() {
 			derr = fzlight.DecompressInto(payload, dst)

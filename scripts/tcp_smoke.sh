@@ -11,11 +11,19 @@
 # 0 means the two fabrics are observationally equivalent for this run and
 # the observability surface works end to end.
 #
-# Usage: sh scripts/tcp_smoke.sh [MESSAGE_BYTES] [BACKEND]
+# Usage: sh scripts/tcp_smoke.sh [MESSAGE_BYTES] [BACKEND] [ALGORITHM] [TOPOLOGY]
+#
+# ALGORITHM (ring, rd, rabenseifner, hierarchical, auto; default ring)
+# and TOPOLOGY (e.g. 2x2 or 1,3; default flat) select the collective
+# schedule and node grouping on both fabrics — `sh scripts/tcp_smoke.sh
+# 65536 hzccl hierarchical 2x2` runs the two-level schedule across real
+# processes with rank 0 and 2 as node leaders.
 set -eu
 
 MESSAGE="${1:-65536}"
 BACKEND="${2:-hzccl}"
+ALGO="${3:-ring}"
+TOPO="${4:-}"
 BASE_PORT="${TCP_SMOKE_PORT:-19780}"
 OUT="$(mktemp -d)"
 trap 'rm -rf "$OUT"' EXIT
@@ -27,13 +35,15 @@ OBS="127.0.0.1:$((BASE_PORT+9))"
 
 for r in 1 2 3; do
     "$OUT/hzccl-collective" -transport=tcp -rank "$r" -peers "$PEERS" \
-        -backend "$BACKEND" -message "$MESSAGE" -trace "$OUT/trace$r.json" \
+        -backend "$BACKEND" -algorithm "$ALGO" ${TOPO:+-topology "$TOPO"} \
+        -message "$MESSAGE" -trace "$OUT/trace$r.json" \
         > "$OUT/rank$r.out" 2>&1 &
 done
 # Rank 0 additionally serves the live introspection endpoint and lingers
 # so the scrape below hits a live process.
 "$OUT/hzccl-collective" -transport=tcp -rank 0 -peers "$PEERS" \
-    -backend "$BACKEND" -message "$MESSAGE" -trace "$OUT/trace0.json" \
+    -backend "$BACKEND" -algorithm "$ALGO" ${TOPO:+-topology "$TOPO"} \
+    -message "$MESSAGE" -trace "$OUT/trace0.json" \
     -obs-listen "$OBS" -obs-linger 10s > "$OUT/rank0.out" 2>"$OUT/rank0.err" &
 OBS_PID=$!
 
@@ -79,7 +89,8 @@ curl -fsS -o "$OUT/profile.pb.gz" "http://$OBS/debug/pprof/profile?seconds=1"
 wait
 
 "$OUT/hzccl-collective" -transport=inproc -nodes 4 \
-    -backend "$BACKEND" -message "$MESSAGE" > "$OUT/inproc.out" 2>&1
+    -backend "$BACKEND" -algorithm "$ALGO" ${TOPO:+-topology "$TOPO"} \
+    -message "$MESSAGE" > "$OUT/inproc.out" 2>&1
 
 digest_of() {
     sed -n 's/.*digest=\([0-9a-f]*\).*/\1/p' "$1" | sort -u
@@ -113,6 +124,6 @@ grep -q '"ph":"s"' "$OUT/merged.json" && grep -q '"ph":"f"' "$OUT/merged.json" |
     exit 1
 }
 
-echo "tcp_smoke: OK: 4 TCP processes and in-process fabric all agree (digest=$REF, backend=$BACKEND, $MESSAGE bytes)"
+echo "tcp_smoke: OK: 4 TCP processes and in-process fabric all agree (digest=$REF, backend=$BACKEND, algo=$ALGO${TOPO:+, topo=$TOPO}, $MESSAGE bytes)"
 echo "tcp_smoke: OK: obs endpoint served healthz, metrics and a CPU profile; traces merged with flow events"
 grep -h 'rank\|transport' "$OUT"/rank*.out
