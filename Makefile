@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-all fuzz conformance chaos tcp-smoke scaling
+.PHONY: build test check bench bench-all fuzz conformance chaos soak tcp-smoke scaling
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,17 @@ chaos:
 	$(GO) test -race -count=1 -run 'Chaos|Reliable|Degrad|Barrier|Agree|Corrupt|Fault' . ./internal/cluster ./internal/conformance
 	$(GO) run ./cmd/hzccl-conformance -oracles collective -ranks 4 -n 32768 -chaos 1 -chaos-rate 0.05
 	$(GO) run ./cmd/hzccl-collective -chaos 5 -nodes 6 -message 262144
+
+# soak runs the elastic-membership chaos soak race-enabled: SOAK_ITERS
+# iterations (default 25 here, 3 under plain `make test`), each killing a
+# seeded random rank mid-Allreduce and checking the survivors shrink,
+# finish under the cooperative-abort deadline, and match a fresh
+# shrunken-world run bitwise. SOAK_SEED overrides the seed; a failure
+# message includes it for replay. The membership/shrink unit suites run
+# first under the race detector.
+soak:
+	$(GO) test -race -count=1 -run 'Agree|Shrink|Membership|ConnReset' ./internal/cluster ./internal/conformance
+	SOAK_ITERS=$${SOAK_ITERS:-25} $(GO) test -race -count=1 -run 'TestShrinkSoak' -v .
 
 # tcp-smoke runs a 4-rank hZCCL Allreduce as 4 real OS processes over
 # loopback TCP and verifies the result digest is bitwise identical to the

@@ -1,6 +1,7 @@
 package hzccl
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -218,6 +219,12 @@ type RunResult struct {
 	// ranks' serialized compute; on a TCP transport it is this process's
 	// end-to-end wall time.
 	WallSeconds float64
+	// Evicted lists the physical ranks removed from the world by a
+	// membership shrink (DegradePolicy.Shrink) during the run, in
+	// ascending order. Empty means the world finished intact. Surviving
+	// ranks' results are reported under their original (physical) indices
+	// in per-rank slices like RankSeconds.
+	Evicted []int
 }
 
 // BreakdownShare is one category's absolute and fractional share of a
@@ -345,10 +352,13 @@ func RunCluster(cfg ClusterConfig, body func(*Rank) error) (*RunResult, error) {
 	}, func(cr *cluster.Rank) error {
 		return body(&Rank{r: cr, rec: rec})
 	})
-	if err != nil {
+	if err != nil && !errors.Is(err, ErrRankKilled) && !errors.Is(err, ErrEvicted) {
 		// A failed collective is exactly what the flight recorder exists
 		// for: dump the last events (NACKs, retransmissions, faults,
-		// consensus rounds) before the caller sees the error.
+		// consensus rounds) before the caller sees the error. Benign
+		// errors — a rank crashed by an injected kill or evicted by a
+		// shrink while the survivors completed — are the expected outcome
+		// of an elastic run, not a post-mortem.
 		dumpFlightOnError(err)
 	}
 	if res == nil {
@@ -362,6 +372,7 @@ func RunCluster(cfg ClusterConfig, body func(*Rank) error) (*RunResult, error) {
 		Degradations: rec.take(),
 		AlgoChoices:  rec.takeChoices(),
 		WallSeconds:  res.WallSeconds,
+		Evicted:      res.Evicted,
 	}
 	for k, v := range res.Breakdown {
 		out.Breakdown[string(k)] = v

@@ -20,7 +20,16 @@
 //
 //	hzccl-collective -transport=tcp -rank 0 -peers h0:p0,h1:p1,... \
 //	    [-backend mpi|ccoll|hzccl] [-algorithm ring|rd|rabenseifner|hierarchical|auto] \
-//	    [-topology NODESxSIZE|s0,s1,...] [-message BYTES] [-rel BOUND]
+//	    [-topology NODESxSIZE|s0,s1,...] [-message BYTES] [-rel BOUND] \
+//	    [-recv-timeout DUR] [-kill-rank R -kill-step S]
+//
+// Transport runs always carry a receive deadline (-recv-timeout, default
+// 2s) so a dropped peer surfaces as an error instead of a deadlock.
+// -kill-rank crashes one rank mid-collective as an elastic-membership
+// demo: every process passes the same flags, the victim exits reporting
+// its injected death, and the survivors evict it and print digests of the
+// shrunken-world result (which must match an inproc run of the survivor
+// count).
 //
 // Every process prints its rank's result digest, virtual time and
 // wall-clock time; digests must agree across ranks and match
@@ -44,6 +53,7 @@ package main
 
 import (
 	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"hash/crc32"
@@ -86,6 +96,9 @@ func main() {
 		backendStr = flag.String("backend", "hzccl", "collective backend for -transport: mpi, ccoll or hzccl")
 		algoStr    = flag.String("algorithm", "ring", "collective algorithm for -transport: ring, rd, rabenseifner, hierarchical or auto")
 		topoStr    = flag.String("topology", "", "node grouping for -transport: NODESxSIZE (e.g. 2x2) or comma-separated node sizes (e.g. 3,5,8); empty = flat")
+		killRank   = flag.Int("kill-rank", -1, "elastic-membership demo for -transport: crash this rank mid-collective; survivors evict it and finish on the shrunken world (-1 = off)")
+		killStep   = flag.Int("kill-step", 0, "program-order send step at which -kill-rank crashes")
+		recvTO     = flag.Duration("recv-timeout", 0, "receive deadline for -transport runs (0 = 2s; a dropped peer must surface as an error, not a deadlock)")
 		obsListen  = flag.String("obs-listen", "", "serve the live introspection endpoint (healthz, metrics, pprof, flight recorder, trace) on this host:port")
 		obsLinger  = flag.Duration("obs-linger", 0, "keep the -obs-listen endpoint up this long after the work finishes")
 		traceMerge = flag.String("trace-merge", "", "merge the per-process trace files given as arguments into this output file and exit")
@@ -133,7 +146,14 @@ func main() {
 	}
 
 	if *transport != "" {
-		if err := runTransport(*transport, *tcpRank, *tcpPeers, *backendStr, *algoStr, *topoStr, *nodes, *message, *rel, *traceFile, transportTrace); err != nil {
+		if err := runTransport(*transport, *tcpRank, *tcpPeers, *backendStr, *algoStr, *topoStr, *nodes, *message, *rel, *traceFile, transportTrace, *killRank, *killStep, *recvTO); err != nil {
+			if errors.Is(err, hzccl.ErrRankKilled) {
+				// The injected crash: this rank is the victim, and dying is
+				// its expected outcome — the survivors carry the collective.
+				fmt.Printf("rank %d killed by injected fault at send #%d (expected; survivors continue)\n", *tcpRank, *killStep)
+				finish()
+				return
+			}
 			fmt.Fprintf(os.Stderr, "hzccl-collective: transport: %v\n", err)
 			os.Exit(1)
 		}
@@ -270,7 +290,7 @@ func digest32(v []float32) uint32 {
 // so its digests serve as the reference the TCP run must match bitwise.
 // With a trace attached the run is recorded and written to traceFile —
 // on TCP each process produces its own rank-local file for -trace-merge.
-func runTransport(kind string, rank int, peers, backendStr, algoStr, topoStr string, nodes, message int, rel float64, traceFile string, trace *hzccl.Trace) error {
+func runTransport(kind string, rank int, peers, backendStr, algoStr, topoStr string, nodes, message int, rel float64, traceFile string, trace *hzccl.Trace, killRank, killStep int, recvTO time.Duration) error {
 	backend, err := parseBackend(backendStr)
 	if err != nil {
 		return err
@@ -299,11 +319,24 @@ func runTransport(kind string, rank int, peers, backendStr, algoStr, topoStr str
 	eb := metrics.AbsBound(rel, base)
 	opt := hzccl.CollectiveOptions{ErrorBound: eb, Algorithm: algo}
 
+	// A receive deadline always: a transport run whose peer drops must
+	// surface an error, never deadlock-by-config.
+	if recvTO <= 0 {
+		recvTO = 2 * time.Second
+	}
 	cfg := hzccl.ClusterConfig{
 		Latency:        2 * time.Microsecond,
 		BandwidthBytes: 0.4e9,
 		Topology:       topo,
 		Trace:          trace,
+		RecvTimeout:    recvTO,
+	}
+	if killRank >= 0 {
+		// Elastic-membership demo: crash the victim mid-collective; the
+		// survivors detect it, evict it and finish on the shrunken world.
+		cfg.Fault = hzccl.KillRank{Rank: killRank, AtStep: killStep}.Fault()
+		cfg.Reliable = true
+		opt.Degrade = &hzccl.DegradePolicy{Shrink: true}
 	}
 	switch kind {
 	case "tcp":
@@ -330,17 +363,21 @@ func runTransport(kind string, rank int, peers, backendStr, algoStr, topoStr str
 	var mu sync.Mutex
 	digests := make(map[int]uint32, cfg.Ranks)
 	res, err := hzccl.RunCluster(cfg, func(r *hzccl.Rank) error {
+		id0 := r.ID() // pre-shrink identity: a kill run renumbers survivors
 		out, err := r.Allreduce(base, backend, opt)
 		if err != nil {
 			return err
 		}
 		mu.Lock()
-		digests[r.ID()] = digest32(out)
+		digests[id0] = digest32(out)
 		mu.Unlock()
 		return nil
 	})
 	if err != nil {
 		return err
+	}
+	if len(res.Evicted) > 0 {
+		fmt.Printf("evicted ranks %v: survivors finished on a %d-rank world\n", res.Evicted, cfg.Ranks-len(res.Evicted))
 	}
 	ranks := make([]int, 0, len(digests))
 	for id := range digests {

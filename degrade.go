@@ -18,13 +18,27 @@ import (
 // complete on some ranks while others fail), so each attempt ends with a
 // message-free max-consensus over the per-rank outcome (AgreeMax, built
 // on barrier machinery and therefore immune to injected message faults):
-// every rank proposes ok / retry / abort, all adopt the maximum, and a
-// retry advances the message epoch so stale traffic from the abandoned
-// attempt is discarded rather than confused with the new attempt's.
+// every rank proposes ok / retry / shrink / abort, all adopt the maximum,
+// and a retry advances the message epoch so stale traffic from the
+// abandoned attempt is discarded rather than confused with the new
+// attempt's.
+//
+// With DegradePolicy.Shrink, a rank that died outright (crash, connection
+// reset, injected kill) takes a different path than a flaky one: the
+// survivors agree on the dead set (AgreeDead), evict it, renumber into a
+// dense world with the topology shrunk to the survivors (ShrinkWorld),
+// and re-run the collective there — shrink-and-continue instead of
+// descending the backend ladder against a peer that will never answer.
 
 // mDegradations counts every backend downgrade performed by a
 // DegradePolicy, across all ranks and runs.
 var mDegradations = telemetry.C("collective.degradations")
+
+// ErrDegradeNeedsTimeout is returned when a DegradePolicy is used without
+// ClusterConfig.RecvTimeout: without a receive deadline a rank that
+// abandons an attempt leaves its peers blocked forever, so the
+// configuration is refused rather than allowed to deadlock.
+var ErrDegradeNeedsTimeout = errors.New("hzccl: DegradePolicy requires ClusterConfig.RecvTimeout > 0 (an abandoned attempt must time out, not deadlock)")
 
 // DegradePolicy enables graceful backend degradation for a collective
 // call (set it as CollectiveOptions.Degrade).
@@ -37,6 +51,17 @@ type DegradePolicy struct {
 	// descending (0 = 2). Retries on the same rung handle transient
 	// faults; descending handles persistent ones.
 	AttemptsPerBackend int
+	// Shrink adds the elastic-membership rung below the backend ladder:
+	// when an attempt fails because a rank died (crash, connection reset,
+	// injected kill), the survivors agree on the set of dead ranks
+	// (AgreeDead), evict them, renumber themselves into a dense world with
+	// the topology shrunk to the survivors (ShrinkWorld), and re-run the
+	// collective on that world — instead of burning backend retries on a
+	// peer that will never answer. Evictions are recorded in
+	// RunResult.Evicted, the cluster.evictions counter and the flight
+	// recorder. Requires a world of at most 64 ranks (the membership
+	// bitmap); larger worlds are refused with ErrWorldTooLarge.
+	Shrink bool
 }
 
 // Degradation records one backend downgrade performed during a run.
@@ -114,9 +139,10 @@ func defaultLadder(b Backend) []Backend {
 
 // Per-attempt outcome statuses agreed across ranks; the maximum wins.
 const (
-	agreeOK    = 0 // attempt succeeded everywhere → deliver results
-	agreeRetry = 1 // someone failed recoverably → retry / descend
-	agreeAbort = 2 // someone failed non-degradably → abort the collective
+	agreeOK     = 0 // attempt succeeded everywhere → deliver results
+	agreeRetry  = 1 // someone failed recoverably → retry / descend
+	agreeShrink = 2 // someone observed a dead rank → evict it and re-run
+	agreeAbort  = 3 // someone failed non-degradably → abort the collective
 )
 
 // degradable reports whether failing with err should trigger a retry on
@@ -147,7 +173,17 @@ func (r *Rank) runDegradable(b Backend, opt CollectiveOptions, op string, run fu
 	if r.r.Config().RecvTimeout <= 0 {
 		// Without a receive deadline a rank that abandons an attempt
 		// leaves its peers blocked forever; refuse rather than deadlock.
-		return nil, fmt.Errorf("hzccl: DegradePolicy requires ClusterConfig.RecvTimeout > 0 (an abandoned attempt must time out, not deadlock)")
+		return nil, ErrDegradeNeedsTimeout
+	}
+	if pol.Shrink {
+		if r.Size() > 64 {
+			return nil, fmt.Errorf("%w (DegradePolicy.Shrink tracks membership in a 64-bit bitmap)", ErrWorldTooLarge)
+		}
+		// Fail-fast receives: a confirmed rank death cancels in-flight
+		// waits immediately (cooperative abort) instead of letting every
+		// survivor burn a full RecvTimeout per blocked link.
+		r.r.SetFailFast(true)
+		defer r.r.SetFailFast(false)
 	}
 
 	rung, tries := 0, 0
@@ -155,20 +191,35 @@ func (r *Rank) runDegradable(b Backend, opt CollectiveOptions, op string, run fu
 	for {
 		out, err := run(ladder[rung])
 		lastErr = err
+		if err != nil && (errors.Is(err, ErrRankKilled) || errors.Is(err, ErrEvicted)) {
+			// This rank itself is dead (injected kill) or was evicted by
+			// the survivors: it no longer participates in consensus.
+			return nil, err
+		}
 		status := agreeOK
 		if err != nil {
 			status = agreeRetry
+			if pol.Shrink && r.r.SuspectedDead() != 0 {
+				// A member looks dead: propose eviction rather than burning
+				// backend retries on a peer that will never answer.
+				status = agreeShrink
+			}
 			if !degradable(err) {
 				status = agreeAbort
 			}
 		}
 		agreed, aerr := r.r.AgreeMax(status)
 		if aerr != nil {
-			// Consensus itself failed (peer exited): nothing to salvage.
-			if err != nil {
+			if pol.Shrink && errors.Is(aerr, ErrPeerFailed) {
+				// The consensus round itself lost a member. Every survivor
+				// observes the same aborted round, so all adopt shrink and
+				// proceed to membership consensus together.
+				agreed = agreeShrink
+			} else if err != nil {
 				return nil, fmt.Errorf("hzccl: %s degradation consensus failed: %v (local error: %w)", op, aerr, err)
+			} else {
+				return nil, fmt.Errorf("hzccl: %s degradation consensus failed: %w", op, aerr)
 			}
-			return nil, fmt.Errorf("hzccl: %s degradation consensus failed: %w", op, aerr)
 		}
 		switch agreed {
 		case agreeOK:
@@ -178,6 +229,23 @@ func (r *Rank) runDegradable(b Backend, opt CollectiveOptions, op string, run fu
 				err = fmt.Errorf("hzccl: %s aborted by a peer's non-degradable failure", op)
 			}
 			return nil, err
+		case agreeShrink:
+			dead, merr := r.r.AgreeDead(r.r.SuspectedDead())
+			if merr != nil {
+				return nil, fmt.Errorf("hzccl: %s membership consensus failed: %w", op, merr)
+			}
+			if dead != 0 {
+				// Evict the dead, renumber into the dense survivor world
+				// (ShrinkWorld advances the epoch itself) and re-run this
+				// rung from a clean slate.
+				if serr := r.r.ShrinkWorld(dead); serr != nil {
+					return nil, fmt.Errorf("hzccl: %s shrink failed: %w", op, serr)
+				}
+				tries = 0
+				continue
+			}
+			// False alarm (a suspect recovered before the membership round):
+			// fall through to plain retry bookkeeping.
 		}
 		// agreeRetry: discard the abandoned attempt's in-flight traffic,
 		// then either retry this rung or descend.

@@ -27,7 +27,17 @@ const (
 	FaultDuplicate = cluster.FaultDuplicate
 	FaultCorrupt   = cluster.FaultCorrupt
 	FaultDelay     = cluster.FaultDelay
+	FaultKill      = cluster.FaultKill
 )
+
+// KillRank crashes one rank at one send: when rank Rank issues its
+// AtStep-th original send (FaultContext.RankSeq), the send returns
+// ErrRankKilled and the rank is dead for the rest of the run. Install
+// KillRank.Fault() as ClusterConfig.Fault, or list kills in
+// ChaosSpec.Kills on top of a probabilistic schedule. Combined with
+// DegradePolicy.Shrink, the survivors evict the victim and finish the
+// collective on the shrunken world.
+type KillRank = cluster.KillRank
 
 // CorruptPattern configures how FaultCorrupt damages payloads (byte
 // offset, XOR mask, multi-byte bursts, or deterministic spray).
@@ -76,4 +86,25 @@ var (
 	// ErrRetransmitGone: a NACKed message was already evicted from the
 	// sender's bounded retransmit window.
 	ErrRetransmitGone = cluster.ErrRetransmitGone
+	// ErrRankFailed: a specific rank was confirmed dead mid-collective
+	// (cooperative abort). The concrete error is a *RankFailedError
+	// carrying the dead rank; errors.Is(err, ErrPeerFailed) also matches.
+	ErrRankFailed = cluster.ErrRankFailed
+	// ErrRankKilled: this rank was crashed by an injected FaultKill; its
+	// body must return the error (the rank is dead, not degraded).
+	ErrRankKilled = cluster.ErrRankKilled
+	// ErrEvicted: the surviving majority evicted this rank from the world
+	// during a membership shrink.
+	ErrEvicted = cluster.ErrEvicted
+	// ErrConnReset: a TCP peer's connection reset or closed mid-run; feeds
+	// the failure detector as the peer's cause of death.
+	ErrConnReset = cluster.ErrConnReset
+	// ErrWorldTooLarge: membership operations (DegradePolicy.Shrink,
+	// AgreeDead, ShrinkWorld) support at most 64 ranks.
+	ErrWorldTooLarge = cluster.ErrWorldTooLarge
 )
+
+// RankFailedError reports which rank was confirmed dead when a receive or
+// consensus round was cooperatively aborted. Match the class with
+// errors.Is(err, ErrRankFailed) and recover the rank via errors.As.
+type RankFailedError = cluster.RankFailedError

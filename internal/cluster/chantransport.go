@@ -24,24 +24,39 @@ type chanTransport struct {
 
 	barrierMu   sync.Mutex
 	barrierCond *sync.Cond
-	barrierGen  int
-	barrierIn   int
-	barrierMax  float64
-	// barrierVal accumulates the max of the values contributed to the
-	// in-progress AgreeMax generation; barrierOutMax/barrierOutVal latch
-	// the released generation's results so late leavers are not affected
-	// by ranks already entering the next one.
-	barrierVal    int
-	barrierOutMax float64
-	barrierOutVal int
-	// exited counts ranks whose body has returned. A positive count while
-	// a barrier generation is incomplete means it can never complete, so
-	// waiters abort instead of hanging.
-	exited int
+	// live[i] is false once rank i was evicted by a membership shrink:
+	// consensus generations stop waiting on it. exitedRank[i] is set once
+	// rank i's body returned — a *live* rank exiting aborts the
+	// generations it never joined (it will never arrive).
+	live       []bool
+	exitedRank []bool
+	// agreeSeq[i] is rank i's consensus-call ordinal. Every rank calls
+	// agree in identical program order, so rank r's k-th call joins
+	// generation k; gens holds each generation's state until its waiters
+	// have left.
+	agreeSeq []int
+	gens     map[int]*chanGen
 
 	// retx holds the per-link sender-side retransmit windows of the
 	// reliable-delivery layer (reliable.go).
 	retx retxStore
+}
+
+// chanGen is one consensus generation: the contributions folded so far
+// and, once done, the latched results (late leavers must not be affected
+// by ranks already entering the next generation).
+type chanGen struct {
+	tolerant bool
+	joined   []bool
+	in       int
+	maxClk   float64
+	maxVal   int
+	dead     uint64
+	done     bool
+	aborted  bool
+	outClk   float64
+	outVal   int
+	outDead  uint64
 }
 
 func newChanTransport() *chanTransport {
@@ -61,6 +76,13 @@ func (t *chanTransport) Close() error { return nil }
 func (t *chanTransport) bind(cfg Config) error {
 	t.cfg = cfg
 	t.done = make([]bool, cfg.Ranks)
+	t.live = make([]bool, cfg.Ranks)
+	for i := range t.live {
+		t.live[i] = true
+	}
+	t.exitedRank = make([]bool, cfg.Ranks)
+	t.agreeSeq = make([]int, cfg.Ranks)
+	t.gens = make(map[int]*chanGen)
 	t.retx.window = cfg.RetxWindow
 	return nil
 }
@@ -98,20 +120,27 @@ func (t *chanTransport) send(from, to int, m message, copies int) error {
 }
 
 // recv pulls the next message from the link's channel, honouring the
-// wall-clock timeout.
-func (t *chanTransport) recv(from, to int, timeout time.Duration) (message, bool, error) {
+// wall-clock timeout and the cooperative-abort channel.
+func (t *chanTransport) recv(from, to int, timeout time.Duration, abort <-chan struct{}) (message, bool, error) {
 	ch := t.chanFor(from, to)
-	if timeout <= 0 {
+	if timeout <= 0 && abort == nil {
 		m, ok := <-ch
 		return m, ok, nil
 	}
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
+	var timeoutC <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
+	// A nil channel blocks forever, so absent cases simply never fire.
 	select {
 	case m, ok := <-ch:
 		return m, ok, nil
-	case <-timer.C:
+	case <-timeoutC:
 		return message{}, false, ErrRecvTimeout
+	case <-abort:
+		return message{}, false, errAborted
 	}
 }
 
@@ -130,8 +159,9 @@ func (t *chanTransport) retransmit(from, to, seq, epoch int) ([]byte, uint32, er
 func (t *chanTransport) clearRetx(rank int) { t.retx.clear(rank) }
 
 // closeRank marks rank as finished and closes every mailbox it feeds. It
-// also wakes barrier waiters: a barrier generation missing an exited rank
-// can never complete, so waiting on it would deadlock.
+// also re-checks open consensus generations: a generation missing a live
+// exited rank can never complete, so its waiters abort (or, in a
+// tolerant membership round, complete without the dead member).
 func (t *chanTransport) closeRank(rank int) {
 	t.mailMu.Lock()
 	t.done[rank] = true
@@ -143,16 +173,95 @@ func (t *chanTransport) closeRank(rank int) {
 	t.mailMu.Unlock()
 
 	t.barrierMu.Lock()
-	t.exited++
+	t.exitedRank[rank] = true
+	for _, g := range t.gens {
+		t.checkGen(g)
+	}
 	t.barrierCond.Broadcast()
 	t.barrierMu.Unlock()
 }
 
-// agreeMax is the shared-memory barrier: every rank contributes
-// (clock, v), the last one in computes the leave clock (max + tree cost)
-// and the agreed value (max), and everyone is released together.
-func (t *chanTransport) agreeMax(rank int, clock float64, v int) (float64, int, error) {
-	n := t.cfg.Ranks
+// setMembers restricts the consensus plane to the surviving ranks after
+// a membership shrink. All survivors call it with the identical list, so
+// concurrent calls are idempotent.
+func (t *chanTransport) setMembers(members []int) {
+	t.barrierMu.Lock()
+	for i := range t.live {
+		t.live[i] = false
+	}
+	for _, m := range members {
+		if m >= 0 && m < len(t.live) {
+			t.live[m] = true
+		}
+	}
+	for _, g := range t.gens {
+		t.checkGen(g)
+	}
+	t.barrierCond.Broadcast()
+	t.barrierMu.Unlock()
+}
+
+// checkGen (caller holds barrierMu) decides whether a generation can
+// complete or must abort, given the current live/exited state.
+func (t *chanTransport) checkGen(g *chanGen) {
+	if g.done {
+		return
+	}
+	liveN, missing := 0, 0
+	var missingBits uint64
+	for i := 0; i < t.cfg.Ranks; i++ {
+		if !t.live[i] {
+			continue
+		}
+		liveN++
+		if t.exitedRank[i] && !g.joined[i] {
+			missing++
+			missingBits |= rankBit(i)
+		}
+	}
+	if !g.tolerant {
+		if g.in >= liveN {
+			t.completeGen(g, liveN)
+		} else if missing > 0 {
+			// A live member exited without joining: the classic round can
+			// never complete. Latch the dead set so every waiter reports
+			// the same failed rank.
+			g.aborted = true
+			g.outDead = g.dead | missingBits
+			g.done = true
+			t.barrierCond.Broadcast()
+		}
+		return
+	}
+	// Membership round: completes once every live member that can still
+	// arrive has arrived; exited members join the dead set instead of
+	// blocking the round.
+	if g.in > 0 && g.in >= liveN-missing {
+		g.dead |= missingBits
+		t.completeGen(g, liveN-missing)
+	}
+}
+
+// completeGen (caller holds barrierMu) latches a generation's results:
+// leave clock = max contribution + the α·ceil(log2 n) tree cost over the
+// n actual participants.
+func (t *chanTransport) completeGen(g *chanGen, n int) {
+	cost := 0.0
+	if n > 1 {
+		cost = t.cfg.Latency.Seconds() * math.Ceil(math.Log2(float64(n)))
+	}
+	g.outClk = g.maxClk + cost
+	g.outVal = g.maxVal
+	g.outDead = g.dead
+	g.done = true
+	t.barrierCond.Broadcast()
+}
+
+// agree is the shared-memory consensus plane: rank's k-th call joins
+// generation k (identical program order across ranks), contributions are
+// folded into the generation, and everyone still live leaves together
+// with the latched results.
+func (t *chanTransport) agree(rank int, clock float64, v int, propose uint64, tolerant bool) (float64, int, uint64, error) {
 	var deadline time.Time
 	if d := t.cfg.agreeTimeout(); d > 0 {
 		deadline = time.Now().Add(d)
@@ -164,45 +273,39 @@ func (t *chanTransport) agreeMax(rank int, clock float64, v int) (float64, int, 
 		defer wake.Stop()
 	}
 	t.barrierMu.Lock()
-	gen := t.barrierGen
-	if clock > t.barrierMax {
-		t.barrierMax = clock
+	genID := t.agreeSeq[rank]
+	t.agreeSeq[rank]++
+	g, ok := t.gens[genID]
+	if !ok {
+		g = &chanGen{tolerant: tolerant, joined: make([]bool, t.cfg.Ranks), maxClk: math.Inf(-1)}
+		t.gens[genID] = g
 	}
-	if v > t.barrierVal {
-		t.barrierVal = v
+	g.joined[rank] = true
+	g.in++
+	if clock > g.maxClk {
+		g.maxClk = clock
 	}
-	t.barrierIn++
-	if t.barrierIn == n {
-		cost := 0.0
-		if n > 1 {
-			cost = t.cfg.Latency.Seconds() * math.Ceil(math.Log2(float64(n)))
+	if v > g.maxVal {
+		g.maxVal = v
+	}
+	g.dead |= propose
+	t.checkGen(g)
+	for !g.done {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			t.barrierMu.Unlock()
+			return 0, 0, 0, fmt.Errorf("%w: barrier, peers missing after %v", ErrRecvTimeout, t.cfg.agreeTimeout())
 		}
-		t.barrierMax += cost
-		// Latch this generation's results: a fast rank may re-enter the
-		// next barrier (and mutate barrierMax/barrierVal) before slow
-		// leavers have read theirs.
-		t.barrierOutMax = t.barrierMax
-		t.barrierOutVal = t.barrierVal
-		t.barrierIn = 0
-		t.barrierVal = 0
-		t.barrierGen++
-		t.barrierCond.Broadcast()
-	} else {
-		for gen == t.barrierGen {
-			if t.exited > 0 {
-				t.barrierMu.Unlock()
-				return 0, 0, fmt.Errorf("%w: barrier aborted, a rank exited before reaching it", ErrPeerFailed)
-			}
-			if !deadline.IsZero() && time.Now().After(deadline) {
-				t.barrierMu.Unlock()
-				return 0, 0, fmt.Errorf("%w: barrier, peers missing after %v", ErrRecvTimeout, t.cfg.agreeTimeout())
-			}
-			t.barrierCond.Wait()
-		}
+		t.barrierCond.Wait()
 	}
-	leave, agreed := t.barrierOutMax, t.barrierOutVal
+	leave, agreed, dead, aborted := g.outClk, g.outVal, g.outDead, g.aborted
+	// Trim completed generations: every waiter holds its own *chanGen, so
+	// dropping old map entries is safe.
+	delete(t.gens, genID-2)
 	t.barrierMu.Unlock()
-	return leave, agreed, nil
+	if aborted {
+		return 0, 0, dead, fmt.Errorf("%w: barrier aborted, a rank exited before reaching it", rankFailedFromBits(dead, nil))
+	}
+	return leave, agreed, dead, nil
 }
 
 // retxStore is the per-link sender-side replay buffer shared by both

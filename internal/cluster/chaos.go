@@ -29,24 +29,56 @@ type ChaosSpec struct {
 	MaxDelaySeconds float64
 	// MaxFaults caps the total number of injected faults across the run
 	// (0 = unlimited). Useful to bound worst-case recovery time in tests.
+	// Kills are deterministic (not probabilistic) and do not count against
+	// the cap.
 	MaxFaults int64
+	// Kills crashes specific ranks at specific program-order send steps,
+	// on top of the probabilistic schedule. A kill matches only original
+	// sends (never retransmissions) and is checked before the random draw,
+	// so a seeded soak reproduces the same crash point every run.
+	Kills []KillRank
+}
+
+// KillRank crashes one rank at one send: when rank Rank issues its
+// AtStep-th original send (its program-order ordinal across all links,
+// FaultContext.RankSeq), the send returns ErrRankKilled and the rank is
+// dead for the rest of the run.
+type KillRank struct {
+	Rank   int
+	AtStep int
+}
+
+// match reports whether the fault context is the kill point.
+func (k KillRank) match(fc FaultContext) bool {
+	return fc.Attempt == 0 && fc.From == k.Rank && fc.RankSeq == k.AtStep
+}
+
+// Fault returns a hook injecting only this kill (everything else is
+// delivered intact) — the minimal schedule for shrink tests.
+func (k KillRank) Fault() Fault {
+	return func(fc FaultContext) (FaultAction, float64) {
+		if k.match(fc) {
+			return FaultKill, 0
+		}
+		return FaultDeliver, 0
+	}
 }
 
 // ChaosCounts tallies the faults a Chaos actually injected.
 type ChaosCounts struct {
-	Drops, Corrupts, Duplicates, Delays int64
+	Drops, Corrupts, Duplicates, Delays, Kills int64
 }
 
 // Total returns the combined number of injected faults.
 func (c ChaosCounts) Total() int64 {
-	return c.Drops + c.Corrupts + c.Duplicates + c.Delays
+	return c.Drops + c.Corrupts + c.Duplicates + c.Delays + c.Kills
 }
 
 // Chaos is a reusable fault schedule; install Fault() as Config.Fault.
 // It is safe for concurrent use from all ranks.
 type Chaos struct {
-	spec                                ChaosSpec
-	drops, corrupts, duplicates, delays atomic.Int64
+	spec                                       ChaosSpec
+	drops, corrupts, duplicates, delays, kills atomic.Int64
 }
 
 // NewChaos builds a chaos schedule from the spec.
@@ -64,6 +96,7 @@ func (x *Chaos) Counts() ChaosCounts {
 		Corrupts:   x.corrupts.Load(),
 		Duplicates: x.duplicates.Load(),
 		Delays:     x.delays.Load(),
+		Kills:      x.kills.Load(),
 	}
 }
 
@@ -81,6 +114,12 @@ func (x *Chaos) take() bool {
 func (x *Chaos) Fault() Fault {
 	s := x.spec
 	return func(fc FaultContext) (FaultAction, float64) {
+		for _, k := range s.Kills {
+			if k.match(fc) {
+				x.kills.Add(1)
+				return FaultKill, 0
+			}
+		}
 		h := chaosHash(s.Seed, fc)
 		u := u01(h)
 		switch {

@@ -109,6 +109,11 @@ type Config struct {
 	// creation (each process of a TCP mesh writes its own file, merged
 	// later with MergeChromeTraces).
 	Trace *Trace
+
+	// onPeerDown, set by New before the transport binds, routes transport
+	// evidence of a remote peer's death (TCP connection reset/EOF) into
+	// the cluster's failure detector.
+	onPeerDown func(rank int, cause error)
 }
 
 func (c Config) withDefaults() Config {
@@ -160,6 +165,10 @@ type Result struct {
 	// serialized compute; on a real-socket transport it is the local
 	// process's end-to-end wall time.
 	WallSeconds float64
+	// Evicted lists the physical ranks removed from the world by a
+	// membership-shrink consensus during the run, ascending. Empty on a
+	// healthy run.
+	Evicted []int
 }
 
 // AvgTime returns the mean final clock across ranks (the paper's kernels
@@ -258,6 +267,14 @@ type Cluster struct {
 	tr      Transport
 	compute sync.Mutex
 
+	// det is the failure detector feeding cooperative abort and
+	// shrink-and-continue (membership.go).
+	det *detector
+	// evicted records the physical ranks removed by membership shrinks,
+	// deduplicated across the survivor ranks reporting them.
+	evictMu sync.Mutex
+	evicted map[int]bool
+
 	// trace, when non-nil, records every virtual-time advance (set by
 	// NewTraced).
 	trace *Trace
@@ -275,6 +292,11 @@ func New(cfg Config) (*Cluster, error) {
 	if err := cfg.Topology.Validate(cfg.Ranks); err != nil {
 		return nil, err
 	}
+	c := &Cluster{epoch: time.Now(), det: newDetector(), evicted: make(map[int]bool)}
+	// Wire the transport's death evidence into the failure detector
+	// before the transport binds: a reader goroutine may observe a
+	// connection reset at any point after that.
+	cfg.onPeerDown = func(rank int, cause error) { c.det.confirm(rank, cause) }
 	tr := cfg.Transport
 	if tr == nil {
 		tr = newChanTransport()
@@ -282,7 +304,7 @@ func New(cfg Config) (*Cluster, error) {
 	if err := tr.bind(cfg); err != nil {
 		return nil, err
 	}
-	c := &Cluster{cfg: cfg, tr: tr, epoch: time.Now()}
+	c.cfg, c.tr = cfg, tr
 	if hint, ok := tr.epochHint(); ok {
 		// A multi-process transport supplies a mesh-wide epoch so wall
 		// timestamps from different processes share one time base.
@@ -318,11 +340,15 @@ func Run(cfg Config, body func(*Rank) error) (*Result, error) {
 }
 
 func (c *Cluster) newRank(id int) *Rank {
-	return &Rank{
-		ID: id, N: c.cfg.Ranks, c: c, breakdown: make(map[Category]float64),
+	r := &Rank{
+		ID: id, N: c.cfg.Ranks, phys: id, c: c, breakdown: make(map[Category]float64),
 		sendSeq: make([]int, c.cfg.Ranks), recvSeq: make([]int, c.cfg.Ranks),
 		pending: make([]map[int]message, c.cfg.Ranks),
 	}
+	if n := c.cfg.Ranks; n <= 64 {
+		r.memberMask = ^uint64(0) >> (64 - uint(n))
+	}
+	return r
 }
 
 // Run executes body for every local rank of the transport: once per rank
@@ -351,9 +377,16 @@ func (c *Cluster) Run(body func(*Rank) error) (*Result, error) {
 			defer func() {
 				if p := recover(); p != nil {
 					errs[i] = fmt.Errorf("cluster: rank %d panicked: %v", i, p)
+					c.det.confirm(i, errs[i])
 				}
 			}()
 			errs[i] = body(r)
+			if errs[i] != nil {
+				// Hard evidence for the failure detector: the rank's body
+				// died. Confirm before closeRank so cooperative aborts on
+				// the surviving ranks see the cause.
+				c.det.confirm(i, errs[i])
+			}
 		}(r, i)
 	}
 	wg.Wait()
@@ -361,6 +394,7 @@ func (c *Cluster) Run(body func(*Rank) error) (*Result, error) {
 		RankTimes:   make([]float64, n),
 		Breakdown:   make(map[Category]float64),
 		WallSeconds: time.Since(start).Seconds(),
+		Evicted:     c.evictedList(),
 	}
 	for i, r := range ranks {
 		res.RankTimes[i] = r.now
@@ -374,10 +408,21 @@ func (c *Cluster) Run(body func(*Rank) error) (*Result, error) {
 	// Prefer a root-cause error over the ErrPeerFailed cascade it triggers
 	// on other ranks: when one rank aborts (e.g. on a checksum mismatch),
 	// its peers observe closed channels, and reporting those would mask
-	// the rank that actually detected the problem.
-	var peerErr error
+	// the rank that actually detected the problem. A killed or evicted
+	// rank's own exit error is benign as long as the survivors succeeded —
+	// that is shrink-and-continue working as intended — but becomes the
+	// reported error when every rank died.
+	var peerErr, benignErr error
+	okRanks := 0
 	for _, e := range errs {
 		if e == nil {
+			okRanks++
+			continue
+		}
+		if errors.Is(e, ErrRankKilled) || errors.Is(e, ErrEvicted) {
+			if benignErr == nil {
+				benignErr = e
+			}
 			continue
 		}
 		if errors.Is(e, ErrPeerFailed) {
@@ -388,7 +433,13 @@ func (c *Cluster) Run(body func(*Rank) error) (*Result, error) {
 		}
 		return res, e
 	}
-	return res, peerErr
+	if peerErr != nil {
+		return res, peerErr
+	}
+	if okRanks == 0 && benignErr != nil {
+		return res, benignErr
+	}
+	return res, nil
 }
 
 // runLocal executes body for the single rank this process hosts; its
@@ -411,12 +462,20 @@ func (c *Cluster) runLocal(id int, body func(*Rank) error) (*Result, error) {
 		RankTimes:   []float64{r.now},
 		Breakdown:   r.Breakdown(),
 		WallSeconds: time.Since(start).Seconds(),
+		Evicted:     c.evictedList(),
 	}
 	return res, err
 }
 
 // Rank is one simulated process. All methods must be called only from the
 // rank's own goroutine.
+//
+// ID and N are the rank's *virtual* view of the world: initially
+// identical to the physical ids the cluster was created with, they
+// renumber densely when ShrinkWorld evicts dead members, so every
+// schedule written against ID/N runs on a shrunken world unchanged. All
+// internal per-link state (sequence numbers, replay windows, telemetry)
+// stays indexed by the immutable physical id.
 type Rank struct {
 	ID int
 	N  int
@@ -424,6 +483,23 @@ type Rank struct {
 	c         *Cluster
 	now       float64
 	breakdown map[Category]float64
+	// phys is the immutable physical rank id (see PhysID).
+	phys int
+	// members maps virtual → physical ids after a shrink; nil means the
+	// identity mapping. memberMask is the physical bitmap of current
+	// members (0 on worlds beyond the 64-rank elastic limit); topo, when
+	// non-nil, overrides the configured Topology with the shrunken one.
+	members    []int
+	memberMask uint64
+	topo       *Topology
+	// failFast arms cooperative abort (SetFailFast); killed is latched
+	// once a FaultKill terminated this rank; suspected tracks which peers
+	// this rank reported to the failure detector; sendCount numbers this
+	// rank's original sends across all links (FaultContext.RankSeq).
+	failFast  bool
+	killed    bool
+	suspected uint64
+	sendCount int
 	// sendSeq[to] / recvSeq[from] count messages per link, backing the
 	// sequence-number integrity check. Only touched from the rank's own
 	// goroutine.
@@ -456,9 +532,9 @@ type Rank struct {
 func (r *Rank) BeginOp(name string) uint64 {
 	r.opCount++
 	r.opTrace = r.opCount
-	flight.Record(r.ID, telemetry.FlightOp, int64(r.opTrace), 0, 0, 0)
+	flight.Record(r.phys, telemetry.FlightOp, int64(r.opTrace), 0, 0, 0)
 	if tr := r.c.trace; tr != nil {
-		tr.recordInstant(Instant{Name: "op " + name, Rank: r.ID, Ts: r.wallNow()})
+		tr.recordInstant(Instant{Name: "op " + name, Rank: r.phys, Ts: r.wallNow()})
 	}
 	return r.opTrace
 }
@@ -477,13 +553,13 @@ func flowID(trace uint64, from, to, epoch, seq int) string {
 // event always, plus — when traced — the finish half of the flow edge,
 // anchored to a wall slice spanning the receive wait.
 func (r *Rank) noteRecv(m message, waitStart time.Time) {
-	flight.Record(r.ID, telemetry.FlightRecv, int64(m.from), int64(r.ID), int64(m.seq), int64(len(m.data)))
+	flight.Record(r.phys, telemetry.FlightRecv, int64(m.from), int64(r.phys), int64(m.seq), int64(len(m.data)))
 	if tr := r.c.trace; tr != nil {
 		tr.recordFlow(FlowPoint{
 			Phase: 'f',
-			ID:    flowID(m.trace, m.from, r.ID, m.epoch, m.seq),
-			Name:  fmt.Sprintf("recv %d<%d", r.ID, m.from),
-			Rank:  r.ID,
+			ID:    flowID(m.trace, m.from, r.phys, m.epoch, m.seq),
+			Name:  fmt.Sprintf("recv %d<%d", r.phys, m.from),
+			Rank:  r.phys,
 			Start: waitStart.Sub(r.c.epoch).Seconds(),
 			Dur:   time.Since(waitStart).Seconds(),
 		})
@@ -495,15 +571,23 @@ func (r *Rank) noteRecv(m message, waitStart time.Time) {
 // wall timeline. Purely observational; the ladder logic lives above the
 // cluster.
 func (r *Rank) NoteDegrade(from, to int) {
-	flight.Record(r.ID, telemetry.FlightDegrade, int64(from), int64(to), 0, 0)
+	flight.Record(r.phys, telemetry.FlightDegrade, int64(from), int64(to), 0, 0)
 	if tr := r.c.trace; tr != nil {
-		tr.recordInstant(Instant{Name: fmt.Sprintf("degrade %d→%d", from, to), Rank: r.ID, Ts: r.wallNow()})
+		tr.recordInstant(Instant{Name: fmt.Sprintf("degrade %d→%d", from, to), Rank: r.phys, Ts: r.wallNow()})
 	}
 }
 
 // Config returns the cluster configuration (with defaults applied) the
-// rank is running under.
-func (r *Rank) Config() Config { return r.c.cfg }
+// rank is running under. After a ShrinkWorld the returned Topology is
+// the shrunken one, matching the rank's virtual ID/N view, so schedules
+// that consult it keep working on the smaller world.
+func (r *Rank) Config() Config {
+	cfg := r.c.cfg
+	if r.topo != nil {
+		cfg.Topology = r.topo
+	}
+	return cfg
+}
 
 // ErrBadPeer is returned when a peer rank index is out of range.
 var ErrBadPeer = errors.New("cluster: peer rank out of range")
@@ -532,7 +616,7 @@ func (r *Rank) Elapse(cat Category, seconds float64) {
 		return
 	}
 	if tr := r.c.trace; tr != nil && seconds > 0 {
-		tr.record(TraceEvent{Rank: r.ID, Category: cat, Start: r.now, Dur: seconds})
+		tr.record(TraceEvent{Rank: r.phys, Category: cat, Start: r.now, Dur: seconds})
 	}
 	r.now += seconds
 	r.breakdown[cat] += seconds
@@ -564,7 +648,7 @@ func (r *Rank) TimeScaled(cat Category, scale float64, f func()) {
 	// where the work actually ran, alongside the virtual schedule it is
 	// charged into.
 	if tr := r.c.trace; tr != nil && dt > 0 {
-		tr.recordWall(TraceEvent{Rank: r.ID, Category: cat, Start: t0.Sub(r.c.epoch).Seconds(), Dur: dt})
+		tr.recordWall(TraceEvent{Rank: r.phys, Category: cat, Start: t0.Sub(r.c.epoch).Seconds(), Dur: dt})
 	}
 	r.Elapse(cat, dt*scale)
 }
@@ -599,14 +683,20 @@ func (r *Rank) Quiesce(f func()) {
 // verified by Recv; a configured Fault hook may drop, duplicate, corrupt
 // or delay the message before it is enqueued.
 func (r *Rank) Send(to int, data []byte) error {
+	if r.killed {
+		return fmt.Errorf("%w: rank %d", ErrRankKilled, r.phys)
+	}
 	if to < 0 || to >= r.N {
 		return fmt.Errorf("%w: send to %d of %d", ErrBadPeer, to, r.N)
 	}
 	if to == r.ID {
 		return fmt.Errorf("%w: self-send", ErrBadPeer)
 	}
-	m := message{sentAt: r.now, from: r.ID, seq: r.sendSeq[to], epoch: r.epoch, trace: r.opTrace}
-	r.sendSeq[to]++
+	pt := r.peerPhys(to)
+	m := message{sentAt: r.now, from: r.phys, seq: r.sendSeq[pt], epoch: r.epoch, trace: r.opTrace}
+	r.sendSeq[pt]++
+	rankSeq := r.sendCount
+	r.sendCount++
 	tr := r.c.trace
 	var wallStart time.Time
 	if tr != nil {
@@ -617,15 +707,15 @@ func (r *Rank) Send(to int, data []byte) error {
 		copy(m.data, data)
 		m.sum = checksum(m.data)
 	})
-	flight.Record(r.ID, telemetry.FlightSend, int64(r.ID), int64(to), int64(m.seq), int64(len(data)))
+	flight.Record(r.phys, telemetry.FlightSend, int64(r.phys), int64(pt), int64(m.seq), int64(len(data)))
 	if tr != nil {
 		// The send half of the flow edge, anchored to the copy/checksum
 		// work that physically happened on this rank.
 		tr.recordFlow(FlowPoint{
 			Phase: 's',
-			ID:    flowID(m.trace, r.ID, to, m.epoch, m.seq),
-			Name:  fmt.Sprintf("send %d>%d", r.ID, to),
-			Rank:  r.ID,
+			ID:    flowID(m.trace, r.phys, pt, m.epoch, m.seq),
+			Name:  fmt.Sprintf("send %d>%d", r.phys, pt),
+			Rank:  r.phys,
 			Start: wallStart.Sub(r.c.epoch).Seconds(),
 			Dur:   time.Since(wallStart).Seconds(),
 		})
@@ -633,14 +723,24 @@ func (r *Rank) Send(to int, data []byte) error {
 	if r.c.cfg.Reliable {
 		// Record the pristine payload in the per-link replay window before
 		// the fault hook can damage or drop it.
-		r.c.tr.recordRetx(r.ID, to, m.seq, m.epoch, m.data, m.sum)
+		r.c.tr.recordRetx(r.phys, pt, m.seq, m.epoch, m.data, m.sum)
 	}
-	copies, dropped := r.c.applyFault(&m, to)
+	copies, dropped, killed := r.c.applyFault(&m, pt, rankSeq)
+	if killed {
+		// This rank dies at this send: the message is never transmitted,
+		// the replay windows of a dead process are gone (so peers cannot
+		// salvage anything it "sent" after death), and every later
+		// Send/Recv fails immediately.
+		bufpool.PutBytes(m.data)
+		r.killed = true
+		r.c.tr.clearRetx(r.phys)
+		return fmt.Errorf("%w: rank %d at send #%d", ErrRankKilled, r.phys, rankSeq)
+	}
 	if dropped {
 		bufpool.PutBytes(m.data)
 		return nil
 	}
-	return r.c.tr.send(r.ID, to, m, copies)
+	return r.c.tr.send(r.phys, pt, m, copies)
 }
 
 // Recv blocks until a message from peer `from` arrives and returns its
@@ -659,20 +759,24 @@ func (r *Rank) Send(to int, data []byte) error {
 // (bounded by RetryBudget, with exponential backoff), and duplicates are
 // silently deduplicated. See reliable.go.
 func (r *Rank) Recv(from int) ([]byte, error) {
+	if r.killed {
+		return nil, fmt.Errorf("%w: rank %d", ErrRankKilled, r.phys)
+	}
 	if from < 0 || from >= r.N {
 		return nil, fmt.Errorf("%w: recv from %d of %d", ErrBadPeer, from, r.N)
 	}
 	if from == r.ID {
 		return nil, fmt.Errorf("%w: self-recv", ErrBadPeer)
 	}
+	pf := r.peerPhys(from)
 	if r.c.cfg.Reliable {
-		return r.recvReliable(from)
+		return r.recvReliable(pf)
 	}
-	return r.recvStrict(from)
+	return r.recvStrict(pf)
 }
 
 // recvStrict is the fail-fast receive path: every integrity violation is
-// reported to the caller.
+// reported to the caller. `from` is a physical rank id.
 func (r *Rank) recvStrict(from int) ([]byte, error) {
 	waitStart := time.Now()
 	want := r.recvSeq[from]
@@ -685,24 +789,44 @@ func (r *Rank) recvStrict(from int) ([]byte, error) {
 		return data, err
 	}
 	for {
-		m, ok, err := r.c.tr.recv(from, r.ID, r.c.cfg.RecvTimeout)
+		// Cooperative abort: fetch the watch channel BEFORE checking the
+		// confirmed set, so a confirmation landing in between still fires
+		// the channel during the wait.
+		abort := r.abortWatch()
+		if r.failFast {
+			if d := r.confirmedPeer(from); d >= 0 {
+				return nil, r.rankFailedErr(d)
+			}
+		}
+		m, ok, err := r.c.tr.recv(from, r.phys, r.c.cfg.RecvTimeout, abort)
+		if errors.Is(err, errAborted) {
+			if d := r.confirmedPeer(from); d >= 0 {
+				return nil, r.rankFailedErr(d)
+			}
+			// The confirmed rank is `from` itself: treat it exactly like
+			// its exit.
+			ok, err = false, nil
+		}
 		if err != nil {
+			r.noteSuspect(from)
 			return nil, fmt.Errorf("%w: from rank %d after %v", err, from, r.c.cfg.RecvTimeout)
 		}
 		if !ok {
-			return nil, fmt.Errorf("%w: rank %d", ErrPeerFailed, from)
+			r.c.det.confirm(from, nil)
+			return nil, r.peerFailedErr(from)
 		}
+		r.unsuspect(from)
 		// The bytes moved (and were charged) regardless; integrity failures
 		// surface after the clock advance so timing stays physical.
 		r.chargeArrival(m)
 		if m.epoch != r.epoch {
 			if m.epoch < r.epoch {
 				mDedups.Inc() // stale traffic from an aborted attempt
-				flight.Record(r.ID, telemetry.FlightDedup, int64(m.from), int64(r.ID), int64(m.seq), int64(m.epoch))
+				flight.Record(r.phys, telemetry.FlightDedup, int64(m.from), int64(r.phys), int64(m.seq), int64(m.epoch))
 				continue
 			}
 			return nil, fmt.Errorf("cluster: rank %d got epoch %d message from rank %d while in epoch %d (AdvanceEpoch must be globally synchronized)",
-				r.ID, m.epoch, from, r.epoch)
+				r.phys, m.epoch, from, r.epoch)
 		}
 		switch {
 		case m.seq < want:
@@ -729,7 +853,7 @@ func (r *Rank) chargeArrival(m message) {
 	arrive := m.sentAt + m.delay + r.c.cfg.Latency.Seconds() + float64(len(m.data))/r.c.cfg.BandwidthBytes
 	if arrive > r.now {
 		if tr := r.c.trace; tr != nil {
-			tr.record(TraceEvent{Rank: r.ID, Category: CatMPI, Start: r.now, Dur: arrive - r.now})
+			tr.record(TraceEvent{Rank: r.phys, Category: CatMPI, Start: r.now, Dur: arrive - r.now})
 		}
 		r.breakdown[CatMPI] += arrive - r.now
 		r.now = arrive
@@ -784,7 +908,7 @@ func (r *Rank) AdvanceEpoch() {
 	for i := range r.pending {
 		r.pending[i] = nil
 	}
-	r.c.tr.clearRetx(r.ID)
+	r.c.tr.clearRetx(r.phys)
 }
 
 // SendRecv posts a send to `to` and then receives from `from`, the
@@ -815,14 +939,14 @@ func (r *Rank) Barrier() error {
 // immune to injected fabric faults — the collectives use it as the
 // control plane for agreeing to retry or degrade after a failed attempt.
 func (r *Rank) AgreeMax(v int) (int, error) {
-	leave, agreed, err := r.c.tr.agreeMax(r.ID, r.now, v)
+	leave, agreed, _, err := r.c.tr.agree(r.phys, r.now, v, 0, false)
 	if err != nil {
 		return 0, err
 	}
-	flight.Record(r.ID, telemetry.FlightAgree, int64(v), int64(agreed), 0, 0)
+	flight.Record(r.phys, telemetry.FlightAgree, int64(v), int64(agreed), 0, 0)
 	if leave > r.now {
 		if tr := r.c.trace; tr != nil {
-			tr.record(TraceEvent{Rank: r.ID, Category: CatMPI, Start: r.now, Dur: leave - r.now})
+			tr.record(TraceEvent{Rank: r.phys, Category: CatMPI, Start: r.now, Dur: leave - r.now})
 		}
 		r.breakdown[CatMPI] += leave - r.now
 		r.now = leave

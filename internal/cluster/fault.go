@@ -58,6 +58,14 @@ const (
 	// FaultDelay delivers the message with extra latency (the hook's
 	// second return value, in seconds, added to the modeled arrival time).
 	FaultDelay
+	// FaultKill terminates the *sending* rank at this message: the message
+	// is never transmitted, the rank's replay windows are discarded, and
+	// every later Send/Recv on it fails with ErrRankKilled — the injected
+	// equivalent of a process crash, driving the elastic-membership path
+	// (failure detection, cooperative abort, shrink-and-continue). Only
+	// honoured on original sends (Attempt == 0); a kill decision on a
+	// retransmission is ignored.
+	FaultKill
 )
 
 // FaultContext identifies one point-to-point message for the fault hook.
@@ -78,6 +86,12 @@ type FaultContext struct {
 	// that return the same action regardless of Attempt make a message
 	// unrecoverable and exhaust the retry budget.
 	Attempt int
+	// RankSeq is the 0-based ordinal of this send among all of the sending
+	// rank's original sends across every link (its program-order step
+	// counter), or -1 for retransmissions. Kill schedules key off it to
+	// crash a rank at a deterministic point of the collective regardless of
+	// which link that step happens to use.
+	RankSeq int
 }
 
 // Fault decides the fate of each message. It runs on the sender's
@@ -165,17 +179,18 @@ func checksum(data []byte) uint32 { return crc32.Checksum(data, msgTable) }
 // Corruption mutates the (already checksummed) payload copy, so the
 // receiver's verification fails — or, for an empty payload, poisons the
 // stored checksum directly.
-func (c *Cluster) applyFault(m *message, to int) (copies int, drop bool) {
-	return c.applyFaultAttempt(m, to, 0)
+func (c *Cluster) applyFault(m *message, to, rankSeq int) (copies int, drop, kill bool) {
+	return c.applyFaultAttempt(m, to, 0, rankSeq)
 }
 
 // applyFaultAttempt is applyFault for a specific delivery attempt
-// (attempt 0 is the original send, k ≥ 1 the k-th retransmission).
-func (c *Cluster) applyFaultAttempt(m *message, to, attempt int) (copies int, drop bool) {
+// (attempt 0 is the original send, k ≥ 1 the k-th retransmission; rankSeq
+// is -1 for retransmissions, which can never kill).
+func (c *Cluster) applyFaultAttempt(m *message, to, attempt, rankSeq int) (copies int, drop, kill bool) {
 	if c.cfg.Fault == nil {
-		return 1, false
+		return 1, false, false
 	}
-	fc := FaultContext{From: m.from, To: to, Seq: m.seq, Len: len(m.data), Epoch: m.epoch, Attempt: attempt}
+	fc := FaultContext{From: m.from, To: to, Seq: m.seq, Len: len(m.data), Epoch: m.epoch, Attempt: attempt, RankSeq: rankSeq}
 	action, delay := c.cfg.Fault(fc)
 	if action != FaultDeliver {
 		// Every injected fault — original sends and retransmissions alike,
@@ -185,9 +200,9 @@ func (c *Cluster) applyFaultAttempt(m *message, to, attempt int) (copies int, dr
 	}
 	switch action {
 	case FaultDrop:
-		return 0, true
+		return 0, true, false
 	case FaultDuplicate:
-		return 2, false
+		return 2, false, false
 	case FaultCorrupt:
 		if len(m.data) > 0 {
 			if p := c.cfg.Corrupt; p != nil {
@@ -198,10 +213,14 @@ func (c *Cluster) applyFaultAttempt(m *message, to, attempt int) (copies int, dr
 		} else {
 			m.sum ^= 0xdeadbeef
 		}
-		return 1, false
+		return 1, false, false
 	case FaultDelay:
 		m.delay += delay
-		return 1, false
+		return 1, false, false
+	case FaultKill:
+		if attempt == 0 {
+			return 0, false, true
+		}
 	}
-	return 1, false
+	return 1, false, false
 }

@@ -78,13 +78,30 @@ func (r *Rank) recvReliable(from int) ([]byte, error) {
 		if m, ok := r.takePending(from, want); ok {
 			return r.deliverReliable(m, from, want, waitStart)
 		}
-		m, ok, err := r.c.tr.recv(from, r.ID, r.c.cfg.RecvTimeout)
+		abort := r.abortWatch()
+		if r.failFast {
+			if d := r.confirmedPeer(from); d >= 0 {
+				return nil, r.rankFailedErr(d)
+			}
+		}
+		m, ok, err := r.c.tr.recv(from, r.phys, r.c.cfg.RecvTimeout, abort)
+		if errors.Is(err, errAborted) {
+			// Cooperative abort: a rank was confirmed dead while we waited.
+			// If it is another rank, bail out typed; if it is `from` itself,
+			// fall through to the sender-exited salvage path.
+			if d := r.confirmedPeer(from); d >= 0 {
+				return nil, r.rankFailedErr(d)
+			}
+			ok, err = false, nil
+		}
 		if err != nil {
 			// Timeout: the message was likely dropped in flight — recover
 			// from the sender's window. If it simply has not been sent yet
 			// the sender is slow, so wait again (bounded by the budget).
+			r.noteSuspect(from)
 			data, rerr := r.recover(from, want, err)
 			if rerr == nil {
+				r.unsuspect(from)
 				r.recvSeq[from] = want + 1
 				return data, nil
 			}
@@ -101,27 +118,29 @@ func (r *Rank) recvReliable(from int) ([]byte, error) {
 			// Sender exited; on the in-process fabric its replay window
 			// survives, so messages it sent before exiting can still be
 			// salvaged.
+			r.c.det.confirm(from, nil)
 			data, rerr := r.recover(from, want, ErrPeerFailed)
 			if rerr == nil {
 				r.recvSeq[from] = want + 1
 				return data, nil
 			}
-			return nil, fmt.Errorf("%w: rank %d", ErrPeerFailed, from)
+			return nil, r.peerFailedErr(from)
 		}
+		r.unsuspect(from)
 		r.chargeArrival(m)
 		if m.epoch != r.epoch {
 			if m.epoch < r.epoch {
 				mDedups.Inc() // stale traffic from an abandoned attempt
-				flight.Record(r.ID, telemetry.FlightDedup, int64(m.from), int64(r.ID), int64(m.seq), int64(m.epoch))
+				flight.Record(r.phys, telemetry.FlightDedup, int64(m.from), int64(r.phys), int64(m.seq), int64(m.epoch))
 				continue
 			}
 			return nil, fmt.Errorf("cluster: rank %d got epoch %d message from rank %d while in epoch %d (AdvanceEpoch must be globally synchronized)",
-				r.ID, m.epoch, from, r.epoch)
+				r.phys, m.epoch, from, r.epoch)
 		}
 		switch {
 		case m.seq < want:
 			mDedups.Inc() // duplicate delivery: silently dedup
-			flight.Record(r.ID, telemetry.FlightDedup, int64(m.from), int64(r.ID), int64(m.seq), int64(m.epoch))
+			flight.Record(r.phys, telemetry.FlightDedup, int64(m.from), int64(r.phys), int64(m.seq), int64(m.epoch))
 			continue
 		case m.seq > want:
 			// A gap means `want` was dropped: retain the later message for
@@ -143,6 +162,7 @@ func (r *Rank) recvReliable(from int) ([]byte, error) {
 func (r *Rank) deliverReliable(m message, from, want int, waitStart time.Time) ([]byte, error) {
 	data, err := r.verifyPayload(m, from)
 	if err == nil {
+		r.unsuspect(from)
 		r.recvSeq[from] = want + 1
 		r.noteRecv(m, waitStart)
 		return data, nil
@@ -165,10 +185,10 @@ func (r *Rank) recover(from, want int, cause error) ([]byte, error) {
 	alpha := cfg.Latency.Seconds()
 	for attempt := 1; attempt <= cfg.RetryBudget; attempt++ {
 		mNacks.Inc()
-		flight.Record(r.ID, telemetry.FlightNack, int64(from), int64(r.ID), int64(want), int64(attempt))
+		flight.Record(r.phys, telemetry.FlightNack, int64(from), int64(r.phys), int64(want), int64(attempt))
 		// The NACK control message flies back to the sender: one α.
 		r.Elapse(CatMPI, alpha)
-		data, sum, err := r.c.tr.retransmit(from, r.ID, want, r.epoch)
+		data, sum, err := r.c.tr.retransmit(from, r.phys, want, r.epoch)
 		if err != nil {
 			if errors.Is(err, errNotYetSent) {
 				return nil, errNotYetSent
@@ -177,14 +197,14 @@ func (r *Rank) recover(from, want int, cause error) ([]byte, error) {
 		}
 		m := message{data: data, sentAt: r.now, from: from, seq: want, sum: sum, epoch: r.epoch}
 		// The replay crosses the same faulty fabric as the original.
-		_, dropped := r.c.applyFaultAttempt(&m, r.ID, attempt)
+		_, dropped, _ := r.c.applyFaultAttempt(&m, r.phys, attempt, -1)
 		if !dropped {
 			mRetransmits.Inc()
-			flight.Record(r.ID, telemetry.FlightRetransmit, int64(from), int64(r.ID), int64(want), int64(attempt))
+			flight.Record(r.phys, telemetry.FlightRetransmit, int64(from), int64(r.phys), int64(want), int64(attempt))
 			if tr := r.c.trace; tr != nil {
 				tr.recordInstant(Instant{
-					Name: fmt.Sprintf("retransmit %d>%d seq %d", from, r.ID, want),
-					Rank: r.ID, Ts: r.wallNow(),
+					Name: fmt.Sprintf("retransmit %d>%d seq %d", from, r.phys, want),
+					Rank: r.phys, Ts: r.wallNow(),
 				})
 			}
 			r.chargeArrival(m) // α + bytes/β (+ injected delay)
@@ -198,5 +218,5 @@ func (r *Rank) recover(from, want int, cause error) ([]byte, error) {
 		r.Elapse(CatMPI, cfg.RetryBackoff.Seconds()*float64(uint64(1)<<uint(attempt-1)))
 	}
 	return nil, fmt.Errorf("%w: link %d→%d seq %d after %d attempts (root cause: %w)",
-		ErrRetryBudgetExhausted, from, r.ID, want, cfg.RetryBudget, cause)
+		ErrRetryBudgetExhausted, from, r.phys, want, cfg.RetryBudget, cause)
 }

@@ -14,17 +14,17 @@ package cluster
 //
 // Wire protocol (all integers little-endian):
 //
-//	handshake   "hZCC" ver=2 | u32 rank | u32 world | u64 epochNanos   (both directions)
+//	handshake   "hZCC" ver=3 | u32 rank | u32 world | u64 epochNanos   (both directions)
 //	frame       u32 length | u8 type | body
 //	  data      u32 seq | u32 epoch | u32 sum | f64 sentAt | f64 delay | u64 trace | payload
 //	  nack      u32 seq | u32 epoch
 //	  retx      u8 status | u32 seq | u32 epoch | u32 sum | payload
-//	  agree     u32 gen | f64 clock | i64 value
-//	  release   u32 gen | f64 clock | i64 value
+//	  agree     u32 gen | u8 flags | f64 clock | i64 value | u64 dead
+//	  release   u32 gen | u8 flags | f64 clock | i64 value | u64 dead
 //
 // The frame length covers everything after the length field itself.
 //
-// Version 2 extends version 1 in two places, both for distributed
+// Version 2 extended version 1 in two places, both for distributed
 // tracing: the handshake carries the sender's start time (UnixNano), and
 // every process anchors its trace timestamps to the minimum start time
 // observed across the mesh — the full mesh guarantees every process sees
@@ -32,6 +32,17 @@ package cluster
 // per-process traces line up without a clock-sync protocol. Data frames
 // additionally carry the sender's 64-bit collective trace ID, so a
 // receiving process can pair its delivery with the remote send.
+//
+// Version 3 makes the control plane failure-aware for elastic
+// membership: agree/release frames carry a flags byte (bit 0 = tolerant
+// membership round) and a u64 dead-set bitmap of physical ranks. The
+// coordinator — the lowest *live* rank, no longer hardwired to rank 0 —
+// marks peers whose connections closed mid-round as dead instead of
+// failing the gather, and always releases the survivors with the dead
+// set so everyone observes the same failure. A reader goroutine that
+// observes its connection reset reports the peer to the failure detector
+// (Config.onPeerDown), which is how a remote process crash feeds
+// cooperative abort and shrink-and-continue.
 
 import (
 	"bufio"
@@ -43,6 +54,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"hzccl/internal/bufpool"
@@ -51,7 +63,7 @@ import (
 // TCP protocol constants.
 const (
 	tcpMagic   = "hZCC"
-	tcpVersion = 2
+	tcpVersion = 3
 
 	// tcpHelloLen is the handshake size: magic, version, rank, world,
 	// epoch nanos.
@@ -100,13 +112,19 @@ type TCPOptions struct {
 }
 
 // tcpCtl is one control-plane event (agree or release frame) delivered to
-// a waiting AgreeMax.
+// a waiting consensus round.
 type tcpCtl struct {
 	kind  byte
 	gen   uint32
+	flags byte
 	clock float64
 	val   int64
+	dead  uint64
 }
+
+// tcpCtlBodyLen is the control-frame body after the type byte: gen,
+// flags, clock, value, dead bitmap.
+const tcpCtlBodyLen = 4 + 1 + 8 + 8 + 8
 
 // tcpRetx is a replay answer for an outstanding NACK.
 type tcpRetx struct {
@@ -151,13 +169,22 @@ type TCPTransport struct {
 	// them through NACK frames serviced by the reader goroutines.
 	retxW retxStore
 
-	// agreeGen numbers AgreeMax rounds. Collectives call AgreeMax in the
+	// agreeGen numbers consensus rounds. Collectives call AgreeMax in the
 	// same program order on every rank, so a plain counter matches
 	// generations across the mesh; the generation travels in the frame so
 	// a mismatch is detected as a protocol error instead of silently
-	// pairing different barriers.
+	// pairing different barriers. live[i] is false once rank i was
+	// evicted by a membership shrink: consensus rounds skip it, and the
+	// round coordinator is the lowest live rank. Every surviving process
+	// applies the same shrink, so the coordinator is identical everywhere.
 	agreeMu  sync.Mutex
 	agreeGen uint32
+	live     []bool
+
+	// onDown, set at bind, reports a peer whose connection reset to the
+	// failure detector. Stored atomically because reader goroutines start
+	// before bind runs.
+	onDown atomic.Value // of func(rank int, cause error)
 
 	// ownEpochNanos is this process's start time, sent in every handshake;
 	// meshEpochNanos tracks the minimum over all epochs observed (our own
@@ -190,7 +217,11 @@ func NewTCPTransport(opt TCPOptions) (*TCPTransport, error) {
 		rank:   opt.Rank,
 		n:      n,
 		peers:  make([]*tcpPeer, n),
+		live:   make([]bool, n),
 		closed: make(chan struct{}),
+	}
+	for i := range t.live {
+		t.live[i] = true
 	}
 	t.ownEpochNanos = time.Now().UnixNano()
 	t.meshEpochNanos.Store(t.ownEpochNanos)
@@ -376,7 +407,61 @@ func (t *TCPTransport) bind(cfg Config) error {
 	}
 	t.cfg = cfg
 	t.retxW.window = cfg.RetxWindow
+	if cfg.onPeerDown != nil {
+		t.onDown.Store(cfg.onPeerDown)
+	}
 	t.bound = true
+	return nil
+}
+
+// setMembers restricts the consensus plane to the surviving ranks after
+// a membership shrink. Only the local process calls it (each process
+// hosts one rank), but every survivor applies the identical list, so the
+// lowest-live-rank coordinator stays consistent across the mesh.
+func (t *TCPTransport) setMembers(members []int) {
+	t.agreeMu.Lock()
+	for i := range t.live {
+		t.live[i] = false
+	}
+	for _, m := range members {
+		if m >= 0 && m < t.n {
+			t.live[m] = true
+		}
+	}
+	t.agreeMu.Unlock()
+}
+
+// liveView snapshots the consensus membership: the coordinator (lowest
+// live rank), the live count, and the live remote peers.
+func (t *TCPTransport) liveView() (coord, count int, peers []*tcpPeer) {
+	t.agreeMu.Lock()
+	defer t.agreeMu.Unlock()
+	coord = -1
+	for i := 0; i < t.n; i++ {
+		if !t.live[i] {
+			continue
+		}
+		count++
+		if coord < 0 {
+			coord = i
+		}
+		if i != t.rank && t.peers[i] != nil {
+			peers = append(peers, t.peers[i])
+		}
+	}
+	return coord, count, peers
+}
+
+// DropConn force-closes the connection to the given peer rank: a test
+// hook injecting a TCP connection failure without killing the peer's
+// process. Both reader goroutines observe the reset and feed their
+// failure detectors, exactly as if the peer had crashed.
+func (t *TCPTransport) DropConn(rank int) error {
+	p, err := t.peer(rank)
+	if err != nil {
+		return err
+	}
+	p.close()
 	return nil
 }
 
@@ -459,23 +544,30 @@ func (t *TCPTransport) send(from, to int, m message, copies int) error {
 	return nil
 }
 
-// recv waits for the next data frame from the peer.
-func (t *TCPTransport) recv(from, to int, timeout time.Duration) (message, bool, error) {
+// recv waits for the next data frame from the peer, honouring the
+// wall-clock timeout and the cooperative-abort channel.
+func (t *TCPTransport) recv(from, to int, timeout time.Duration, abort <-chan struct{}) (message, bool, error) {
 	p, err := t.peer(from)
 	if err != nil {
 		return message{}, false, err
 	}
-	if timeout <= 0 {
+	if timeout <= 0 && abort == nil {
 		m, ok := <-p.inbox
 		return m, ok, nil
 	}
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
+	var timeoutC <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
 	select {
 	case m, ok := <-p.inbox:
 		return m, ok, nil
-	case <-timer.C:
+	case <-timeoutC:
 		return message{}, false, ErrRecvTimeout
+	case <-abort:
+		return message{}, false, errAborted
 	}
 }
 
@@ -534,69 +626,114 @@ func (t *TCPTransport) retransmit(from, to, seq, epoch int) ([]byte, uint32, err
 	}
 }
 
-// agreeMax is the TCP control plane: every rank sends (clock, value) to
-// rank 0, which answers with the maximum clock (plus the α·ceil(log2 N)
-// tree cost, matching the in-process barrier) and the maximum value.
-func (t *TCPTransport) agreeMax(rank int, clock float64, v int) (float64, int, error) {
+// agree is the TCP control plane: every live rank sends
+// (clock, value, propose) to the coordinator — the lowest live rank —
+// which answers with the maximum clock (plus the α·ceil(log2 n) tree
+// cost over the actual participants, matching the in-process barrier),
+// the maximum value, and the dead-set bitmap.
+//
+// Failure handling differs by round kind. In a classic round
+// (tolerant == false) a peer observed dead fails the round for everyone:
+// the coordinator still releases the survivors, carrying the dead set,
+// so they all abort promptly with the same *RankFailedError instead of
+// burning their own timeouts. In a tolerant membership round the dead
+// peers simply join the released dead set and the round succeeds.
+//
+// One limitation is inherent to the star shape: if the *coordinator*
+// process dies, its peers cannot complete any further round, so a TCP
+// world only survives the death of non-coordinator ranks. The in-process
+// fabric has no such restriction.
+func (t *TCPTransport) agree(rank int, clock float64, v int, propose uint64, tolerant bool) (float64, int, uint64, error) {
 	if t.n == 1 {
-		return clock, v, nil
+		return clock, v, propose, nil
 	}
 	t.agreeMu.Lock()
 	gen := t.agreeGen
 	t.agreeGen++
 	t.agreeMu.Unlock()
+	coord, liveN, livePeers := t.liveView()
+	if liveN <= 1 {
+		return clock, v, propose, nil
+	}
 	timeout := t.cfg.agreeTimeout()
+	var flags byte
+	if tolerant {
+		flags = 1
+	}
 
-	if rank != 0 {
-		p, err := t.peer(0)
+	if rank != coord {
+		p, err := t.peer(coord)
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, 0, err
 		}
-		if err := p.writeCtl(frameAgree, gen, clock, int64(v)); err != nil {
-			return 0, 0, fmt.Errorf("%w: barrier proposal to rank 0 undeliverable (%v)", ErrPeerFailed, err)
+		if err := p.writeCtl(frameAgree, gen, flags, clock, int64(v), propose); err != nil {
+			return 0, 0, 0, &RankFailedError{Rank: coord, Cause: fmt.Errorf("barrier proposal undeliverable: %w", err)}
 		}
 		rel, err := p.waitCtl(frameRelease, gen, timeout)
 		if err != nil {
-			return 0, 0, err
+			if errors.Is(err, ErrPeerFailed) {
+				return 0, 0, 0, &RankFailedError{Rank: coord, Cause: err}
+			}
+			return 0, 0, 0, err
 		}
-		return rel.clock, int(rel.val), nil
+		if !tolerant && rel.dead != 0 {
+			return 0, 0, rel.dead, fmt.Errorf("%w: barrier aborted", rankFailedFromBits(rel.dead, nil))
+		}
+		return rel.clock, int(rel.val), rel.dead, nil
 	}
 
-	// Rank 0 gathers every peer's proposal, resolves, and releases.
-	maxClock, maxVal := clock, int64(v)
-	for _, p := range t.peers {
-		if p == nil {
-			continue
-		}
+	// Coordinator: gather every live peer's proposal. A peer whose
+	// connection closed mid-round is marked dead instead of failing the
+	// gather; only a protocol error or a full timeout aborts.
+	maxClock, maxVal, dead := clock, int64(v), propose
+	participants := 1
+	for _, p := range livePeers {
 		a, err := p.waitCtl(frameAgree, gen, timeout)
 		if err != nil {
-			return 0, 0, err
+			if errors.Is(err, ErrPeerFailed) {
+				dead |= rankBit(p.rank)
+				continue
+			}
+			return 0, 0, 0, err
 		}
+		participants++
 		if a.clock > maxClock {
 			maxClock = a.clock
 		}
 		if a.val > maxVal {
 			maxVal = a.val
 		}
+		dead |= a.dead
 	}
-	leave := maxClock + t.cfg.Latency.Seconds()*math.Ceil(math.Log2(float64(t.n)))
-	for _, p := range t.peers {
-		if p == nil {
+	leave := maxClock
+	if participants > 1 {
+		leave += t.cfg.Latency.Seconds() * math.Ceil(math.Log2(float64(participants)))
+	}
+	// Always release the survivors, carrying the dead set: in a failed
+	// classic round this is what lets them abort promptly. A release that
+	// cannot be written means the peer died after its proposal — the next
+	// round will observe the closed connection; this round's dead set is
+	// already fixed (other peers may have read it).
+	for _, p := range livePeers {
+		if dead&rankBit(p.rank) != 0 {
 			continue
 		}
-		if err := p.writeCtl(frameRelease, gen, leave, maxVal); err != nil {
-			return 0, 0, fmt.Errorf("%w: barrier release to rank %d undeliverable (%v)", ErrPeerFailed, p.rank, err)
-		}
+		_ = p.writeCtl(frameRelease, gen, flags, leave, maxVal, dead)
 	}
-	return leave, int(maxVal), nil
+	if !tolerant && dead != 0 {
+		return 0, 0, dead, fmt.Errorf("%w: barrier aborted", rankFailedFromBits(dead, nil))
+	}
+	return leave, int(maxVal), dead, nil
 }
 
-func (p *tcpPeer) writeCtl(kind byte, gen uint32, clock float64, val int64) error {
-	var hdr [21]byte
+func (p *tcpPeer) writeCtl(kind byte, gen uint32, flags byte, clock float64, val int64, dead uint64) error {
+	var hdr [1 + tcpCtlBodyLen]byte
 	hdr[0] = kind
 	binary.LittleEndian.PutUint32(hdr[1:5], gen)
-	binary.LittleEndian.PutUint64(hdr[5:13], math.Float64bits(clock))
-	binary.LittleEndian.PutUint64(hdr[13:21], uint64(val))
+	hdr[5] = flags
+	binary.LittleEndian.PutUint64(hdr[6:14], math.Float64bits(clock))
+	binary.LittleEndian.PutUint64(hdr[14:22], uint64(val))
+	binary.LittleEndian.PutUint64(hdr[22:30], dead)
 	return p.writeFrame(hdr[:], nil)
 }
 
@@ -625,46 +762,83 @@ func (p *tcpPeer) waitCtl(kind byte, gen uint32, timeout time.Duration) (tcpCtl,
 	}
 }
 
+// errReadLoopStopped is the internal marker for a reader that stopped on
+// purpose (local transport shutdown), not because the peer failed.
+var errReadLoopStopped = errors.New("cluster: tcp reader stopped by local close")
+
+// classifyPeerErr maps the error that ended a reader goroutine to the
+// typed evidence fed into the failure detector: connection reset/EOF
+// style failures become ErrConnReset (the peer's process died or the
+// link dropped), anything else stays a generic connection failure.
+func classifyPeerErr(rank int, err error) error {
+	switch {
+	case err == nil,
+		errors.Is(err, io.EOF),
+		errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, net.ErrClosed),
+		errors.Is(err, syscall.ECONNRESET),
+		errors.Is(err, syscall.EPIPE):
+		return fmt.Errorf("%w: rank %d", ErrConnReset, rank)
+	}
+	return fmt.Errorf("cluster: tcp rank %d connection failed: %w", rank, err)
+}
+
 // readLoop demultiplexes one connection: data frames feed the inbox,
 // NACKs are serviced inline from the local replay window, replay answers
 // and control frames wake their waiters. On error or EOF every channel
 // is closed so blocked receivers fail fast — exactly the closed-mailbox
-// semantics of the in-process fabric.
+// semantics of the in-process fabric — and, unless the local transport
+// itself is shutting down, the peer is reported to the failure detector
+// with the classified cause.
 func (t *TCPTransport) readLoop(p *tcpPeer) {
-	defer func() {
-		p.close()
-		close(p.inbox)
-		close(p.retx)
-		close(p.ctl)
-	}()
+	err := t.readFrames(p)
+	p.close()
+	close(p.inbox)
+	close(p.retx)
+	close(p.ctl)
+	if errors.Is(err, errReadLoopStopped) {
+		return
+	}
+	select {
+	case <-t.closed:
+		// Local shutdown: the read error is our own close, not evidence
+		// about the peer.
+	default:
+		if f, ok := t.onDown.Load().(func(rank int, cause error)); ok {
+			f(p.rank, classifyPeerErr(p.rank, err))
+		}
+	}
+}
+
+func (t *TCPTransport) readFrames(p *tcpPeer) error {
 	br := bufio.NewReaderSize(p.conn, 64<<10)
 	for {
 		var lenBuf [4]byte
 		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
-			return
+			return err
 		}
 		frameLen := int(binary.LittleEndian.Uint32(lenBuf[:]))
 		if frameLen < 1 || frameLen > maxFrameBytes {
-			return
+			return fmt.Errorf("cluster: tcp frame length %d out of range", frameLen)
 		}
 		mTransportBytesIn.Add(int64(frameLen) + 4)
 		kind, err := br.ReadByte()
 		if err != nil {
-			return
+			return err
 		}
 		body := frameLen - 1
 		switch kind {
 		case frameData:
 			if body < tcpDataHdrLen {
-				return
+				return fmt.Errorf("cluster: tcp data frame body %d too short", body)
 			}
 			var hdr [tcpDataHdrLen]byte
 			if _, err := io.ReadFull(br, hdr[:]); err != nil {
-				return
+				return err
 			}
 			payload := bufpool.Bytes(body - tcpDataHdrLen)
 			if _, err := io.ReadFull(br, payload); err != nil {
-				return
+				return err
 			}
 			m := message{
 				data:   payload,
@@ -679,28 +853,28 @@ func (t *TCPTransport) readLoop(p *tcpPeer) {
 			select {
 			case p.inbox <- m:
 			case <-t.closed:
-				return
+				return errReadLoopStopped
 			}
 		case frameNack:
 			if body != 8 {
-				return
+				return fmt.Errorf("cluster: tcp nack frame body %d, want 8", body)
 			}
 			var hdr [8]byte
 			if _, err := io.ReadFull(br, hdr[:]); err != nil {
-				return
+				return err
 			}
 			seq := int(binary.LittleEndian.Uint32(hdr[0:4]))
 			epoch := int(binary.LittleEndian.Uint32(hdr[4:8]))
 			if err := t.serveNack(p, seq, epoch); err != nil {
-				return
+				return err
 			}
 		case frameRetx:
 			if body < 13 {
-				return
+				return fmt.Errorf("cluster: tcp retx frame body %d too short", body)
 			}
 			var hdr [13]byte
 			if _, err := io.ReadFull(br, hdr[:]); err != nil {
-				return
+				return err
 			}
 			a := tcpRetx{
 				status: hdr[0],
@@ -710,34 +884,36 @@ func (t *TCPTransport) readLoop(p *tcpPeer) {
 			}
 			a.data = make([]byte, body-13)
 			if _, err := io.ReadFull(br, a.data); err != nil {
-				return
+				return err
 			}
 			select {
 			case p.retx <- a:
 			case <-t.closed:
-				return
+				return errReadLoopStopped
 			}
 		case frameAgree, frameRelease:
-			if body != 20 {
-				return
+			if body != tcpCtlBodyLen {
+				return fmt.Errorf("cluster: tcp control frame body %d, want %d", body, tcpCtlBodyLen)
 			}
-			var hdr [20]byte
+			var hdr [tcpCtlBodyLen]byte
 			if _, err := io.ReadFull(br, hdr[:]); err != nil {
-				return
+				return err
 			}
 			c := tcpCtl{
 				kind:  kind,
 				gen:   binary.LittleEndian.Uint32(hdr[0:4]),
-				clock: math.Float64frombits(binary.LittleEndian.Uint64(hdr[4:12])),
-				val:   int64(binary.LittleEndian.Uint64(hdr[12:20])),
+				flags: hdr[4],
+				clock: math.Float64frombits(binary.LittleEndian.Uint64(hdr[5:13])),
+				val:   int64(binary.LittleEndian.Uint64(hdr[13:21])),
+				dead:  binary.LittleEndian.Uint64(hdr[21:29]),
 			}
 			select {
 			case p.ctl <- c:
 			case <-t.closed:
-				return
+				return errReadLoopStopped
 			}
 		default:
-			return
+			return fmt.Errorf("cluster: tcp unknown frame type %d", kind)
 		}
 	}
 }

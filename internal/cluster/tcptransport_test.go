@@ -383,3 +383,48 @@ func TestTCPPeerFailureSurfaces(t *testing.T) {
 		t.Fatalf("recv from exited tcp peer: %v, want ErrPeerFailed", recvErr)
 	}
 }
+
+// TestTCPConnResetFeedsDetector is the regression test for the
+// connection-death classification: killing one side of a loopback pair
+// mid-Recv must surface as a typed *RankFailedError whose cause wraps
+// ErrConnReset — fed through the failure detector, not a generic timeout
+// — and with fail-fast armed the blocked Recv must abort well before the
+// receive deadline.
+func TestTCPConnResetFeedsDetector(t *testing.T) {
+	trs := startMesh(t, 2)
+	// Rank 0 never runs a cluster: after a beat, its side of the pair is
+	// torn down abruptly, as if the process died.
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		if err := trs[0].DropConn(1); err != nil {
+			t.Errorf("drop conn: %v", err)
+		}
+	}()
+	cfg := Config{Ranks: 2, ParallelCompute: true, RecvTimeout: 30 * time.Second, Transport: trs[1]}
+	start := time.Now()
+	var recvErr error
+	_, err := Run(cfg, func(r *Rank) error {
+		r.SetFailFast(true)
+		_, recvErr = r.Recv(0)
+		return nil // swallow so Run reports cleanly; recvErr is asserted below
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !errors.Is(recvErr, ErrRankFailed) || !errors.Is(recvErr, ErrPeerFailed) {
+		t.Fatalf("recv after conn reset: %v, want ErrRankFailed (and ErrPeerFailed compat)", recvErr)
+	}
+	var rf *RankFailedError
+	if !errors.As(recvErr, &rf) {
+		t.Fatalf("recv error %v is not a *RankFailedError", recvErr)
+	}
+	if rf.Rank != 0 {
+		t.Fatalf("failed rank = %d, want 0", rf.Rank)
+	}
+	if !errors.Is(rf.Cause, ErrConnReset) {
+		t.Fatalf("cause = %v, want ErrConnReset", rf.Cause)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cooperative abort took %v, should beat the 30s RecvTimeout by far", elapsed)
+	}
+}

@@ -15,6 +15,17 @@ var (
 	mRetxEvictions = telemetry.C("cluster.retx_window_evictions")
 )
 
+// Failure-detector telemetry. The elastic-membership layer counts every
+// rank that transitions into the suspected state (a receive from it timed
+// out or exhausted its retry budget), every suspicion confirmed into a
+// death (connection reset, rank body error, or transport close), and
+// every rank actually evicted by a membership-shrink consensus round.
+var (
+	mSuspects  = telemetry.C("cluster.suspects")
+	mConfirms  = telemetry.C("cluster.confirms")
+	mEvictions = telemetry.C("cluster.evictions")
+)
+
 // Transport telemetry. The TCP backend counts every outbound connection
 // it establishes (dials), every inbound one it admits (accepts), every
 // failed dial attempt that was retried while the mesh formed

@@ -73,6 +73,30 @@ func (t *Topology) Normalize(world int) *Topology {
 	return t
 }
 
+// WithoutRanks returns the topology left behind when some virtual ranks
+// of an n-rank world are evicted (membership shrink): each node keeps its
+// surviving members, nodes emptied entirely are removed, and the result
+// describes the renumbered dense world of survivors. n is the world size
+// t is normalized against (the pre-shrink virtual world).
+func (t *Topology) WithoutRanks(n int, dead func(rank int) bool) *Topology {
+	norm := t.Normalize(n)
+	sizes := make([]int, 0, len(norm.NodeSizes))
+	rank := 0
+	for _, s := range norm.NodeSizes {
+		alive := 0
+		for i := 0; i < s; i++ {
+			if !dead(rank) {
+				alive++
+			}
+			rank++
+		}
+		if alive > 0 {
+			sizes = append(sizes, alive)
+		}
+	}
+	return &Topology{NodeSizes: sizes}
+}
+
 // Validate checks the topology against a world size.
 func (t *Topology) Validate(world int) error {
 	if t == nil {

@@ -48,8 +48,10 @@ type Transport interface {
 	// recv returns the next message on the from→to link. ok == false
 	// means the sending rank exited (or its connection closed) and the
 	// message will never arrive; a timeout > 0 bounds the wall-clock wait
-	// and surfaces as ErrRecvTimeout.
-	recv(from, to int, timeout time.Duration) (m message, ok bool, err error)
+	// and surfaces as ErrRecvTimeout. A non-nil abort channel cancels the
+	// wait when closed (cooperative abort on a confirmed rank failure)
+	// and surfaces as errAborted; nil means no cancellation.
+	recv(from, to int, timeout time.Duration, abort <-chan struct{}) (m message, ok bool, err error)
 
 	// recordRetx stores a pristine copy of an outgoing message in the
 	// sender-side replay window of the from→to link (reliable delivery).
@@ -67,14 +69,29 @@ type Transport interface {
 	// advance: the retained traffic belongs to an abandoned attempt).
 	clearRetx(rank int)
 
-	// agreeMax is the control plane: rank contributes (clock, v), all
-	// ranks leave together at the returned clock (max over contributions
-	// plus the α·ceil(log2 N) tree cost) with the maximum contributed
-	// value. It must be immune to injected point-to-point faults.
-	agreeMax(rank int, clock float64, v int) (leave float64, agreed int, err error)
+	// agree is the control plane: every live member contributes
+	// (clock, v, propose) and all participants leave together at the
+	// returned clock (max over contributions plus the α·ceil(log2 n)
+	// tree cost) with the maximum contributed v. It must be immune to
+	// injected point-to-point faults.
+	//
+	// With tolerant == false this is the classic AgreeMax round: a member
+	// that exits or disconnects instead of contributing aborts the round
+	// for everyone with a *RankFailedError, and dead returns the bitmap
+	// of members observed dead. With tolerant == true the round is a
+	// membership consensus: it completes without the dead members, and
+	// dead returns the union of every participant's propose bitmap plus
+	// the members the transport itself observed exited or disconnected.
+	agree(rank int, clock float64, v int, propose uint64, tolerant bool) (leave float64, agreed int, dead uint64, err error)
+
+	// setMembers restricts the control plane to the given live physical
+	// ranks after a membership shrink: subsequent agree rounds wait only
+	// on these members, and the exits of evicted ranks no longer abort
+	// rounds. Every surviving rank calls it with the identical list.
+	setMembers(members []int)
 
 	// closeRank marks a local rank's body as returned so peers blocked on
-	// recv or agreeMax fail fast instead of hanging.
+	// recv or agree fail fast instead of hanging.
 	closeRank(rank int)
 
 	// epochHint returns the wall-clock instant trace timestamps should be

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"hzccl"
 	"hzccl/internal/cluster"
 	"hzccl/internal/core"
 	"hzccl/internal/floatbytes"
@@ -126,6 +127,41 @@ func FuzzHierarchicalChaos(f *testing.F) {
 		}
 		if err := rep.Err(); err != nil {
 			t.Fatalf("hierarchical chaos leaked wrong data: %v", err)
+		}
+	})
+}
+
+// FuzzShrinkChaos drives the shrink-and-continue path across fuzzed
+// non-uniform topologies, victims and kill points: any (topology, victim,
+// step, algorithm) combination must evict exactly the victim and leave
+// the survivors bitwise identical to a fresh run on the shrunken world.
+// Node sizes are fuzzed in 1..3 (three nodes, 3..9 ranks) to keep each
+// case cheap; the committed seeds pin a non-uniform topology with a
+// mid-collective kill per algorithm.
+func FuzzShrinkChaos(f *testing.F) {
+	f.Add(int64(358), uint8(2), uint8(1), uint8(3), uint8(14), uint8(1), uint8(3))
+	f.Add(int64(-11), uint8(0), uint8(2), uint8(1), uint8(40), uint8(4), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, n1, n2, n3, nSel, killSel, stepSel uint8) {
+		sizes := []int{1 + int(n1)%3, 1 + int(n2)%3, 1 + int(n3)%3}
+		ranks := sizes[0] + sizes[1] + sizes[2]
+		n := 1 + int(nSel)%64
+		algo := []hzccl.Algorithm{
+			hzccl.AlgoRing, hzccl.AlgoRecursiveDoubling,
+			hzccl.AlgoRabenseifner, hzccl.AlgoHierarchical,
+		}[int(stepSel)%4]
+		o := ShrinkOracle{
+			Backend:    hzccl.BackendHZCCL,
+			Algorithm:  algo,
+			ErrorBound: 1e-3,
+			Topology:   &hzccl.Topology{NodeSizes: sizes},
+			Kill:       hzccl.KillRank{Rank: int(killSel) % ranks, AtStep: int(stepSel) % 3},
+		}
+		gen := func(rank int) []float32 {
+			return randomField(n, seed+int64(rank)*271, 1)
+		}
+		if err := o.CheckAllreduce(ranks, gen); err != nil {
+			t.Fatalf("shrink diverged under topo=%v victim=%d step=%d algo=%s: %v",
+				sizes, o.Kill.Rank, o.Kill.AtStep, algoName(algo), err)
 		}
 	})
 }

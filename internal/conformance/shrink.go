@@ -1,0 +1,208 @@
+package conformance
+
+// Shrink-and-continue oracle: the bit-identity guarantee of elastic
+// membership.
+//
+// When DegradePolicy.Shrink evicts a dead rank mid-collective, the
+// survivors re-run the schedule on the shrunken world with their original
+// inputs. Because every collective copies its input into fresh
+// accumulators (inputs are never mutated in place), the survivors'
+// re-run sees exactly the state a fresh cluster of the same size, same
+// shrunken topology and same per-rank inputs would see — so its results
+// must be *bitwise* identical to that fresh run, not merely close. This
+// oracle kills a rank mid-collective with an injected FaultKill, lets the
+// survivors shrink and continue, then replays the shrunken world from
+// scratch without faults and compares every surviving rank's output bit
+// for bit.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"hzccl"
+)
+
+// ShrinkOracle drives one kill-shrink-continue run and its fault-free
+// replay on the public API (the degradation machinery under test lives
+// there, above the cluster substrate).
+type ShrinkOracle struct {
+	// Backend and Algorithm select the collective under test. AlgoAuto is
+	// rejected: the oracle verifies schedules, not the selector.
+	Backend   hzccl.Backend
+	Algorithm hzccl.Algorithm
+	// ErrorBound parameterizes the compressed backends.
+	ErrorBound float64
+	// Topology, when non-nil, is the node grouping of the original world;
+	// the shrunken replay drops the victim's slot from it.
+	Topology *hzccl.Topology
+	// Kill is the injected crash (victim rank and program-order send step).
+	Kill hzccl.KillRank
+	// RecvTimeout bounds receive waits in the chaos run (0 = 250ms).
+	RecvTimeout time.Duration
+}
+
+type shrinkOp int
+
+const (
+	shrinkAllreduce shrinkOp = iota
+	shrinkReduceScatter
+)
+
+func (op shrinkOp) String() string {
+	if op == shrinkReduceScatter {
+		return "reduce_scatter"
+	}
+	return "allreduce"
+}
+
+// CheckAllreduce kills the victim during an Allreduce over ranks
+// processes and verifies the survivors' shrunken-world results bitwise
+// against a fresh fault-free run on the survivor world.
+func (o ShrinkOracle) CheckAllreduce(ranks int, gen func(rank int) []float32) error {
+	return o.check(shrinkAllreduce, ranks, gen)
+}
+
+// CheckReduceScatter is CheckAllreduce for ReduceScatter: each survivor's
+// owned block of the shrunken world must match the fresh run's.
+func (o ShrinkOracle) CheckReduceScatter(ranks int, gen func(rank int) []float32) error {
+	return o.check(shrinkReduceScatter, ranks, gen)
+}
+
+func (o ShrinkOracle) options(degrade bool) hzccl.CollectiveOptions {
+	opt := hzccl.CollectiveOptions{
+		ErrorBound: o.ErrorBound,
+		Algorithm:  o.Algorithm,
+	}
+	if degrade {
+		opt.Degrade = &hzccl.DegradePolicy{Shrink: true}
+	}
+	return opt
+}
+
+func (o ShrinkOracle) run(r *hzccl.Rank, op shrinkOp, data []float32, degrade bool) ([]float32, error) {
+	if op == shrinkReduceScatter {
+		return r.ReduceScatter(data, o.Backend, o.options(degrade))
+	}
+	return r.Allreduce(data, o.Backend, o.options(degrade))
+}
+
+func (o ShrinkOracle) check(op shrinkOp, ranks int, gen func(int) []float32) error {
+	if o.Algorithm == hzccl.AlgoAuto {
+		return fmt.Errorf("conformance: ShrinkOracle verifies fixed schedules, not AlgoAuto")
+	}
+	timeout := o.RecvTimeout
+	if timeout <= 0 {
+		timeout = 250 * time.Millisecond
+	}
+	inputs := make([][]float32, ranks)
+	for i := range inputs {
+		inputs[i] = gen(i)
+	}
+
+	// Chaos run: the victim crashes mid-collective, the survivors shrink
+	// and finish. Outputs are recorded under physical ids (captured before
+	// the shrink renumbers ID()).
+	chaosOut := make([][]float32, ranks)
+	res, err := hzccl.RunCluster(hzccl.ClusterConfig{
+		Ranks:       ranks,
+		Topology:    o.Topology,
+		Reliable:    true,
+		RecvTimeout: timeout,
+		Fault:       o.Kill.Fault(),
+	}, func(r *hzccl.Rank) error {
+		id0 := r.ID()
+		out, err := o.run(r, op, inputs[id0], true)
+		if err != nil {
+			return err
+		}
+		chaosOut[id0] = out
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("conformance: %s %s/%s chaos run failed: %w", op, o.Backend, algoName(o.Algorithm), err)
+	}
+	if len(res.Evicted) == 0 && chaosOut[o.Kill.Rank] != nil {
+		// The victim completed: it never reached send #AtStep (e.g. a leaf
+		// rank of a hierarchical broadcast sends once), so no kill fired.
+		// Nothing to verify — fuzzed kill points hit this legitimately.
+		return nil
+	}
+	if len(res.Evicted) != 1 || res.Evicted[0] != o.Kill.Rank {
+		return fmt.Errorf("conformance: %s %s/%s evicted %v, want [%d]", op, o.Backend, algoName(o.Algorithm), res.Evicted, o.Kill.Rank)
+	}
+
+	// Fresh fault-free replay on the survivor world: the victim's slot is
+	// dropped from the inputs and the topology; survivor v of the replay
+	// is the v-th surviving physical rank of the chaos run.
+	survivors := make([]int, 0, ranks-1)
+	for p := 0; p < ranks; p++ {
+		if p != o.Kill.Rank {
+			survivors = append(survivors, p)
+		}
+	}
+	var freshTopo *hzccl.Topology
+	if o.Topology != nil {
+		freshTopo = o.Topology.WithoutRanks(ranks, func(v int) bool { return v == o.Kill.Rank })
+	}
+	freshOut := make([][]float32, len(survivors))
+	if _, err := hzccl.RunCluster(hzccl.ClusterConfig{
+		Ranks:       len(survivors),
+		Topology:    freshTopo,
+		Reliable:    true,
+		RecvTimeout: timeout,
+	}, func(r *hzccl.Rank) error {
+		out, err := o.run(r, op, inputs[survivors[r.ID()]], false)
+		if err != nil {
+			return err
+		}
+		freshOut[r.ID()] = out
+		return nil
+	}); err != nil {
+		return fmt.Errorf("conformance: %s %s/%s replay on %d survivors failed: %w", op, o.Backend, algoName(o.Algorithm), len(survivors), err)
+	}
+
+	for v, p := range survivors {
+		if err := bitIdentical(chaosOut[p], freshOut[v]); err != nil {
+			return fmt.Errorf("conformance: %s %s/%s survivor (phys %d, virt %d) diverged from fresh shrunken-world run: %w",
+				op, o.Backend, algoName(o.Algorithm), p, v, err)
+		}
+	}
+	return nil
+}
+
+// bitIdentical compares two float32 vectors bit for bit (NaN payloads and
+// signed zeros included).
+func bitIdentical(a, b []float32) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("length %d != %d", len(a), len(b))
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return fmt.Errorf("element %d: %x != %x (%g vs %g)", i, math.Float32bits(a[i]), math.Float32bits(b[i]), a[i], b[i])
+		}
+	}
+	return nil
+}
+
+func algoName(a hzccl.Algorithm) string {
+	switch a {
+	case hzccl.AlgoRing:
+		return "ring"
+	case hzccl.AlgoRecursiveDoubling:
+		return "rd"
+	case hzccl.AlgoRabenseifner:
+		return "rab"
+	case hzccl.AlgoHierarchical:
+		return "hier"
+	}
+	return "auto"
+}
+
+// benign reports run errors that are the expected outcome of an elastic
+// run (the victim's own kill / eviction notice), used by callers that
+// drive RunCluster directly.
+func benign(err error) bool {
+	return errors.Is(err, hzccl.ErrRankKilled) || errors.Is(err, hzccl.ErrEvicted)
+}

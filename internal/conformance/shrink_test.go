@@ -1,0 +1,122 @@
+package conformance
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"hzccl"
+)
+
+// shrinkBackends pairs each backend with the error bound its compressed
+// flavors need (0 for the uncompressed baseline).
+var shrinkBackends = []struct {
+	b     hzccl.Backend
+	bound float64
+}{
+	{hzccl.BackendMPI, 0},
+	{hzccl.BackendCColl, 1e-3},
+	{hzccl.BackendHZCCL, 1e-3},
+}
+
+var shrinkAlgos = []hzccl.Algorithm{
+	hzccl.AlgoRing,
+	hzccl.AlgoRecursiveDoubling,
+	hzccl.AlgoRabenseifner,
+	hzccl.AlgoHierarchical,
+}
+
+// TestShrinkBitIdentity is the headline elastic-membership contract: for
+// every algorithm × backend, killing a rank mid-collective and letting
+// the survivors shrink-and-continue yields results bitwise identical to a
+// fresh fault-free run on the survivor world.
+func TestShrinkBitIdentity(t *testing.T) {
+	const ranks, elems = 5, 96
+	topo := &hzccl.Topology{NodeSizes: []int{2, 1, 2}}
+	for _, bk := range shrinkBackends {
+		for _, algo := range shrinkAlgos {
+			o := ShrinkOracle{
+				Backend:    bk.b,
+				Algorithm:  algo,
+				ErrorBound: bk.bound,
+				Topology:   topo,
+				Kill:       hzccl.KillRank{Rank: 3, AtStep: 1},
+			}
+			name := fmt.Sprintf("%s/%s", bk.b, algoName(algo))
+			t.Run("allreduce/"+name, func(t *testing.T) {
+				t.Parallel()
+				if err := o.CheckAllreduce(ranks, func(rank int) []float32 {
+					return randomField(elems, 977+int64(rank)*271, 1)
+				}); err != nil {
+					t.Fatal(err)
+				}
+			})
+			t.Run("reduce_scatter/"+name, func(t *testing.T) {
+				t.Parallel()
+				if err := o.CheckReduceScatter(ranks, func(rank int) []float32 {
+					return randomField(elems, 1471+int64(rank)*271, 1)
+				}); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestShrinkToTinyWorlds exercises the boundary worlds: 3 ranks shrinking
+// to 2, and 2 ranks shrinking to a single survivor (every algorithm must
+// degenerate to a correct no-op world).
+func TestShrinkToTinyWorlds(t *testing.T) {
+	for _, world := range []struct{ ranks, kill int }{{3, 2}, {2, 1}} {
+		for _, algo := range shrinkAlgos {
+			o := ShrinkOracle{
+				Backend:    hzccl.BackendHZCCL,
+				Algorithm:  algo,
+				ErrorBound: 1e-3,
+				Kill:       hzccl.KillRank{Rank: world.kill, AtStep: 0},
+			}
+			name := fmt.Sprintf("%dto%d/%s", world.ranks, world.ranks-1, algoName(algo))
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				if err := o.CheckAllreduce(world.ranks, func(rank int) []float32 {
+					return randomField(48, 31+int64(rank)*101, 1)
+				}); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestShrinkEvictionVisible asserts the observability contract: the
+// eviction shows up in RunResult.Evicted and the victim's own error is
+// the benign ErrRankKilled, suppressed from the aggregate because the
+// survivors completed.
+func TestShrinkEvictionVisible(t *testing.T) {
+	const ranks = 4
+	kill := hzccl.KillRank{Rank: 2, AtStep: 0}
+	var victimErr error
+	res, err := hzccl.RunCluster(hzccl.ClusterConfig{
+		Ranks:       ranks,
+		Reliable:    true,
+		RecvTimeout: 250 * time.Millisecond,
+		Fault:       kill.Fault(),
+	}, func(r *hzccl.Rank) error {
+		id0 := r.ID()
+		_, err := r.Allreduce(randomField(32, int64(id0)+5, 1), hzccl.BackendMPI,
+			hzccl.CollectiveOptions{Degrade: &hzccl.DegradePolicy{Shrink: true}})
+		if id0 == kill.Rank {
+			victimErr = err
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatalf("aggregate error should suppress the victim's benign kill, got %v", err)
+	}
+	if len(res.Evicted) != 1 || res.Evicted[0] != kill.Rank {
+		t.Fatalf("Evicted = %v, want [%d]", res.Evicted, kill.Rank)
+	}
+	if victimErr == nil || !benign(victimErr) {
+		t.Fatalf("victim error = %v, want ErrRankKilled", victimErr)
+	}
+}

@@ -47,6 +47,10 @@ const (
 	FlightDegrade               // backend ladder move: A=from backend B=to backend
 	FlightFault                 // fault injected: A=from B=to C=seq D=action
 	FlightError                 // rank body failed
+	FlightSuspect               // failure detector suspects a rank: A=rank
+	FlightConfirm               // failure detector confirms a rank dead: A=rank
+	FlightEvict                 // membership consensus evicted a rank: A=rank
+	FlightShrink                // world shrank: A=new world size B=evicted count
 )
 
 var flightKindNames = [...]string{
@@ -62,6 +66,10 @@ var flightKindNames = [...]string{
 	FlightDegrade:    "degrade",
 	FlightFault:      "fault",
 	FlightError:      "error",
+	FlightSuspect:    "suspect",
+	FlightConfirm:    "confirm",
+	FlightEvict:      "evict",
+	FlightShrink:     "shrink",
 }
 
 func (k FlightKind) String() string {
@@ -103,6 +111,10 @@ func (e FlightEvent) Detail() string {
 		return fmt.Sprintf("from=%d to=%d", e.A, e.B)
 	case FlightFault:
 		return fmt.Sprintf("from=%d to=%d seq=%d action=%d", e.A, e.B, e.C, e.D)
+	case FlightSuspect, FlightConfirm, FlightEvict:
+		return fmt.Sprintf("rank=%d", e.A)
+	case FlightShrink:
+		return fmt.Sprintf("world=%d evicted=%d", e.A, e.B)
 	}
 	return ""
 }

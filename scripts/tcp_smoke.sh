@@ -127,3 +127,57 @@ grep -q '"ph":"s"' "$OUT/merged.json" && grep -q '"ph":"f"' "$OUT/merged.json" |
 echo "tcp_smoke: OK: 4 TCP processes and in-process fabric all agree (digest=$REF, backend=$BACKEND, algo=$ALGO${TOPO:+, topo=$TOPO}, $MESSAGE bytes)"
 echo "tcp_smoke: OK: obs endpoint served healthz, metrics and a CPU profile; traces merged with flow events"
 grep -h 'rank\|transport' "$OUT"/rank*.out
+
+# --- Elastic membership: kill one process mid-collective ---------------
+# Relaunch the 4-rank mesh with an injected kill of rank 3 (rank 0 is the
+# control-plane coordinator, so the victim must be a higher rank). The
+# victim process must exit 0 reporting its injected death; the survivors
+# must evict it, finish on the 3-rank world, and their digests must be
+# bitwise identical to the same collective run in-process on 3 ranks.
+# The kill case runs the flat topology: a 4-rank node grouping does not
+# describe the 3-rank reference world.
+KBASE=$((BASE_PORT+20))
+KPEERS="127.0.0.1:$KBASE,127.0.0.1:$((KBASE+1)),127.0.0.1:$((KBASE+2)),127.0.0.1:$((KBASE+3))"
+for r in 1 2 3; do
+    "$OUT/hzccl-collective" -transport=tcp -rank "$r" -peers "$KPEERS" \
+        -backend "$BACKEND" -algorithm "$ALGO" -message "$MESSAGE" \
+        -kill-rank 3 -kill-step 1 > "$OUT/kill$r.out" 2>&1 &
+done
+"$OUT/hzccl-collective" -transport=tcp -rank 0 -peers "$KPEERS" \
+    -backend "$BACKEND" -algorithm "$ALGO" -message "$MESSAGE" \
+    -kill-rank 3 -kill-step 1 > "$OUT/kill0.out" 2>&1
+wait
+
+grep -q 'killed by injected fault' "$OUT/kill3.out" || {
+    echo "tcp_smoke: FAIL: victim rank 3 did not report its injected death" >&2
+    cat "$OUT/kill3.out" >&2
+    exit 1
+}
+
+"$OUT/hzccl-collective" -transport=inproc -nodes 3 \
+    -backend "$BACKEND" -algorithm "$ALGO" -message "$MESSAGE" \
+    > "$OUT/inproc3.out" 2>&1
+KREF="$(digest_of "$OUT/inproc3.out")"
+if [ -z "$KREF" ] || [ "$(printf '%s\n' "$KREF" | wc -l)" -ne 1 ]; then
+    echo "tcp_smoke: FAIL: 3-rank in-process reference did not produce one digest" >&2
+    cat "$OUT/inproc3.out" >&2
+    exit 1
+fi
+
+FAIL=0
+for r in 0 1 2; do
+    grep -q 'evicted ranks \[3\]' "$OUT/kill$r.out" || {
+        echo "tcp_smoke: FAIL: survivor rank $r did not report the eviction" >&2
+        cat "$OUT/kill$r.out" >&2
+        FAIL=1
+    }
+    D="$(digest_of "$OUT/kill$r.out")"
+    if [ "$D" != "$KREF" ]; then
+        echo "tcp_smoke: FAIL: survivor rank $r digest '$D' != 3-rank in-process '$KREF'" >&2
+        cat "$OUT/kill$r.out" >&2
+        FAIL=1
+    fi
+done
+[ "$FAIL" -eq 0 ] || exit 1
+
+echo "tcp_smoke: OK: killed rank 3 mid-collective; survivors evicted it and match the 3-rank in-process digest ($KREF)"
