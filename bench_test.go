@@ -25,6 +25,7 @@ import (
 	"hzccl/internal/metrics"
 	"hzccl/internal/ompszp"
 	"hzccl/internal/stream"
+	"hzccl/internal/szx"
 )
 
 const benchLen = 1 << 19 // elements per field in compressor benches
@@ -115,11 +116,12 @@ func BenchmarkFig6(b *testing.B) {
 				}
 			}
 		})
+		ompDst := make([]byte, ompszp.CompressBound(len(data), op))
 		b.Run(name+"/omp-compress", func(b *testing.B) {
 			b.SetBytes(int64(4 * len(data)))
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := ompszp.Compress(data, op); err != nil {
+				if _, err := ompszp.CompressInto(ompDst, data, op); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -128,7 +130,7 @@ func BenchmarkFig6(b *testing.B) {
 			b.SetBytes(int64(4 * len(data)))
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := ompszp.DecompressThreads(oc, oh, 1); err != nil {
+				if err := ompszp.DecompressInto(out, oc, oh, 1); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -765,6 +767,143 @@ func BenchmarkSteadyStateCompressInto(b *testing.B) {
 		if _, err := fzlight.CompressInto(dst, data, p); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSteadyStateOmpCompressInto is the zero-allocation twin of
+// Fig6's omp-compress: CompressInto with a caller-provided CompressBound
+// buffer and warm scratch pools. allocs/op must be 0 — scripts/bench.sh
+// gates on it.
+func BenchmarkSteadyStateOmpCompressInto(b *testing.B) {
+	data := benchField(b, "SimSet2")
+	op := ompszp.Params{ErrorBound: metrics.AbsBound(1e-3, data)}
+	dst := make([]byte, ompszp.CompressBound(len(data), op))
+	for i := 0; i < 4; i++ {
+		if _, err := ompszp.CompressInto(dst, data, op); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(4 * len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ompszp.CompressInto(dst, data, op); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSteadyStateOmpDecompressInto is the zero-allocation twin of
+// Fig6's omp-decompress: pre-parsed header, caller-provided output.
+func BenchmarkSteadyStateOmpDecompressInto(b *testing.B) {
+	data := benchField(b, "SimSet2")
+	op := ompszp.Params{ErrorBound: metrics.AbsBound(1e-3, data)}
+	oc, err := ompszp.Compress(data, op)
+	if err != nil {
+		b.Fatal(err)
+	}
+	oh, err := ompszp.ParseHeader(oc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]float32, len(data))
+	for i := 0; i < 4; i++ {
+		if err := ompszp.DecompressInto(out, oc, oh, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(4 * len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ompszp.DecompressInto(out, oc, oh, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSteadyStateSzxCompressInto measures the SZx baseline's
+// caller-buffer compression path. allocs/op must be 0.
+func BenchmarkSteadyStateSzxCompressInto(b *testing.B) {
+	data := benchField(b, "SimSet2")
+	sp := szx.Params{ErrorBound: metrics.AbsBound(1e-3, data)}
+	dst := make([]byte, szx.CompressBound(len(data), sp.BlockSize))
+	for i := 0; i < 4; i++ {
+		if _, err := szx.CompressInto(dst, data, sp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(4 * len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := szx.CompressInto(dst, data, sp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSteadyStateSzxDecompressInto measures the SZx baseline's
+// caller-buffer decompression path. allocs/op must be 0.
+func BenchmarkSteadyStateSzxDecompressInto(b *testing.B) {
+	data := benchField(b, "SimSet2")
+	sp := szx.Params{ErrorBound: metrics.AbsBound(1e-3, data)}
+	sc, err := szx.Compress(data, sp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]float32, len(data))
+	for i := 0; i < 4; i++ {
+		if err := szx.DecompressInto(out, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(4 * len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := szx.DecompressInto(out, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelAdd measures the sharded homomorphic-add executor on
+// the pipeline-④-heavy CESM-ATM pair across worker counts. On a
+// single-core machine the win is bounded; the benchmark exists to show
+// the sharding overhead stays small and the output path scales.
+func BenchmarkParallelAdd(b *testing.B) {
+	x, y := benchPair(b, "CESM-ATM")
+	eb := metrics.AbsBound(1e-3, x)
+	if e2 := metrics.AbsBound(1e-3, y); e2 > eb {
+		eb = e2
+	}
+	p := fzlight.Params{ErrorBound: eb}
+	cx, err := fzlight.Compress(x, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cy, err := fzlight.Compress(y, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]byte, hzdyn.AddBound(len(cx), len(cy)))
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < 4; i++ {
+				if _, _, err := hzdyn.AddIntoParallel(dst, cx, cy, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(4 * len(x)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := hzdyn.AddIntoParallel(dst, cx, cy, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -116,6 +116,7 @@ var (
 	bytePool    = &typedPool[byte]{elemSize: 1}
 	int32Pool   = &typedPool[int32]{elemSize: 4}
 	uint32Pool  = &typedPool[uint32]{elemSize: 4}
+	int64Pool   = &typedPool[int64]{elemSize: 8}
 	float32Pool = &typedPool[float32]{elemSize: 4}
 )
 
@@ -137,6 +138,13 @@ func Uint32s(n int) []uint32 { return uint32Pool.Get(n) }
 
 // PutUint32s recycles a uint32 scratch buffer.
 func PutUint32s(s []uint32) { uint32Pool.Put(s) }
+
+// Int64s returns a pooled []int64 of length n (contents undefined).
+func Int64s(n int) []int64 { return int64Pool.Get(n) }
+
+// PutInt64s recycles an int64 scratch buffer (offset tables and prefix
+// sums in the block codecs).
+func PutInt64s(s []int64) { int64Pool.Put(s) }
 
 // Float32s returns a pooled []float32 of length n (contents undefined).
 func Float32s(n int) []float32 { return float32Pool.Get(n) }

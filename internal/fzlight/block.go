@@ -258,13 +258,112 @@ func EncodeBlock(dst []byte, p []int32, scratch []uint32) int {
 	return o
 }
 
+// SumScratch32 is the per-call scratch for SumBlocks32. Callers declare
+// one per stream (or per worker) and reuse it across blocks so the
+// kernel does not pay a fresh stack-zeroing per block.
+type SumScratch32 struct {
+	d    [32]int32
+	mags [32]uint32
+}
+
 // SumBlocks32 is the fused pipeline-④ kernel for full 32-element blocks:
 // it inverse fixed-length decodes the two encoded blocks at sa and sb,
 // adds the prediction integers, and fixed-length encodes the sum into dst,
-// in one pass without materializing intermediate arrays or re-parsing
-// markers. It returns the bytes written and the bytes consumed from each
-// input. overflow reports a sum that no longer fits in int32.
-func SumBlocks32(dst, sa, sb []byte) (wrote, usedA, usedB int, overflow bool, err error) {
+// in one bitplane-wise pass over the packed words — the unpacked []int32
+// block is never materialized. It returns the bytes written and the bytes
+// consumed from each input. overflow reports a sum that no longer fits in
+// int32.
+//
+// Both operand code lengths ≤ 30 (the overwhelmingly common case — the
+// compressor emits ≤ 30 for any physically plausible delta stream) take
+// the word-wise fast path: operand A is decoded to deltas with the
+// dispatch-table kernels in package bitio, operand B's decode is fused
+// with the add and the sign/magnitude re-extraction (running magnitude-OR
+// gives the output width), and the packed output is written straight into
+// dst. The width bound proves |a|,|b| < 1<<30, so the sum always fits in
+// int32 and the per-element overflow checks vanish. Code lengths 31 and
+// 32 fall back to the checked wide kernel.
+//
+// dst must have room for the written block; when it extends at least 8
+// bytes past the block's end the kernel may scribble zero bytes into that
+// slack (they are always overwritten by the next block or ignored).
+func SumBlocks32(dst, sa, sb []byte, sc *SumScratch32) (wrote, usedA, usedB int, overflow bool, err error) {
+	if len(sa) < 1 || len(sb) < 1 {
+		return 0, 0, 0, false, ErrCorrupt
+	}
+	ca, cb := int(sa[0]), int(sb[0])
+	if ca > 30 || cb > 30 {
+		return sumBlocks32Wide(dst, sa, sb)
+	}
+	if ca <= 6 && cb <= 6 {
+		// Narrow regime: every magnitude < 64, so the whole block pair
+		// adds 8 lanes per machine word (bitio's SWAR kernel).
+		usedA, usedB = 1, 1
+		var swa, swb uint32
+		var pa, pb []byte
+		if ca > 0 {
+			usedA = 5 + 4*ca
+			if len(sa) < usedA {
+				return 0, 0, 0, false, ErrCorrupt
+			}
+			swa = uint32(sa[1]) | uint32(sa[2])<<8 | uint32(sa[3])<<16 | uint32(sa[4])<<24
+			pa = sa[5:usedA]
+		}
+		if cb > 0 {
+			usedB = 5 + 4*cb
+			if len(sb) < usedB {
+				return 0, 0, 0, false, ErrCorrupt
+			}
+			swb = uint32(sb[1]) | uint32(sb[2])<<8 | uint32(sb[3])<<16 | uint32(sb[4])<<24
+			pb = sb[5:usedB]
+		}
+		if ca <= 3 && ca > 0 && cb <= 3 && cb > 0 {
+			// Hottest widths get a direct specialised-kernel call with
+			// no intermediate dispatch frame.
+			return bitio.NarrowPairTab[(ca-1)*3+(cb-1)](dst, pa, pb, swa, swb), usedA, usedB, false, nil
+		}
+		return bitio.AddBlocks32Narrow(dst, pa, pb, swa, swb, ca, cb), usedA, usedB, false, nil
+	}
+	usedA, usedB = 1, 1
+	if ca > 0 {
+		usedA = 5 + 32*(ca/8) + 4*(ca%8)
+		if len(sa) < usedA {
+			return 0, 0, 0, false, ErrCorrupt
+		}
+		signWa := uint32(sa[1]) | uint32(sa[2])<<8 | uint32(sa[3])<<16 | uint32(sa[4])<<24
+		bitio.UnpackDeltas32(sa[5:], signWa, ca, &sc.d)
+	} else {
+		sc.d = [32]int32{}
+	}
+	var signWb uint32
+	pb := []byte(nil)
+	if cb > 0 {
+		usedB = 5 + 32*(cb/8) + 4*(cb%8)
+		if len(sb) < usedB {
+			return 0, 0, 0, false, ErrCorrupt
+		}
+		signWb = uint32(sb[1]) | uint32(sb[2])<<8 | uint32(sb[3])<<16 | uint32(sb[4])<<24
+		pb = sb[5:]
+	}
+	signW, ormag := bitio.UnpackAddMags32(pb, signWb, cb, &sc.d, &sc.mags)
+	c := bits.Len32(ormag)
+	dst[0] = byte(c)
+	if c == 0 {
+		return 1, usedA, usedB, false, nil
+	}
+	dst[1] = byte(signW)
+	dst[2] = byte(signW >> 8)
+	dst[3] = byte(signW >> 16)
+	dst[4] = byte(signW >> 24)
+	return 5 + bitio.PackMags32(dst[5:], &sc.mags, c), usedA, usedB, false, nil
+}
+
+// sumBlocks32Wide is the checked fallback for operand code lengths 31 and
+// 32, where a summed magnitude may overflow int32: it unpacks both
+// magnitude arrays, adds in int64 with per-element overflow detection,
+// and re-encodes. It also performs the full marker validation (> 32
+// rejection) for both operands.
+func sumBlocks32Wide(dst, sa, sb []byte) (wrote, usedA, usedB int, overflow bool, err error) {
 	var maga, magb, msum [32]uint32
 	signWa, usedA, err := unpackMags32(sa, &maga)
 	if err != nil {

@@ -1,0 +1,103 @@
+package hzdyn
+
+import (
+	"bytes"
+	"testing"
+
+	"hzccl/internal/datasets"
+	"hzccl/internal/fzlight"
+	"hzccl/internal/metrics"
+)
+
+// TestAddParallelBitIdentical pins the sharded executor's core contract:
+// for every worker count, every dataset and both single- and multi-chunk
+// containers, AddIntoParallel emits exactly the bytes (and statistics) of
+// the serial reducer.
+func TestAddParallelBitIdentical(t *testing.T) {
+	const n = 1<<14 + 13 // odd tail block
+	for _, name := range datasets.Names() {
+		va, vb, err := datasets.Pair(name, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, threads := range []int{1, 3} {
+			p := fzlight.Params{ErrorBound: metrics.AbsBound(1e-3, va), Threads: threads}
+			ca, err := fzlight.Compress(va, p)
+			if err != nil {
+				t.Fatalf("%s: compress: %v", name, err)
+			}
+			cb, err := fzlight.Compress(vb, p)
+			if err != nil {
+				t.Fatalf("%s: compress: %v", name, err)
+			}
+			want, wantSt, err := Add(ca, cb)
+			if err != nil {
+				t.Fatalf("%s: serial add: %v", name, err)
+			}
+			for _, workers := range []int{1, 2, 3, 4, 7, 16, 1000} {
+				got, st, err := AddParallel(ca, cb, workers)
+				if err != nil {
+					t.Fatalf("%s threads=%d workers=%d: %v", name, threads, workers, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%s threads=%d workers=%d: output differs from serial (%d vs %d bytes)",
+						name, threads, workers, len(got), len(want))
+				}
+				if st != wantSt {
+					t.Fatalf("%s threads=%d workers=%d: stats %+v, want %+v",
+						name, threads, workers, st, wantSt)
+				}
+			}
+		}
+	}
+}
+
+// TestAddIntoParallelReusedBuffer checks the Into form against AddInto on
+// a shared destination buffer, including a dirty one.
+func TestAddIntoParallelReusedBuffer(t *testing.T) {
+	va, vb, err := datasets.Pair("CESM-ATM", 1<<13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fzlight.Params{ErrorBound: metrics.AbsBound(1e-3, va)}
+	ca, _ := fzlight.Compress(va, p)
+	cb, _ := fzlight.Compress(vb, p)
+	dst := make([]byte, AddBound(len(ca), len(cb)))
+	wantN, _, err := AddInto(dst, ca, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), dst[:wantN]...)
+	for i := range dst {
+		dst[i] = 0xA5
+	}
+	gotN, _, err := AddIntoParallel(dst, ca, cb, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotN != wantN || !bytes.Equal(dst[:gotN], want) {
+		t.Fatalf("parallel Into differs: %d vs %d bytes", gotN, wantN)
+	}
+}
+
+// TestAddParallelErrors checks the sharded path reports the serial path's
+// sentinel errors.
+func TestAddParallelErrors(t *testing.T) {
+	va, vb, err := datasets.Pair("CESM-ATM", 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, _ := fzlight.Compress(va, fzlight.Params{ErrorBound: metrics.AbsBound(1e-3, va)})
+	cb, _ := fzlight.Compress(vb, fzlight.Params{ErrorBound: metrics.AbsBound(1e-2, vb)})
+	if _, _, err := AddParallel(ca, cb, 4); err != ErrGeometry {
+		t.Fatalf("mismatched bounds: got %v, want ErrGeometry", err)
+	}
+	trunc := ca[:len(ca)-3]
+	if _, _, err := AddParallel(trunc, trunc, 4); err == nil {
+		t.Fatal("truncated stream must not reduce cleanly")
+	}
+	short := make([]byte, 8)
+	if _, _, err := AddIntoParallel(short, ca, ca, 4); err != fzlight.ErrShortOutput {
+		t.Fatalf("short dst: got %v, want ErrShortOutput", err)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"sync"
 
 	"hzccl/internal/bitio"
+	"hzccl/internal/bufpool"
 )
 
 // DefaultBlockSize matches cuSZp's 32-element blocks.
@@ -98,64 +99,183 @@ type blockMeta struct {
 	size    int32 // encoded bytes incl. marker
 }
 
+// metaPool recycles the per-call block-metadata slices of CompressInto so
+// the steady state performs no heap allocations. The *[]blockMeta boxes
+// sync.Pool requires are themselves recycled through metaBoxes, so a
+// steady-state get/put cycle allocates nothing (same scheme as bufpool).
+var (
+	metaPool  sync.Pool
+	metaBoxes sync.Pool
+)
+
+func getMetas(n int) []blockMeta {
+	if x := metaPool.Get(); x != nil {
+		box := x.(*[]blockMeta)
+		s := *box
+		*box = nil
+		metaBoxes.Put(box)
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]blockMeta, n, n+n/4)
+}
+
+func putMetas(s []blockMeta) {
+	var box *[]blockMeta
+	if x := metaBoxes.Get(); x != nil {
+		box = x.(*[]blockMeta)
+	} else {
+		box = new([]blockMeta)
+	}
+	*box = s[:0]
+	metaPool.Put(box)
+}
+
+// CompressBound returns a dst size always sufficient for CompressInto of
+// n float32 values under p: every block costs at most a marker, an
+// outlier, its sign bytes and 32 full bit planes.
+func CompressBound(n int, p Params) int {
+	p = p.withDefaults()
+	B := p.BlockSize
+	nblocks := (n + B - 1) / B
+	return fixedHeader + nblocks*(5+bitio.SignBytes(B)+32*((B+7)/8))
+}
+
 // Compress compresses data with the cuSZp-style two-pass pipeline.
 func Compress(data []float32, p Params) ([]byte, error) {
+	out := make([]byte, CompressBound(len(data), p))
+	n, err := CompressInto(out, data, p)
+	if err != nil {
+		return nil, err
+	}
+	return out[:n:n], nil
+}
+
+// CompressInto compresses data into dst (at least CompressBound bytes)
+// and returns the stream size. All scratch — the global quantization
+// array, block metadata, the offset scan and the per-worker delta/
+// magnitude buffers — is pooled, so the steady state allocates nothing
+// beyond the goroutines of multi-threaded runs.
+func CompressInto(dst []byte, data []float32, p Params) (int, error) {
 	p = p.withDefaults()
 	if !(p.ErrorBound > 0) || math.IsInf(p.ErrorBound, 0) {
-		return nil, fmt.Errorf("%w: ErrorBound %v", ErrBadParams, p.ErrorBound)
+		return 0, fmt.Errorf("%w: ErrorBound %v", ErrBadParams, p.ErrorBound)
+	}
+	if len(dst) < CompressBound(len(data), p) {
+		return 0, fmt.Errorf("%w: dst too small", ErrBadParams)
 	}
 	B := p.BlockSize
 	nblocks := (len(data) + B - 1) / B
 
 	// Pass 1 (unfused): quantize the whole input into a global integer
 	// array, then derive per-block prediction metadata from it.
-	quant := make([]int32, len(data))
-	metas := make([]blockMeta, nblocks)
+	quant := bufpool.Int32s(len(data))
+	defer bufpool.PutInt32s(quant)
+	metas := getMetas(nblocks)
+	defer putMetas(metas)
 	recip := float32(1 / (2 * p.ErrorBound))
-	var pass1Err error
-	var mu sync.Mutex
-	strided(nblocks, p.Threads, func(bi int) {
-		start := bi * B
-		end := start + B
-		if end > len(data) {
-			end = len(data)
-		}
-		m, err := quantizeBlock(data[start:end], quant[start:end], recip)
-		if err != nil {
-			mu.Lock()
-			if pass1Err == nil {
-				pass1Err = err
+	if p.Threads <= 1 {
+		// Serial fast path: plain loop, no closures, no mutex — keeps the
+		// single-threaded steady state allocation-free.
+		for bi := 0; bi < nblocks; bi++ {
+			start := bi * B
+			end := start + B
+			if end > len(data) {
+				end = len(data)
 			}
-			mu.Unlock()
-			return
+			m, err := quantizeBlock(data[start:end], quant[start:end], recip)
+			if err != nil {
+				return 0, err
+			}
+			metas[bi] = m
 		}
-		metas[bi] = m
-	})
-	if pass1Err != nil {
-		return nil, pass1Err
+	} else {
+		var pass1Err error
+		var mu sync.Mutex
+		strided(nblocks, p.Threads, func(bi, _ int) {
+			start := bi * B
+			end := start + B
+			if end > len(data) {
+				end = len(data)
+			}
+			m, err := quantizeBlock(data[start:end], quant[start:end], recip)
+			if err != nil {
+				mu.Lock()
+				if pass1Err == nil {
+					pass1Err = err
+				}
+				mu.Unlock()
+				return
+			}
+			metas[bi] = m
+		})
+		if pass1Err != nil {
+			return 0, pass1Err
+		}
 	}
 
 	// Global synchronization: a serial prefix sum over block sizes (the
 	// CPU analogue of cuSZp's grid sync + scan).
-	offsets := make([]int64, nblocks+1)
+	offsets := bufpool.Int64s(nblocks + 1)
+	defer bufpool.PutInt64s(offsets)
+	offsets[0] = 0
 	for i, m := range metas {
 		offsets[i+1] = offsets[i] + int64(m.size)
 	}
 
-	out := make([]byte, fixedHeader+offsets[nblocks])
-	writeHeader(out, p.ErrorBound, B, len(data))
+	writeHeader(dst, p.ErrorBound, B, len(data))
 
-	// Pass 2: encode each block at its offset, again strided.
-	strided(nblocks, p.Threads, func(bi int) {
+	// Pass 2: encode each block at its offset, again strided. Each
+	// worker owns one pooled delta/magnitude scratch pair.
+	if p.Threads <= 1 {
+		sc := encodeScratch{deltas: bufpool.Int32s(B), mags: bufpool.Uint32s(B)}
+		for bi := 0; bi < nblocks; bi++ {
+			start := bi * B
+			end := start + B
+			if end > len(data) {
+				end = len(data)
+			}
+			encodeBlock(dst[fixedHeader+offsets[bi]:fixedHeader+offsets[bi+1]],
+				quant[start:end], metas[bi], &sc)
+		}
+		bufpool.PutInt32s(sc.deltas)
+		bufpool.PutUint32s(sc.mags)
+		return int(int64(fixedHeader) + offsets[nblocks]), nil
+	}
+	workers := p.Threads
+	if workers > nblocks {
+		workers = nblocks
+	}
+	scratch := make([]encodeScratch, 0, 8)
+	for w := 0; w < workers; w++ {
+		scratch = append(scratch, encodeScratch{
+			deltas: bufpool.Int32s(B),
+			mags:   bufpool.Uint32s(B),
+		})
+	}
+	defer func() {
+		for _, s := range scratch {
+			bufpool.PutInt32s(s.deltas)
+			bufpool.PutUint32s(s.mags)
+		}
+	}()
+	strided(nblocks, p.Threads, func(bi, w int) {
 		start := bi * B
 		end := start + B
 		if end > len(data) {
 			end = len(data)
 		}
-		encodeBlock(out[fixedHeader+offsets[bi]:fixedHeader+offsets[bi+1]],
-			quant[start:end], metas[bi])
+		encodeBlock(dst[fixedHeader+offsets[bi]:fixedHeader+offsets[bi+1]],
+			quant[start:end], metas[bi], &scratch[w])
 	})
-	return out, nil
+	return int(int64(fixedHeader) + offsets[nblocks]), nil
+}
+
+// encodeScratch is one worker's reusable delta/magnitude buffers.
+type encodeScratch struct {
+	deltas []int32
+	mags   []uint32
 }
 
 func quantizeBlock(blk []float32, q []int32, recip float32) (blockMeta, error) {
@@ -202,7 +322,7 @@ func quantizeBlock(blk []float32, q []int32, recip float32) (blockMeta, error) {
 	return blockMeta{codeLen: int8(c), outlier: q[0], size: int32(size)}, nil
 }
 
-func encodeBlock(dst []byte, q []int32, m blockMeta) {
+func encodeBlock(dst []byte, q []int32, m blockMeta, sc *encodeScratch) {
 	if m.codeLen < 0 {
 		dst[0] = zeroMarker
 		return
@@ -214,8 +334,9 @@ func encodeBlock(dst []byte, q []int32, m blockMeta) {
 		return
 	}
 	n := len(q)
-	deltas := make([]int32, n)
-	mags := make([]uint32, n)
+	deltas := sc.deltas[:n]
+	mags := sc.mags[:n]
+	mags[0] = 0 // the delta loop below assigns indices 1..n-1 only
 	prev := q[0]
 	deltas[0] = 0
 	for i := 1; i < n; i++ {
@@ -246,15 +367,31 @@ func Decompress(comp []byte) ([]float32, error) {
 // after a serial offset-scan pass — the decompression-side analogue of the
 // global synchronization).
 func DecompressThreads(comp []byte, h *Header, threads int) ([]float32, error) {
+	out := make([]float32, h.DataLen)
+	if err := DecompressInto(out, comp, h, threads); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecompressInto decodes a stream into dst, which must hold exactly
+// h.DataLen values. The offset scan and the per-worker delta/magnitude
+// scratch are pooled, so single-threaded steady-state decompression
+// performs zero heap allocations.
+func DecompressInto(dst []float32, comp []byte, h *Header, threads int) error {
+	if len(dst) != h.DataLen {
+		return fmt.Errorf("%w: dst length %d, want %d", ErrBadParams, len(dst), h.DataLen)
+	}
 	B := h.BlockSize
 	nblocks := (h.DataLen + B - 1) / B
 	// Offset scan: walk the markers to find where each block starts.
-	offsets := make([]int64, nblocks+1)
+	offsets := bufpool.Int64s(nblocks + 1)
+	defer bufpool.PutInt64s(offsets)
 	o := int64(fixedHeader)
 	for bi := 0; bi < nblocks; bi++ {
 		offsets[bi] = o
 		if o >= int64(len(comp)) {
-			return nil, ErrCorrupt
+			return ErrCorrupt
 		}
 		start := bi * B
 		end := start + B
@@ -271,25 +408,60 @@ func DecompressThreads(comp []byte, h *Header, threads int) ([]float32, error) {
 		case int(mk) <= 32:
 			o += int64(5 + bitio.SignBytes(n) + int(mk)*((n+7)/8))
 		default:
-			return nil, fmt.Errorf("%w: marker %d", ErrCorrupt, mk)
+			return fmt.Errorf("%w: marker %d", ErrCorrupt, mk)
 		}
 	}
 	offsets[nblocks] = o
 	if o != int64(len(comp)) {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, int64(len(comp))-o)
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, int64(len(comp))-o)
 	}
 
-	out := make([]float32, h.DataLen)
 	eb2 := 2 * h.ErrorBound
+	if threads <= 1 {
+		// Serial fast path: no closures, no mutex, one pooled scratch pair.
+		sc := encodeScratch{deltas: bufpool.Int32s(B), mags: bufpool.Uint32s(B)}
+		for bi := 0; bi < nblocks; bi++ {
+			start := bi * B
+			end := start + B
+			if end > h.DataLen {
+				end = h.DataLen
+			}
+			if err := decodeBlock(comp[offsets[bi]:offsets[bi+1]], dst[start:end], eb2, &sc); err != nil {
+				bufpool.PutInt32s(sc.deltas)
+				bufpool.PutUint32s(sc.mags)
+				return err
+			}
+		}
+		bufpool.PutInt32s(sc.deltas)
+		bufpool.PutUint32s(sc.mags)
+		return nil
+	}
+	workers := threads
+	if workers > nblocks {
+		workers = nblocks
+	}
+	scratch := make([]encodeScratch, 0, 8)
+	for w := 0; w < workers; w++ {
+		scratch = append(scratch, encodeScratch{
+			deltas: bufpool.Int32s(B),
+			mags:   bufpool.Uint32s(B),
+		})
+	}
+	defer func() {
+		for _, s := range scratch {
+			bufpool.PutInt32s(s.deltas)
+			bufpool.PutUint32s(s.mags)
+		}
+	}()
 	var decErr error
 	var mu sync.Mutex
-	strided(nblocks, threads, func(bi int) {
+	strided(nblocks, threads, func(bi, w int) {
 		start := bi * B
 		end := start + B
 		if end > h.DataLen {
 			end = h.DataLen
 		}
-		if err := decodeBlock(comp[offsets[bi]:offsets[bi+1]], out[start:end], eb2); err != nil {
+		if err := decodeBlock(comp[offsets[bi]:offsets[bi+1]], dst[start:end], eb2, &scratch[w]); err != nil {
 			mu.Lock()
 			if decErr == nil {
 				decErr = err
@@ -297,10 +469,10 @@ func DecompressThreads(comp []byte, h *Header, threads int) ([]float32, error) {
 			mu.Unlock()
 		}
 	})
-	return out, decErr
+	return decErr
 }
 
-func decodeBlock(src []byte, dst []float32, eb2 float64) error {
+func decodeBlock(src []byte, dst []float32, eb2 float64, sc *encodeScratch) error {
 	if len(src) < 1 {
 		return ErrCorrupt
 	}
@@ -328,8 +500,11 @@ func decodeBlock(src []byte, dst []float32, eb2 float64) error {
 	if len(src) < need {
 		return ErrCorrupt
 	}
-	mags := make([]uint32, n)
-	deltas := make([]int32, n)
+	mags := sc.mags[:n]
+	deltas := sc.deltas[:n]
+	for i := range mags {
+		mags[i] = 0 // BitUnshuffle ORs bit planes into its target
+	}
 	o := 5 + bitio.SignBytes(n)
 	bitio.BitUnshuffle(src[o:], mags, c)
 	for i := range deltas {
@@ -343,13 +518,15 @@ func decodeBlock(src []byte, dst []float32, eb2 float64) error {
 	return nil
 }
 
-// strided runs fn(blockIndex) for every block, assigning blocks to workers
-// round-robin (worker w handles blocks w, w+T, w+2T, ...), reproducing the
-// GPU-style access pattern.
-func strided(nblocks, threads int, fn func(int)) {
+// strided runs fn(blockIndex, worker) for every block, assigning blocks
+// to workers round-robin (worker w handles blocks w, w+T, w+2T, ...),
+// reproducing the GPU-style access pattern. The worker index lets call
+// sites hand each goroutine its own scratch. Threads <= 1 runs inline on
+// worker 0 with no goroutine or WaitGroup traffic.
+func strided(nblocks, threads int, fn func(bi, worker int)) {
 	if threads <= 1 || nblocks <= 1 {
 		for i := 0; i < nblocks; i++ {
-			fn(i)
+			fn(i, 0)
 		}
 		return
 	}
@@ -359,7 +536,7 @@ func strided(nblocks, threads int, fn func(int)) {
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < nblocks; i += threads {
-				fn(i)
+				fn(i, w)
 			}
 		}(w)
 	}

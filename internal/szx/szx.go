@@ -48,25 +48,55 @@ const (
 	markerRaw      = 0x00
 )
 
+// CompressBound returns a dst size always sufficient for CompressInto of
+// n values with block size B: each block costs at most a marker plus its
+// raw float32 bytes (constant blocks cost 5 bytes, never more than a raw
+// one-element block).
+func CompressBound(n, blockSize int) int {
+	B := blockSize
+	if B == 0 {
+		B = DefaultBlockSize
+	}
+	if B < 1 {
+		return fixedHeader
+	}
+	nblocks := (n + B - 1) / B
+	return fixedHeader + 4*n + 5*nblocks
+}
+
 // Compress compresses data with the constant-block scheme: a block whose
 // (max−min)/2 fits within the bound stores only its midpoint; any other
 // block is stored raw.
 func Compress(data []float32, p Params) ([]byte, error) {
+	out := make([]byte, CompressBound(len(data), p.BlockSize))
+	n, err := CompressInto(out, data, p)
+	if err != nil {
+		return nil, err
+	}
+	return out[:n:n], nil
+}
+
+// CompressInto compresses data into dst (at least CompressBound bytes)
+// and returns the stream size. It performs no heap allocations.
+func CompressInto(dst []byte, data []float32, p Params) (int, error) {
 	if !(p.ErrorBound > 0) || math.IsInf(p.ErrorBound, 0) {
-		return nil, fmt.Errorf("%w: ErrorBound %v", ErrBadParams, p.ErrorBound)
+		return 0, fmt.Errorf("%w: ErrorBound %v", ErrBadParams, p.ErrorBound)
 	}
 	B := p.BlockSize
 	if B == 0 {
 		B = DefaultBlockSize
 	}
 	if B < 1 {
-		return nil, fmt.Errorf("%w: BlockSize %d", ErrBadParams, B)
+		return 0, fmt.Errorf("%w: BlockSize %d", ErrBadParams, B)
 	}
-	out := make([]byte, fixedHeader, fixedHeader+len(data)*4+len(data)/B+64)
-	copy(out, magic)
-	binary.LittleEndian.PutUint32(out[4:], uint32(B))
-	binary.LittleEndian.PutUint64(out[8:], math.Float64bits(p.ErrorBound))
-	binary.LittleEndian.PutUint64(out[16:], uint64(len(data)))
+	if len(dst) < CompressBound(len(data), B) {
+		return 0, fmt.Errorf("%w: dst too small", ErrBadParams)
+	}
+	copy(dst, magic)
+	binary.LittleEndian.PutUint32(dst[4:], uint32(B))
+	binary.LittleEndian.PutUint64(dst[8:], math.Float64bits(p.ErrorBound))
+	binary.LittleEndian.PutUint64(dst[16:], uint64(len(data)))
+	o := fixedHeader
 
 	for base := 0; base < len(data); base += B {
 		end := base + B
@@ -77,7 +107,7 @@ func Compress(data []float32, p Params) ([]byte, error) {
 		mn, mx := blk[0], blk[0]
 		for _, v := range blk {
 			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
-				return nil, ErrNonFinite
+				return 0, ErrNonFinite
 			}
 			if v < mn {
 				mn = v
@@ -88,40 +118,64 @@ func Compress(data []float32, p Params) ([]byte, error) {
 		}
 		if float64(mx)-float64(mn) <= 2*p.ErrorBound {
 			mid := mn + (mx-mn)/2
-			out = append(out, markerConstant)
-			var buf [4]byte
-			binary.LittleEndian.PutUint32(buf[:], math.Float32bits(mid))
-			out = append(out, buf[:]...)
+			dst[o] = markerConstant
+			binary.LittleEndian.PutUint32(dst[o+1:], math.Float32bits(mid))
+			o += 5
 		} else {
-			out = append(out, markerRaw)
-			off := len(out)
-			out = append(out, make([]byte, 4*len(blk))...)
-			floatbytes.FromFloat32(out[off:], blk)
+			dst[o] = markerRaw
+			floatbytes.FromFloat32(dst[o+1:], blk)
+			o += 1 + 4*len(blk)
 		}
 	}
-	return out, nil
+	return o, nil
 }
 
 // Decompress reconstructs a compressed stream.
 func Decompress(comp []byte) ([]float32, error) {
+	n, err := DataLen(comp)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float32, n)
+	if err := DecompressInto(out, comp); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DataLen returns the number of float32 values a stream decodes to.
+func DataLen(comp []byte) (int, error) {
 	if len(comp) < fixedHeader {
-		return nil, ErrCorrupt
+		return 0, ErrCorrupt
 	}
 	if string(comp[:4]) != magic {
-		return nil, ErrBadMagic
+		return 0, ErrBadMagic
 	}
 	B := int(binary.LittleEndian.Uint32(comp[4:]))
 	rawLen := binary.LittleEndian.Uint64(comp[16:])
 	if B < 1 {
-		return nil, ErrCorrupt
+		return 0, ErrCorrupt
 	}
 	payload := uint64(len(comp) - fixedHeader)
 	// Every block costs at least 1 marker byte.
 	if rawLen > payload*uint64(B) {
-		return nil, ErrCorrupt
+		return 0, ErrCorrupt
 	}
-	n := int(rawLen)
-	out := make([]float32, n)
+	return int(rawLen), nil
+}
+
+// DecompressInto reconstructs a stream into dst, which must hold exactly
+// DataLen values. It performs no heap allocations.
+func DecompressInto(dst []float32, comp []byte) error {
+	n, err := DataLen(comp)
+	if err != nil {
+		return err
+	}
+	if len(dst) != n {
+		return fmt.Errorf("%w: dst length %d, want %d", ErrBadParams, len(dst), n)
+	}
+	B := int(binary.LittleEndian.Uint32(comp[4:]))
+	out := dst
 	o := fixedHeader
 	for base := 0; base < n; base += B {
 		end := base + B
@@ -130,12 +184,12 @@ func Decompress(comp []byte) ([]float32, error) {
 		}
 		bn := end - base
 		if o >= len(comp) {
-			return nil, ErrCorrupt
+			return ErrCorrupt
 		}
 		switch comp[o] {
 		case markerConstant:
 			if len(comp) < o+5 {
-				return nil, ErrCorrupt
+				return ErrCorrupt
 			}
 			v := math.Float32frombits(binary.LittleEndian.Uint32(comp[o+1:]))
 			for i := base; i < end; i++ {
@@ -144,18 +198,18 @@ func Decompress(comp []byte) ([]float32, error) {
 			o += 5
 		case markerRaw:
 			if len(comp) < o+1+4*bn {
-				return nil, ErrCorrupt
+				return ErrCorrupt
 			}
 			floatbytes.ToFloat32(out[base:end], comp[o+1:o+1+4*bn])
 			o += 1 + 4*bn
 		default:
-			return nil, fmt.Errorf("%w: marker %d", ErrCorrupt, comp[o])
+			return fmt.Errorf("%w: marker %d", ErrCorrupt, comp[o])
 		}
 	}
 	if o != len(comp) {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(comp)-o)
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(comp)-o)
 	}
-	return out, nil
+	return nil
 }
 
 // ConstantFraction reports the fraction of constant blocks in a stream
