@@ -57,10 +57,12 @@ soak:
 
 # tcp-smoke runs a 4-rank hZCCL Allreduce as 4 real OS processes over
 # loopback TCP and verifies the result digest is bitwise identical to the
-# in-process fabric, plus the transport unit tests under the race
-# detector.
+# in-process fabric, plus the transport and daemon unit tests under the
+# race detector. Each script run also boots the hzccl-serve daemon and
+# submits concurrent jobs over one mesh handshake.
 tcp-smoke:
 	$(GO) test -race -count=1 -run 'TestTCP' ./internal/cluster
+	$(GO) test -race -count=1 ./serve
 	sh scripts/tcp_smoke.sh
 	sh scripts/tcp_smoke.sh 65536 mpi
 	sh scripts/tcp_smoke.sh 65536 hzccl hierarchical 2x2

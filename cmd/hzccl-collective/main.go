@@ -31,6 +31,15 @@
 // shrunken-world result (which must match an inproc run of the survivor
 // count).
 //
+// Service mode: -serve makes this process one rank of the long-lived
+// collective-as-a-service mesh (the hzccl-serve daemon in the same
+// binary), and -submit ADDR sends one job — described by the usual
+// -backend/-algorithm/-topology/-message/-rel flags — to a running
+// daemon and prints its digests in the standalone format:
+//
+//	hzccl-collective -serve -rank R -peers h0:p0,... [-client-listen ADDR]
+//	hzccl-collective -submit HOST:PORT -backend hzccl -message 65536
+//
 // Every process prints its rank's result digest, virtual time and
 // wall-clock time; digests must agree across ranks and match
 // -transport=inproc (same flags, no -rank/-peers), which runs the
@@ -60,9 +69,12 @@ import (
 	"io"
 	"math"
 	"os"
+	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"hzccl"
@@ -73,6 +85,7 @@ import (
 	"hzccl/internal/metrics"
 	"hzccl/internal/obs"
 	"hzccl/internal/telemetry"
+	"hzccl/serve"
 )
 
 func main() {
@@ -99,6 +112,9 @@ func main() {
 		killRank   = flag.Int("kill-rank", -1, "elastic-membership demo for -transport: crash this rank mid-collective; survivors evict it and finish on the shrunken world (-1 = off)")
 		killStep   = flag.Int("kill-step", 0, "program-order send step at which -kill-rank crashes")
 		recvTO     = flag.Duration("recv-timeout", 0, "receive deadline for -transport runs (0 = 2s; a dropped peer must surface as an error, not a deadlock)")
+		serveMode  = flag.Bool("serve", false, "run as one rank of the collective-as-a-service daemon (hzccl-serve equivalent; requires -rank and -peers, rank 0 serves clients on -client-listen)")
+		clientLn   = flag.String("client-listen", "", "rank 0's client-protocol listen address for -serve (empty = loopback ephemeral, printed at startup)")
+		submitAddr = flag.String("submit", "", "submit one job to a running daemon's client address and print its digests (uses -backend/-algorithm/-topology/-message/-rel/-kill-rank/-kill-step)")
 		obsListen  = flag.String("obs-listen", "", "serve the live introspection endpoint (healthz, metrics, pprof, flight recorder, trace) on this host:port")
 		obsLinger  = flag.Duration("obs-linger", 0, "keep the -obs-listen endpoint up this long after the work finishes")
 		traceMerge = flag.String("trace-merge", "", "merge the per-process trace files given as arguments into this output file and exit")
@@ -124,7 +140,7 @@ func main() {
 	if *transport != "" && *traceFile != "" {
 		transportTrace = &hzccl.Trace{}
 	}
-	if *obsListen != "" {
+	if *obsListen != "" && !*serveMode {
 		srv, err := startObs(*obsListen, *transport, *tcpRank, *tcpPeers, *nodes, transportTrace)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hzccl-collective: obs: %v\n", err)
@@ -143,6 +159,26 @@ func main() {
 			fmt.Fprintf(os.Stderr, "obs: lingering %v\n", *obsLinger)
 			time.Sleep(*obsLinger)
 		}
+	}
+
+	if *serveMode {
+		// -serve manages its own obs server so the /jobs endpoint can see
+		// the daemon's registry (the generic startObs above is skipped).
+		if err := runServe(*tcpRank, *tcpPeers, *clientLn, *obsListen, *recvTO); err != nil {
+			fmt.Fprintf(os.Stderr, "hzccl-collective: serve: %v\n", err)
+			os.Exit(1)
+		}
+		finish()
+		return
+	}
+
+	if *submitAddr != "" {
+		if err := runSubmit(*submitAddr, *backendStr, *algoStr, *topoStr, *message, *rel, *killRank, *killStep); err != nil {
+			fmt.Fprintf(os.Stderr, "hzccl-collective: submit: %v\n", err)
+			os.Exit(1)
+		}
+		finish()
+		return
 	}
 
 	if *transport != "" {
@@ -257,6 +293,106 @@ func mergeTraces(out string, inputs []string) error {
 	}
 	defer f.Close()
 	return hzccl.MergeChromeTraces(f, readers...)
+}
+
+// runServe turns this process into one rank of the collective-as-a-service
+// mesh (the hzccl-serve daemon, reachable from the same binary for
+// single-binary deployments). It blocks until SIGINT/SIGTERM or until the
+// service tears itself down because a peer daemon died.
+func runServe(rank int, peers, clientListen, obsListen string, recvTO time.Duration) error {
+	peerList := strings.Split(peers, ",")
+	if peers == "" || len(peerList) < 2 {
+		return fmt.Errorf("-serve needs -peers with at least two comma-separated host:port addresses")
+	}
+	d, err := serve.Start(serve.Options{
+		Rank: rank, Peers: peerList, ClientAddr: clientListen, RecvTimeout: recvTO,
+		Logf: func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+	})
+	if err != nil {
+		return err
+	}
+	if rank == 0 {
+		// Stdout so scripts can capture the (possibly ephemeral) address.
+		fmt.Printf("client protocol on %s\n", d.ClientAddr())
+	}
+	if obsListen != "" {
+		srv, err := obs.Start(obsListen, obs.Options{
+			Rank: rank, World: d.World(), Transport: "tcp",
+			Jobs: func() any { return d.Jobs() },
+		})
+		if err != nil {
+			d.Close()
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "obs: serving on http://%s\n", srv.Addr())
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "serve: rank %d: %v, shutting down\n", rank, s)
+	case <-d.Done():
+		fmt.Fprintf(os.Stderr, "serve: rank %d: service stopped\n", rank)
+	}
+	return d.Close()
+}
+
+// runSubmit sends one job to a running daemon and prints the per-rank
+// digest lines in the exact format of a -transport run, so smoke scripts
+// compare daemon and standalone results with the same extraction.
+func runSubmit(addr, backendStr, algoStr, topoStr string, message int, rel float64, killRank, killStep int) error {
+	backend, err := parseBackend(backendStr)
+	if err != nil {
+		return err
+	}
+	if message == 0 {
+		message = 1 << 18
+	}
+	if rel == 0 {
+		rel = 1e-4
+	}
+	c, err := serve.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	world, err := c.Ping()
+	if err != nil {
+		return err
+	}
+	spec := serve.JobSpec{
+		Backend: strings.ToLower(backendStr), Algorithm: algoStr, Topology: topoStr,
+		MessageBytes: message, RelBound: rel,
+	}
+	if killRank >= 0 {
+		spec.KillRank = killRank
+		spec.KillStep = killStep
+	}
+	res, err := c.Submit(spec)
+	if err != nil {
+		return err
+	}
+	if len(res.Evicted) > 0 {
+		fmt.Printf("evicted ranks %v: survivors finished on a %d-rank world\n", res.Evicted, world-len(res.Evicted))
+	}
+	ranks := make([]int, 0, len(res.Digests))
+	for k := range res.Digests {
+		id, err := strconv.Atoi(k)
+		if err != nil {
+			return fmt.Errorf("daemon returned non-numeric rank %q", k)
+		}
+		ranks = append(ranks, id)
+	}
+	sort.Ints(ranks)
+	for _, id := range ranks {
+		fmt.Printf("rank %d/%d backend=%s algo=%s bytes=%d digest=%s virtual=%.3fms wall=%.3fms\n",
+			id, world, backend, algoStr, message, res.Digests[strconv.Itoa(id)],
+			res.VirtualSeconds*1e3, res.WallSeconds*1e3)
+	}
+	fmt.Printf("job %d done on %s\n", res.ID, addr)
+	return nil
 }
 
 // parseBackend maps a -backend flag value to a collective backend.

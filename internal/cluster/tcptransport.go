@@ -14,13 +14,14 @@ package cluster
 //
 // Wire protocol (all integers little-endian):
 //
-//	handshake   "hZCC" ver=3 | u32 rank | u32 world | u64 epochNanos   (both directions)
+//	handshake   "hZCC" ver=4 | u32 rank | u32 world | u64 epochNanos   (both directions)
 //	frame       u32 length | u8 type | body
-//	  data      u32 seq | u32 epoch | u32 sum | f64 sentAt | f64 delay | u64 trace | payload
-//	  nack      u32 seq | u32 epoch
-//	  retx      u8 status | u32 seq | u32 epoch | u32 sum | payload
-//	  agree     u32 gen | u8 flags | f64 clock | i64 value | u64 dead
-//	  release   u32 gen | u8 flags | f64 clock | i64 value | u64 dead
+//	  data      u32 job | u32 seq | u32 epoch | u32 sum | f64 sentAt | f64 delay | u64 trace | payload
+//	  nack      u32 job | u32 seq | u32 epoch
+//	  retx      u32 job | u8 status | u32 seq | u32 epoch | u32 sum | payload
+//	  agree     u32 job | u32 gen | u8 flags | f64 clock | i64 value | u64 dead
+//	  release   u32 job | u32 gen | u8 flags | f64 clock | i64 value | u64 dead
+//	  job       u32 job | u8 kind | payload
 //
 // The frame length covers everything after the length field itself.
 //
@@ -33,7 +34,7 @@ package cluster
 // additionally carry the sender's 64-bit collective trace ID, so a
 // receiving process can pair its delivery with the remote send.
 //
-// Version 3 makes the control plane failure-aware for elastic
+// Version 3 made the control plane failure-aware for elastic
 // membership: agree/release frames carry a flags byte (bit 0 = tolerant
 // membership round) and a u64 dead-set bitmap of physical ranks. The
 // coordinator — the lowest *live* rank, no longer hardwired to rank 0 —
@@ -43,6 +44,19 @@ package cluster
 // observes its connection reset reports the peer to the failure detector
 // (Config.onPeerDown), which is how a remote process crash feeds
 // cooperative abort and shrink-and-continue.
+//
+// Version 4 multiplexes *jobs* over one mesh: every frame carries a u32
+// job ID, and each job runs on its own session (Session) with private
+// sequence/epoch space, replay windows, consensus generations and
+// membership — so a long-lived daemon executes many collectives, even
+// concurrently, over connections handshaked exactly once. Job 0 is the
+// transport's built-in session, which the Transport methods on
+// TCPTransport itself delegate to; single-job users never see the
+// machinery. A new `job` frame kind carries daemon control traffic
+// (submit/start/done) outside any session, delivered to the handler
+// registered with SetJobHandler; its kind 0 is reserved for the internal
+// end-of-session broadcast that closes the job's mailboxes on every
+// peer.
 
 import (
 	"bufio"
@@ -58,26 +72,28 @@ import (
 	"time"
 
 	"hzccl/internal/bufpool"
+	"hzccl/internal/telemetry"
 )
 
 // TCP protocol constants.
 const (
 	tcpMagic   = "hZCC"
-	tcpVersion = 3
+	tcpVersion = 4
 
 	// tcpHelloLen is the handshake size: magic, version, rank, world,
 	// epoch nanos.
 	tcpHelloLen = 4 + 1 + 4 + 4 + 8
 
 	// tcpDataHdrLen is the data-frame body prefix after the type byte:
-	// seq, epoch, sum, sentAt, delay, trace.
-	tcpDataHdrLen = 4 + 4 + 4 + 8 + 8 + 8
+	// job, seq, epoch, sum, sentAt, delay, trace.
+	tcpDataHdrLen = 4 + 4 + 4 + 4 + 8 + 8 + 8
 
 	frameData    = 1
 	frameNack    = 2
 	frameRetx    = 3
 	frameAgree   = 4
 	frameRelease = 5
+	frameJob     = 6
 
 	// retxOK/retxNotYetSent/retxGone are the status codes of a retx frame.
 	retxOK         = 0
@@ -87,6 +103,20 @@ const (
 	// maxFrameBytes bounds a single frame (1 GiB): anything larger is a
 	// corrupted length prefix, not a payload this system produces.
 	maxFrameBytes = 1 << 30
+
+	// defaultJob is the job ID of the transport's built-in session; it is
+	// reserved and cannot be claimed through Session.
+	defaultJob = 0
+
+	// jobByeKind is the reserved job-frame kind a session broadcasts when
+	// it ends, so peers close that job's mailboxes instead of blocking.
+	jobByeKind = 0
+)
+
+// Flight-recorder phase codes of FlightJob events recorded by sessions.
+const (
+	flightJobOpen  = 0
+	flightJobClose = 1
 )
 
 // ErrTransportClosed is returned by TCP transport operations after the
@@ -122,9 +152,9 @@ type tcpCtl struct {
 	dead  uint64
 }
 
-// tcpCtlBodyLen is the control-frame body after the type byte: gen,
+// tcpCtlBodyLen is the control-frame body after the type byte: job, gen,
 // flags, clock, value, dead bitmap.
-const tcpCtlBodyLen = 4 + 1 + 8 + 8 + 8
+const tcpCtlBodyLen = 4 + 4 + 1 + 8 + 8 + 8
 
 // tcpRetx is a replay answer for an outstanding NACK.
 type tcpRetx struct {
@@ -135,16 +165,73 @@ type tcpRetx struct {
 	data   []byte
 }
 
-// tcpPeer is one live connection of the mesh.
+// tcpMailbox is the delivery state of one (peer, job) pair: the three
+// channels a session's consumers block on, plus the bye fence that frees
+// the reader goroutine from delivering into a job that ended locally.
+type tcpMailbox struct {
+	inbox chan message // data frames, in arrival order
+	retx  chan tcpRetx // replay answers (one outstanding NACK at a time)
+	ctl   chan tcpCtl  // agree/release frames
+
+	// bye closes when the job ended on the local side; the reader drops
+	// further frames instead of blocking on a consumer that will never
+	// come back.
+	bye     chan struct{}
+	byeOnce sync.Once
+
+	// chansClosed guards against double-closing the delivery channels.
+	// Only the peer's reader goroutine — the sole writer — closes them
+	// (or the creation path, for mailboxes born after the job/conn died).
+	chansClosed bool
+}
+
+func newMailbox(dead bool) *tcpMailbox {
+	mb := &tcpMailbox{
+		inbox: make(chan message, 64),
+		retx:  make(chan tcpRetx, 1),
+		ctl:   make(chan tcpCtl, 4),
+		bye:   make(chan struct{}),
+	}
+	if dead {
+		mb.markBye()
+		mb.closeChans()
+	}
+	return mb
+}
+
+func (mb *tcpMailbox) markBye() { mb.byeOnce.Do(func() { close(mb.bye) }) }
+
+// closeChans closes the delivery channels. Callers must guarantee no
+// writer is active: either they are the reader goroutine, the reader has
+// exited, or the mailbox was just created.
+func (mb *tcpMailbox) closeChans() {
+	if mb.chansClosed {
+		return
+	}
+	mb.chansClosed = true
+	close(mb.inbox)
+	close(mb.retx)
+	close(mb.ctl)
+}
+
+// peerGoneCap bounds the per-peer memory of ended-job tombstones. Frames
+// of an ended job can only be in flight briefly (the bye broadcast and
+// the peer's own session end bound them), so FIFO eviction of old
+// tombstones is safe long before the cap recycles.
+const peerGoneCap = 4096
+
+// tcpPeer is one live connection of the mesh, shared by every job.
 type tcpPeer struct {
 	rank int
 	conn net.Conn
 
 	wmu sync.Mutex // serializes frame writes
 
-	inbox chan message // data frames, in arrival order
-	retx  chan tcpRetx // replay answers (one outstanding NACK at a time)
-	ctl   chan tcpCtl  // agree/release frames
+	mu        sync.Mutex
+	mail      map[uint32]*tcpMailbox // per-job delivery state
+	gone      map[uint32]struct{}    // jobs ended locally: drop their frames
+	goneOrder []uint32
+	dead      bool // reader exited; every mailbox is (and will be born) closed
 
 	closeOnce sync.Once
 }
@@ -153,38 +240,133 @@ func (p *tcpPeer) close() {
 	p.closeOnce.Do(func() { p.conn.Close() })
 }
 
+// mailbox returns the job's delivery state, creating it if needed.
+// Consumers of ended jobs or dead connections get a pre-closed mailbox,
+// so they observe "peer gone" instead of blocking forever.
+func (p *tcpPeer) mailbox(job uint32) *tcpMailbox {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if mb, ok := p.mail[job]; ok {
+		return mb
+	}
+	_, gone := p.gone[job]
+	mb := newMailbox(gone || p.dead)
+	p.mail[job] = mb
+	return mb
+}
+
+// deliverable returns the mailbox the reader goroutine should deliver a
+// job's frame into, or nil when the job ended locally and the frame must
+// be dropped.
+func (p *tcpPeer) deliverable(job uint32) *tcpMailbox {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dead {
+		return nil
+	}
+	if _, gone := p.gone[job]; gone {
+		return nil
+	}
+	mb, ok := p.mail[job]
+	if !ok {
+		mb = newMailbox(false)
+		p.mail[job] = mb
+	}
+	if mb.chansClosed {
+		return nil
+	}
+	return mb
+}
+
+// endJob marks a job finished on this peer. closeChannels must be true
+// only when called from the peer's reader goroutine (the job-bye frame
+// arrived, so the remote side is done writing) or after the reader
+// exited; a local session end passes false and relies on the bye fence.
+// The mailbox itself stays in the map: frames the peer sent before its
+// bye remain buffered in the (closed) channels, and a consumer that
+// looks the job up late must still drain them — receiving from a closed
+// channel yields the buffered values first. The tombstone FIFO evicts
+// the oldest ended jobs' state once the cap recycles.
+func (p *tcpPeer) endJob(job uint32, closeChannels bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.gone[job]; !ok {
+		p.gone[job] = struct{}{}
+		p.goneOrder = append(p.goneOrder, job)
+		if len(p.goneOrder) > peerGoneCap {
+			old := p.goneOrder[0]
+			delete(p.gone, old)
+			delete(p.mail, old)
+			p.goneOrder = p.goneOrder[1:]
+		}
+	}
+	mb, ok := p.mail[job]
+	if !ok {
+		return
+	}
+	mb.markBye()
+	if closeChannels {
+		mb.closeChans()
+	}
+}
+
+// markDead closes every mailbox after the reader goroutine exited: no
+// writer remains, and consumers of any job must fail fast.
+func (p *tcpPeer) markDead() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dead = true
+	for _, mb := range p.mail {
+		mb.markBye()
+		mb.closeChans()
+	}
+}
+
+// JobHandler consumes job control frames (kinds ≥ 1) sent by peers via
+// SendJob: daemon-level traffic such as submit/start/done messages that
+// travels over the mesh but belongs to no session. Handlers run on the
+// reader goroutine of the originating connection and own payload; they
+// must not block, or that peer's entire connection stalls.
+type JobHandler func(from int, job uint32, kind byte, payload []byte)
+
 // TCPTransport is the multi-process Transport. Create one per process
 // with NewTCPTransport, hand it to Config.Transport, and Run executes the
-// body for this process's rank only.
+// body for this process's rank only. The Transport methods on the
+// transport itself drive the built-in job-0 session; long-lived daemons
+// carve additional isolated sessions out of the same mesh with Session.
 type TCPTransport struct {
-	rank  int
-	n     int
-	cfg   Config
-	bound bool
+	rank int
+	n    int
 
-	ln    net.Listener
-	peers []*tcpPeer // indexed by rank; nil at self
+	ln net.Listener
 
-	// retx holds the local rank's sender-side replay windows; peers reach
-	// them through NACK frames serviced by the reader goroutines.
-	retxW retxStore
+	// peersMu guards peers while the mesh forms (the accept and dial
+	// goroutines fill disjoint slots concurrently, and an early abort may
+	// close the transport while they run). After NewTCPTransport returns
+	// the slice is immutable and read lock-free.
+	peersMu sync.Mutex
+	peers   []*tcpPeer // indexed by rank; nil at self
 
-	// agreeGen numbers consensus rounds. Collectives call AgreeMax in the
-	// same program order on every rank, so a plain counter matches
-	// generations across the mesh; the generation travels in the frame so
-	// a mismatch is detected as a protocol error instead of silently
-	// pairing different barriers. live[i] is false once rank i was
-	// evicted by a membership shrink: consensus rounds skip it, and the
-	// round coordinator is the lowest live rank. Every surviving process
-	// applies the same shrink, so the coordinator is identical everywhere.
-	agreeMu  sync.Mutex
-	agreeGen uint32
-	live     []bool
+	// def is the built-in job-0 session every single-job user drives
+	// through the Transport methods on TCPTransport itself.
+	def *tcpSession
 
-	// onDown, set at bind, reports a peer whose connection reset to the
-	// failure detector. Stored atomically because reader goroutines start
-	// before bind runs.
-	onDown atomic.Value // of func(rank int, cause error)
+	// sessions routes inbound NACK service and lifecycle by job ID.
+	// maxJob enforces monotonic job allocation: IDs are never reused, so
+	// a late frame of a finished job can never reach a new session.
+	sessMu   sync.Mutex
+	sessions map[uint32]*tcpSession
+	maxJob   uint32
+
+	// jobHandler, when set, consumes daemon job-control frames.
+	jobHandler atomic.Value // of JobHandler
+
+	// peerDown, when set, observes mesh-connection death (as opposed to
+	// the per-session detectors, which see per-job evidence). A daemon
+	// uses it to tear itself down when the fixed service mesh loses a
+	// member — job-level elasticity never closes connections, so any
+	// conn death is a process death.
+	peerDown atomic.Value // of func(rank int, cause error)
 
 	// ownEpochNanos is this process's start time, sent in every handshake;
 	// meshEpochNanos tracks the minimum over all epochs observed (our own
@@ -201,6 +383,10 @@ type TCPTransport struct {
 // process dials every lower rank and accepts a connection from every
 // higher one, each direction verified by a magic/version/rank/world
 // handshake. It blocks until the mesh is complete or DialTimeout expires.
+// On failure every resource acquired so far — the listener and any
+// already-connected peers — is closed before returning, and a failure on
+// one side (accept or dial) aborts the other immediately instead of
+// letting it burn out the rest of the deadline.
 func NewTCPTransport(opt TCPOptions) (*TCPTransport, error) {
 	n := len(opt.Peers)
 	if n < 1 {
@@ -217,12 +403,10 @@ func NewTCPTransport(opt TCPOptions) (*TCPTransport, error) {
 		rank:   opt.Rank,
 		n:      n,
 		peers:  make([]*tcpPeer, n),
-		live:   make([]bool, n),
 		closed: make(chan struct{}),
 	}
-	for i := range t.live {
-		t.live[i] = true
-	}
+	t.def = newTCPSession(t, defaultJob)
+	t.sessions = map[uint32]*tcpSession{defaultJob: t.def}
 	t.ownEpochNanos = time.Now().UnixNano()
 	t.meshEpochNanos.Store(t.ownEpochNanos)
 	ln := opt.Listener
@@ -235,9 +419,27 @@ func NewTCPTransport(opt TCPOptions) (*TCPTransport, error) {
 	}
 	t.ln = ln
 
+	// Bound the accept side by the formation deadline. Listeners that can
+	// take a deadline (net.TCPListener and any test wrapper exposing
+	// SetDeadline) get one directly; for anything else a watchdog closes
+	// the listener at the deadline so a mesh that never forms cannot hang
+	// Accept forever.
+	var disarm func()
+	if ln != nil {
+		if d, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+			d.SetDeadline(deadline)
+			disarm = func() { d.SetDeadline(time.Time{}) }
+		} else {
+			timer := time.AfterFunc(time.Until(deadline), func() { ln.Close() })
+			disarm = func() { timer.Stop() }
+		}
+	}
+
 	// Accept from higher ranks and dial lower ranks concurrently: a
 	// middle rank must do both at once or two middles can deadlock
-	// waiting on each other.
+	// waiting on each other. The first error closes the transport, which
+	// unblocks the sibling goroutine (closed listener, closed conns,
+	// abandoned dial retries).
 	var wg sync.WaitGroup
 	errs := make([]error, 2)
 	higher := n - 1 - opt.Rank
@@ -245,20 +447,25 @@ func NewTCPTransport(opt TCPOptions) (*TCPTransport, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			errs[0] = t.acceptPeers(higher, deadline)
+			if errs[0] = t.acceptPeers(higher); errs[0] != nil {
+				t.Close()
+			}
 		}()
 	}
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		errs[1] = t.dialPeers(opt.Peers, deadline)
+		if errs[1] = t.dialPeers(opt.Peers, deadline); errs[1] != nil {
+			t.Close()
+		}
 	}()
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			t.Close()
-			return nil, err
-		}
+	if err := firstMeshError(errs); err != nil {
+		t.Close()
+		return nil, err
+	}
+	if disarm != nil {
+		disarm()
 	}
 	// The mesh is complete: start one reader per connection.
 	for _, p := range t.peers {
@@ -267,6 +474,41 @@ func NewTCPTransport(opt TCPOptions) (*TCPTransport, error) {
 		}
 	}
 	return t, nil
+}
+
+// firstMeshError picks the error to report from a failed mesh formation,
+// preferring the root cause over the sibling goroutine's "closed by our
+// own abort" follow-up.
+func firstMeshError(errs []error) error {
+	var closedErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, net.ErrClosed) {
+			if closedErr == nil {
+				closedErr = err
+			}
+			continue
+		}
+		return err
+	}
+	return closedErr
+}
+
+// addPeer records a freshly handshaked connection, unless the transport
+// already aborted — then the connection is closed instead of leaked.
+func (t *TCPTransport) addPeer(rank int, conn net.Conn) bool {
+	t.peersMu.Lock()
+	defer t.peersMu.Unlock()
+	select {
+	case <-t.closed:
+		conn.Close()
+		return false
+	default:
+	}
+	t.peers[rank] = newTCPPeer(rank, conn)
+	return true
 }
 
 // Addr returns the transport's listen address (useful with an ephemeral
@@ -278,13 +520,19 @@ func (t *TCPTransport) Addr() string {
 	return t.ln.Addr().String()
 }
 
+// World returns the mesh size (the number of ranks).
+func (t *TCPTransport) World() int { return t.n }
+
+// Done is closed when the transport shuts down — by Close, or by the
+// abort path of a failed mesh formation. Long-lived daemons select on it
+// to notice the mesh dying under them.
+func (t *TCPTransport) Done() <-chan struct{} { return t.closed }
+
 // acceptPeers admits `count` inbound connections, each identifying itself
-// as a distinct higher rank.
-func (t *TCPTransport) acceptPeers(count int, deadline time.Time) error {
+// as a distinct higher rank. The listener's deadline (set by
+// NewTCPTransport) bounds the total wait.
+func (t *TCPTransport) acceptPeers(count int) error {
 	for admitted := 0; admitted < count; {
-		if d, ok := t.ln.(*net.TCPListener); ok {
-			d.SetDeadline(deadline)
-		}
 		conn, err := t.ln.Accept()
 		if err != nil {
 			return fmt.Errorf("cluster: tcp rank %d accept (%d/%d peers admitted): %w", t.rank, admitted, count, err)
@@ -298,7 +546,9 @@ func (t *TCPTransport) acceptPeers(count int, deadline time.Time) error {
 			conn.Close()
 			return fmt.Errorf("cluster: tcp rank %d got unexpected hello from rank %d", t.rank, rank)
 		}
-		t.peers[rank] = newTCPPeer(rank, conn)
+		if !t.addPeer(rank, conn) {
+			return fmt.Errorf("cluster: tcp rank %d accept: %w", t.rank, net.ErrClosed)
+		}
 		mTransportAccepts.Inc()
 		admitted++
 	}
@@ -306,16 +556,24 @@ func (t *TCPTransport) acceptPeers(count int, deadline time.Time) error {
 }
 
 // dialPeers connects to every lower rank, retrying with backoff until the
-// deadline (peers start at different times).
+// deadline (peers start at different times) — or until the transport
+// aborts because the accept side already failed.
 func (t *TCPTransport) dialPeers(peers []string, deadline time.Time) error {
 	for to := 0; to < t.rank; to++ {
 		backoff := 10 * time.Millisecond
 		for {
+			select {
+			case <-t.closed:
+				return fmt.Errorf("cluster: tcp rank %d dial rank %d abandoned: %w", t.rank, to, net.ErrClosed)
+			default:
+			}
 			conn, err := net.DialTimeout("tcp", peers[to], time.Until(deadline))
 			if err == nil {
 				rank, herr := t.handshake(conn)
 				if herr == nil && rank == to {
-					t.peers[to] = newTCPPeer(to, conn)
+					if !t.addPeer(to, conn) {
+						return fmt.Errorf("cluster: tcp rank %d dial rank %d: %w", t.rank, to, net.ErrClosed)
+					}
 					mTransportDials.Inc()
 					break
 				}
@@ -329,7 +587,10 @@ func (t *TCPTransport) dialPeers(peers []string, deadline time.Time) error {
 				return fmt.Errorf("cluster: tcp rank %d dial rank %d (%s): %w", t.rank, to, peers[to], err)
 			}
 			mTransportReconnects.Inc()
-			time.Sleep(backoff)
+			select {
+			case <-t.closed:
+			case <-time.After(backoff):
+			}
 			if backoff < 500*time.Millisecond {
 				backoff *= 2
 			}
@@ -343,11 +604,10 @@ func newTCPPeer(rank int, conn net.Conn) *tcpPeer {
 		tc.SetNoDelay(true) // latency-bound control frames (NACK, agree)
 	}
 	return &tcpPeer{
-		rank:  rank,
-		conn:  conn,
-		inbox: make(chan message, 64),
-		retx:  make(chan tcpRetx, 1),
-		ctl:   make(chan tcpCtl, 4),
+		rank: rank,
+		conn: conn,
+		mail: make(map[uint32]*tcpMailbox),
+		gone: make(map[uint32]struct{}),
 	}
 }
 
@@ -401,55 +661,79 @@ func (t *TCPTransport) epochHint() (time.Time, bool) {
 // LocalRank reports that exactly one rank lives in this process.
 func (t *TCPTransport) LocalRank() (int, bool) { return t.rank, true }
 
-func (t *TCPTransport) bind(cfg Config) error {
-	if cfg.Ranks != t.n {
-		return fmt.Errorf("cluster: Config.Ranks = %d but the tcp mesh has %d peers", cfg.Ranks, t.n)
+// Session claims an isolated job session on the mesh: a Transport whose
+// sequence numbers, epochs, replay windows, consensus generations and
+// membership are private to the job, so concurrent jobs on the same
+// connections cannot cross-deliver. Job IDs must be allocated
+// monotonically increasing (the daemon's scheduler does) and are never
+// reused — that is what makes a straggler frame of a finished job
+// undeliverable to a future one. Job 0 is the transport's own built-in
+// session. Close the session (or let the run's closeRank do it) to
+// release its per-peer state and tell peers the job is over.
+func (t *TCPTransport) Session(job uint32) (Transport, error) {
+	if job == defaultJob {
+		return nil, fmt.Errorf("cluster: job %d is the transport's built-in session", defaultJob)
 	}
-	t.cfg = cfg
-	t.retxW.window = cfg.RetxWindow
-	if cfg.onPeerDown != nil {
-		t.onDown.Store(cfg.onPeerDown)
+	select {
+	case <-t.closed:
+		return nil, ErrTransportClosed
+	default:
 	}
-	t.bound = true
-	return nil
+	t.sessMu.Lock()
+	defer t.sessMu.Unlock()
+	if _, ok := t.sessions[job]; ok {
+		return nil, fmt.Errorf("cluster: job %d already has an active session", job)
+	}
+	if job <= t.maxJob {
+		return nil, fmt.Errorf("cluster: job IDs must be monotonically increasing (got %d after %d)", job, t.maxJob)
+	}
+	t.maxJob = job
+	s := newTCPSession(t, job)
+	t.sessions[job] = s
+	flight.Record(t.rank, telemetry.FlightJob, int64(job), flightJobOpen, 0, 0)
+	return s, nil
 }
 
-// setMembers restricts the consensus plane to the surviving ranks after
-// a membership shrink. Only the local process calls it (each process
-// hosts one rank), but every survivor applies the identical list, so the
-// lowest-live-rank coordinator stays consistent across the mesh.
-func (t *TCPTransport) setMembers(members []int) {
-	t.agreeMu.Lock()
-	for i := range t.live {
-		t.live[i] = false
-	}
-	for _, m := range members {
-		if m >= 0 && m < t.n {
-			t.live[m] = true
-		}
-	}
-	t.agreeMu.Unlock()
+// sessionFor routes an inbound job-tagged frame to its session, or nil
+// when the job is unknown (never opened here, or already closed).
+func (t *TCPTransport) sessionFor(job uint32) *tcpSession {
+	t.sessMu.Lock()
+	defer t.sessMu.Unlock()
+	return t.sessions[job]
 }
 
-// liveView snapshots the consensus membership: the coordinator (lowest
-// live rank), the live count, and the live remote peers.
-func (t *TCPTransport) liveView() (coord, count int, peers []*tcpPeer) {
-	t.agreeMu.Lock()
-	defer t.agreeMu.Unlock()
-	coord = -1
-	for i := 0; i < t.n; i++ {
-		if !t.live[i] {
-			continue
-		}
-		count++
-		if coord < 0 {
-			coord = i
-		}
-		if i != t.rank && t.peers[i] != nil {
-			peers = append(peers, t.peers[i])
-		}
+func (t *TCPTransport) dropSession(job uint32) {
+	t.sessMu.Lock()
+	delete(t.sessions, job)
+	t.sessMu.Unlock()
+}
+
+// SetJobHandler registers the consumer of job control frames (SendJob).
+// Pass nil to drop them. See JobHandler for the threading contract.
+func (t *TCPTransport) SetJobHandler(h JobHandler) {
+	t.jobHandler.Store(h)
+}
+
+// SetPeerDownHandler registers a callback invoked (on the dead
+// connection's reader goroutine — it must not block) when a peer's mesh
+// connection dies for any reason other than local shutdown. Session
+// ends never close connections, so firing means the peer process is
+// gone or the link dropped. Pass nil to drop the callback.
+func (t *TCPTransport) SetPeerDownHandler(f func(rank int, cause error)) {
+	t.peerDown.Store(f)
+}
+
+// SendJob sends one job control frame to a peer. Kind 0 is reserved for
+// the transport's internal end-of-session broadcast.
+func (t *TCPTransport) SendJob(to int, job uint32, kind byte, payload []byte) error {
+	if kind == jobByeKind {
+		return fmt.Errorf("cluster: job-frame kind %d is reserved", jobByeKind)
 	}
-	return coord, count, peers
+	p, err := t.peer(to)
+	if err != nil {
+		return err
+	}
+	return p.writeJob(job, kind, payload)
 }
 
 // DropConn force-closes the connection to the given peer rank: a test
@@ -474,17 +758,20 @@ func (t *TCPTransport) Close() error {
 		if t.ln != nil {
 			t.ln.Close()
 		}
+		t.peersMu.Lock()
 		for _, p := range t.peers {
 			if p != nil {
 				p.close()
 			}
 		}
+		t.peersMu.Unlock()
 	})
 	return nil
 }
 
 // closeRank is invoked when the local rank's body returns; the whole
-// process is done with the fabric.
+// process is done with the fabric. (Daemon jobs run on sessions, whose
+// closeRank ends only that job.)
 func (t *TCPTransport) closeRank(rank int) {
 	if rank == t.rank {
 		t.Close()
@@ -500,6 +787,171 @@ func (t *TCPTransport) peer(rank int) (*tcpPeer, error) {
 		return nil, fmt.Errorf("cluster: tcp rank %d has no connection to rank %d", t.rank, rank)
 	}
 	return p, nil
+}
+
+// Transport methods on TCPTransport drive the built-in job-0 session, so
+// a transport handed directly to Config.Transport behaves exactly as the
+// single-job versions of this protocol did.
+func (t *TCPTransport) bind(cfg Config) error { return t.def.bind(cfg) }
+func (t *TCPTransport) send(from, to int, m message, copies int) error {
+	return t.def.send(from, to, m, copies)
+}
+func (t *TCPTransport) recv(from, to int, timeout time.Duration, abort <-chan struct{}) (message, bool, error) {
+	return t.def.recv(from, to, timeout, abort)
+}
+func (t *TCPTransport) recordRetx(from, to, seq, epoch int, data []byte, sum uint32) {
+	t.def.recordRetx(from, to, seq, epoch, data, sum)
+}
+func (t *TCPTransport) clearRetx(rank int) { t.def.clearRetx(rank) }
+func (t *TCPTransport) retransmit(from, to, seq, epoch int) ([]byte, uint32, error) {
+	return t.def.retransmit(from, to, seq, epoch)
+}
+func (t *TCPTransport) agree(rank int, clock float64, v int, propose uint64, tolerant bool) (float64, int, uint64, error) {
+	return t.def.agree(rank, clock, v, propose, tolerant)
+}
+func (t *TCPTransport) setMembers(members []int) { t.def.setMembers(members) }
+
+// tcpSession is one job's view of the mesh: a full Transport whose
+// per-run state (config, replay windows, consensus generations, live
+// membership, failure callback) is private to the job while the sockets
+// underneath are shared with every other session.
+type tcpSession struct {
+	t   *TCPTransport
+	job uint32
+
+	cfg   Config
+	bound bool
+
+	// retxW holds the local rank's sender-side replay windows for this
+	// job; peers reach them through job-tagged NACK frames serviced by
+	// the reader goroutines.
+	retxW retxStore
+
+	// agreeGen numbers consensus rounds within the job. Collectives call
+	// AgreeMax in the same program order on every rank, so a plain
+	// counter matches generations across the mesh; the generation travels
+	// in the frame so a mismatch is detected as a protocol error instead
+	// of silently pairing different barriers. live[i] is false once rank
+	// i was evicted by a membership shrink of this job: consensus rounds
+	// skip it, and the round coordinator is the lowest live rank. Every
+	// surviving process applies the same shrink, so the coordinator is
+	// identical everywhere.
+	agreeMu  sync.Mutex
+	agreeGen uint32
+	live     []bool
+
+	// onDown, set at bind, reports a peer whose connection reset to the
+	// failure detector. Stored atomically because reader goroutines run
+	// before bind does.
+	onDown atomic.Value // of func(rank int, cause error)
+
+	endOnce sync.Once
+}
+
+func newTCPSession(t *TCPTransport, job uint32) *tcpSession {
+	s := &tcpSession{t: t, job: job, live: make([]bool, t.n)}
+	for i := range s.live {
+		s.live[i] = true
+	}
+	return s
+}
+
+// LocalRank reports that exactly one rank lives in this process.
+func (s *tcpSession) LocalRank() (int, bool) { return s.t.rank, true }
+
+func (s *tcpSession) epochHint() (time.Time, bool) { return s.t.epochHint() }
+
+func (s *tcpSession) bind(cfg Config) error {
+	if cfg.Ranks != s.t.n {
+		return fmt.Errorf("cluster: Config.Ranks = %d but the tcp mesh has %d peers", cfg.Ranks, s.t.n)
+	}
+	s.cfg = cfg
+	s.retxW.window = cfg.RetxWindow
+	if cfg.onPeerDown != nil {
+		s.onDown.Store(cfg.onPeerDown)
+	}
+	s.bound = true
+	return nil
+}
+
+// Close ends the session: peers are told the job is over (so their
+// mailboxes for it close), local per-peer state is released, and the
+// job's NACK service starts answering retxGone. The built-in job-0
+// session is ended by closing the transport instead.
+func (s *tcpSession) Close() error {
+	if s.job == defaultJob {
+		return s.t.Close()
+	}
+	s.end()
+	return nil
+}
+
+// closeRank is invoked when the local rank's body returns: this process
+// is done with the job (each process hosts exactly one rank), so the
+// session ends.
+func (s *tcpSession) closeRank(rank int) {
+	if rank == s.t.rank && s.job != defaultJob {
+		s.end()
+	}
+	if s.job == defaultJob {
+		s.t.closeRank(rank)
+	}
+}
+
+func (s *tcpSession) end() {
+	s.endOnce.Do(func() {
+		// Unregister first: from here the NACK service answers retxGone
+		// and a straggler frame finds no session.
+		s.t.dropSession(s.job)
+		for _, p := range s.t.peers {
+			if p == nil {
+				continue
+			}
+			// Best effort: a dead connection already closed the job's
+			// mailboxes on the other side.
+			_ = p.writeJob(s.job, jobByeKind, nil)
+			p.endJob(s.job, false)
+		}
+		flight.Record(s.t.rank, telemetry.FlightJob, int64(s.job), flightJobClose, 0, 0)
+	})
+}
+
+// setMembers restricts the consensus plane to the surviving ranks after
+// a membership shrink. Only the local process calls it (each process
+// hosts one rank), but every survivor applies the identical list, so the
+// lowest-live-rank coordinator stays consistent across the mesh.
+func (s *tcpSession) setMembers(members []int) {
+	s.agreeMu.Lock()
+	for i := range s.live {
+		s.live[i] = false
+	}
+	for _, m := range members {
+		if m >= 0 && m < s.t.n {
+			s.live[m] = true
+		}
+	}
+	s.agreeMu.Unlock()
+}
+
+// liveView snapshots the consensus membership: the coordinator (lowest
+// live rank), the live count, and the live remote peers.
+func (s *tcpSession) liveView() (coord, count int, peers []*tcpPeer) {
+	s.agreeMu.Lock()
+	defer s.agreeMu.Unlock()
+	coord = -1
+	for i := 0; i < s.t.n; i++ {
+		if !s.live[i] {
+			continue
+		}
+		count++
+		if coord < 0 {
+			coord = i
+		}
+		if i != s.t.rank && s.t.peers[i] != nil {
+			peers = append(peers, s.t.peers[i])
+		}
+	}
+	return coord, count, peers
 }
 
 // writeFrame sends one length-prefixed frame: hdr is the body prefix
@@ -519,22 +971,32 @@ func (p *tcpPeer) writeFrame(hdr, payload []byte) error {
 	return err
 }
 
+// writeJob sends one job control frame.
+func (p *tcpPeer) writeJob(job uint32, kind byte, payload []byte) error {
+	var hdr [6]byte
+	hdr[0] = frameJob
+	binary.LittleEndian.PutUint32(hdr[1:5], job)
+	hdr[5] = kind
+	return p.writeFrame(hdr[:], payload)
+}
+
 // send frames a data message onto the wire. The transport recycles
 // m.data once written: unlike the channel fabric no receiver in this
 // address space will ever own it.
-func (t *TCPTransport) send(from, to int, m message, copies int) error {
-	p, err := t.peer(to)
+func (s *tcpSession) send(from, to int, m message, copies int) error {
+	p, err := s.t.peer(to)
 	if err != nil {
 		return err
 	}
 	var hdr [1 + tcpDataHdrLen]byte
 	hdr[0] = frameData
-	binary.LittleEndian.PutUint32(hdr[1:5], uint32(m.seq))
-	binary.LittleEndian.PutUint32(hdr[5:9], uint32(m.epoch))
-	binary.LittleEndian.PutUint32(hdr[9:13], m.sum)
-	binary.LittleEndian.PutUint64(hdr[13:21], math.Float64bits(m.sentAt))
-	binary.LittleEndian.PutUint64(hdr[21:29], math.Float64bits(m.delay))
-	binary.LittleEndian.PutUint64(hdr[29:37], m.trace)
+	binary.LittleEndian.PutUint32(hdr[1:5], s.job)
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(m.seq))
+	binary.LittleEndian.PutUint32(hdr[9:13], uint32(m.epoch))
+	binary.LittleEndian.PutUint32(hdr[13:17], m.sum)
+	binary.LittleEndian.PutUint64(hdr[17:25], math.Float64bits(m.sentAt))
+	binary.LittleEndian.PutUint64(hdr[25:33], math.Float64bits(m.delay))
+	binary.LittleEndian.PutUint64(hdr[33:41], m.trace)
 	for i := 0; i < copies; i++ {
 		if err := p.writeFrame(hdr[:], m.data); err != nil {
 			return fmt.Errorf("cluster: tcp send %d→%d seq %d: %w", from, to, m.seq, err)
@@ -544,15 +1006,16 @@ func (t *TCPTransport) send(from, to int, m message, copies int) error {
 	return nil
 }
 
-// recv waits for the next data frame from the peer, honouring the
-// wall-clock timeout and the cooperative-abort channel.
-func (t *TCPTransport) recv(from, to int, timeout time.Duration, abort <-chan struct{}) (message, bool, error) {
-	p, err := t.peer(from)
+// recv waits for the next data frame the peer sent within this job,
+// honouring the wall-clock timeout and the cooperative-abort channel.
+func (s *tcpSession) recv(from, to int, timeout time.Duration, abort <-chan struct{}) (message, bool, error) {
+	p, err := s.t.peer(from)
 	if err != nil {
 		return message{}, false, err
 	}
+	mb := p.mailbox(s.job)
 	if timeout <= 0 && abort == nil {
-		m, ok := <-p.inbox
+		m, ok := <-mb.inbox
 		return m, ok, nil
 	}
 	var timeoutC <-chan time.Time
@@ -562,7 +1025,7 @@ func (t *TCPTransport) recv(from, to int, timeout time.Duration, abort <-chan st
 		timeoutC = timer.C
 	}
 	select {
-	case m, ok := <-p.inbox:
+	case m, ok := <-mb.inbox:
 		return m, ok, nil
 	case <-timeoutC:
 		return message{}, false, ErrRecvTimeout
@@ -571,39 +1034,42 @@ func (t *TCPTransport) recv(from, to int, timeout time.Duration, abort <-chan st
 	}
 }
 
-func (t *TCPTransport) recordRetx(from, to, seq, epoch int, data []byte, sum uint32) {
-	t.retxW.record(from, to, seq, epoch, data, sum)
+func (s *tcpSession) recordRetx(from, to, seq, epoch int, data []byte, sum uint32) {
+	s.retxW.record(from, to, seq, epoch, data, sum)
 }
 
-func (t *TCPTransport) clearRetx(rank int) { t.retxW.clear(rank) }
+func (s *tcpSession) clearRetx(rank int) { s.retxW.clear(rank) }
 
 // retransmit NACKs the sending peer over the wire and waits for its
 // replay frame. The sender's reader goroutine services the NACK from its
-// local replay window, so recovery works across process boundaries. One
-// semantic differs from the in-process fabric: there the replay window
-// survives the sender's exit, while here the sender's process must still
-// be alive to answer — collectives satisfy this naturally because every
-// attempt ends with an AgreeMax before any rank leaves.
-func (t *TCPTransport) retransmit(from, to, seq, epoch int) ([]byte, uint32, error) {
-	p, err := t.peer(from)
+// local replay window for this job, so recovery works across process
+// boundaries. One semantic differs from the in-process fabric: there the
+// replay window survives the sender's exit, while here the sender's
+// process must still be alive to answer — collectives satisfy this
+// naturally because every attempt ends with an AgreeMax before any rank
+// leaves.
+func (s *tcpSession) retransmit(from, to, seq, epoch int) ([]byte, uint32, error) {
+	p, err := s.t.peer(from)
 	if err != nil {
 		return nil, 0, err
 	}
-	var hdr [9]byte
+	mb := p.mailbox(s.job)
+	var hdr [13]byte
 	hdr[0] = frameNack
-	binary.LittleEndian.PutUint32(hdr[1:5], uint32(seq))
-	binary.LittleEndian.PutUint32(hdr[5:9], uint32(epoch))
+	binary.LittleEndian.PutUint32(hdr[1:5], s.job)
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(seq))
+	binary.LittleEndian.PutUint32(hdr[9:13], uint32(epoch))
 	if err := p.writeFrame(hdr[:], nil); err != nil {
 		return nil, 0, fmt.Errorf("%w: nack %d→%d seq %d undeliverable (%v)", ErrPeerFailed, from, to, seq, err)
 	}
-	timeout := t.cfg.RecvTimeout
+	timeout := s.cfg.RecvTimeout
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
-	case a, ok := <-p.retx:
+	case a, ok := <-mb.retx:
 		if !ok {
 			return nil, 0, fmt.Errorf("%w: rank %d closed while replaying seq %d", ErrPeerFailed, from, seq)
 		}
@@ -630,7 +1096,9 @@ func (t *TCPTransport) retransmit(from, to, seq, epoch int) ([]byte, uint32, err
 // (clock, value, propose) to the coordinator — the lowest live rank —
 // which answers with the maximum clock (plus the α·ceil(log2 n) tree
 // cost over the actual participants, matching the in-process barrier),
-// the maximum value, and the dead-set bitmap.
+// the maximum value, and the dead-set bitmap. Rounds are scoped to the
+// session: concurrent jobs run their own generations over their own
+// mailboxes and never pair up.
 //
 // Failure handling differs by round kind. In a classic round
 // (tolerant == false) a peer observed dead fails the round for everyone:
@@ -643,33 +1111,33 @@ func (t *TCPTransport) retransmit(from, to, seq, epoch int) ([]byte, uint32, err
 // process dies, its peers cannot complete any further round, so a TCP
 // world only survives the death of non-coordinator ranks. The in-process
 // fabric has no such restriction.
-func (t *TCPTransport) agree(rank int, clock float64, v int, propose uint64, tolerant bool) (float64, int, uint64, error) {
-	if t.n == 1 {
+func (s *tcpSession) agree(rank int, clock float64, v int, propose uint64, tolerant bool) (float64, int, uint64, error) {
+	if s.t.n == 1 {
 		return clock, v, propose, nil
 	}
-	t.agreeMu.Lock()
-	gen := t.agreeGen
-	t.agreeGen++
-	t.agreeMu.Unlock()
-	coord, liveN, livePeers := t.liveView()
+	s.agreeMu.Lock()
+	gen := s.agreeGen
+	s.agreeGen++
+	s.agreeMu.Unlock()
+	coord, liveN, livePeers := s.liveView()
 	if liveN <= 1 {
 		return clock, v, propose, nil
 	}
-	timeout := t.cfg.agreeTimeout()
+	timeout := s.cfg.agreeTimeout()
 	var flags byte
 	if tolerant {
 		flags = 1
 	}
 
 	if rank != coord {
-		p, err := t.peer(coord)
+		p, err := s.t.peer(coord)
 		if err != nil {
 			return 0, 0, 0, err
 		}
-		if err := p.writeCtl(frameAgree, gen, flags, clock, int64(v), propose); err != nil {
+		if err := p.writeCtl(s.job, frameAgree, gen, flags, clock, int64(v), propose); err != nil {
 			return 0, 0, 0, &RankFailedError{Rank: coord, Cause: fmt.Errorf("barrier proposal undeliverable: %w", err)}
 		}
-		rel, err := p.waitCtl(frameRelease, gen, timeout)
+		rel, err := s.waitCtl(p, frameRelease, gen, timeout)
 		if err != nil {
 			if errors.Is(err, ErrPeerFailed) {
 				return 0, 0, 0, &RankFailedError{Rank: coord, Cause: err}
@@ -688,7 +1156,7 @@ func (t *TCPTransport) agree(rank int, clock float64, v int, propose uint64, tol
 	maxClock, maxVal, dead := clock, int64(v), propose
 	participants := 1
 	for _, p := range livePeers {
-		a, err := p.waitCtl(frameAgree, gen, timeout)
+		a, err := s.waitCtl(p, frameAgree, gen, timeout)
 		if err != nil {
 			if errors.Is(err, ErrPeerFailed) {
 				dead |= rankBit(p.rank)
@@ -707,7 +1175,7 @@ func (t *TCPTransport) agree(rank int, clock float64, v int, propose uint64, tol
 	}
 	leave := maxClock
 	if participants > 1 {
-		leave += t.cfg.Latency.Seconds() * math.Ceil(math.Log2(float64(participants)))
+		leave += s.cfg.Latency.Seconds() * math.Ceil(math.Log2(float64(participants)))
 	}
 	// Always release the survivors, carrying the dead set: in a failed
 	// classic round this is what lets them abort promptly. A release that
@@ -718,7 +1186,7 @@ func (t *TCPTransport) agree(rank int, clock float64, v int, propose uint64, tol
 		if dead&rankBit(p.rank) != 0 {
 			continue
 		}
-		_ = p.writeCtl(frameRelease, gen, flags, leave, maxVal, dead)
+		_ = p.writeCtl(s.job, frameRelease, gen, flags, leave, maxVal, dead)
 	}
 	if !tolerant && dead != 0 {
 		return 0, 0, dead, fmt.Errorf("%w: barrier aborted", rankFailedFromBits(dead, nil))
@@ -726,20 +1194,22 @@ func (t *TCPTransport) agree(rank int, clock float64, v int, propose uint64, tol
 	return leave, int(maxVal), dead, nil
 }
 
-func (p *tcpPeer) writeCtl(kind byte, gen uint32, flags byte, clock float64, val int64, dead uint64) error {
+func (p *tcpPeer) writeCtl(job uint32, kind byte, gen uint32, flags byte, clock float64, val int64, dead uint64) error {
 	var hdr [1 + tcpCtlBodyLen]byte
 	hdr[0] = kind
-	binary.LittleEndian.PutUint32(hdr[1:5], gen)
-	hdr[5] = flags
-	binary.LittleEndian.PutUint64(hdr[6:14], math.Float64bits(clock))
-	binary.LittleEndian.PutUint64(hdr[14:22], uint64(val))
-	binary.LittleEndian.PutUint64(hdr[22:30], dead)
+	binary.LittleEndian.PutUint32(hdr[1:5], job)
+	binary.LittleEndian.PutUint32(hdr[5:9], gen)
+	hdr[9] = flags
+	binary.LittleEndian.PutUint64(hdr[10:18], math.Float64bits(clock))
+	binary.LittleEndian.PutUint64(hdr[18:26], uint64(val))
+	binary.LittleEndian.PutUint64(hdr[26:34], dead)
 	return p.writeFrame(hdr[:], nil)
 }
 
-// waitCtl blocks for the next control frame from the peer and verifies
-// its kind and generation.
-func (p *tcpPeer) waitCtl(kind byte, gen uint32, timeout time.Duration) (tcpCtl, error) {
+// waitCtl blocks for the next control frame the peer sent within this
+// job and verifies its kind and generation.
+func (s *tcpSession) waitCtl(p *tcpPeer, kind byte, gen uint32, timeout time.Duration) (tcpCtl, error) {
+	mb := p.mailbox(s.job)
 	var timer *time.Timer
 	var expired <-chan time.Time
 	if timeout > 0 {
@@ -748,7 +1218,7 @@ func (p *tcpPeer) waitCtl(kind byte, gen uint32, timeout time.Duration) (tcpCtl,
 		expired = timer.C
 	}
 	select {
-	case c, ok := <-p.ctl:
+	case c, ok := <-mb.ctl:
 		if !ok {
 			return tcpCtl{}, fmt.Errorf("%w: barrier aborted, rank %d disconnected", ErrPeerFailed, p.rank)
 		}
@@ -783,19 +1253,18 @@ func classifyPeerErr(rank int, err error) error {
 	return fmt.Errorf("cluster: tcp rank %d connection failed: %w", rank, err)
 }
 
-// readLoop demultiplexes one connection: data frames feed the inbox,
-// NACKs are serviced inline from the local replay window, replay answers
-// and control frames wake their waiters. On error or EOF every channel
-// is closed so blocked receivers fail fast — exactly the closed-mailbox
-// semantics of the in-process fabric — and, unless the local transport
-// itself is shutting down, the peer is reported to the failure detector
-// with the classified cause.
+// readLoop demultiplexes one connection: data frames feed the job's
+// inbox, NACKs are serviced inline from the job's local replay window,
+// replay answers and control frames wake their waiters, job control
+// frames go to the registered handler. On error or EOF every mailbox of
+// every job closes so blocked receivers fail fast — exactly the
+// closed-mailbox semantics of the in-process fabric — and, unless the
+// local transport itself is shutting down, the peer is reported to every
+// active session's failure detector with the classified cause.
 func (t *TCPTransport) readLoop(p *tcpPeer) {
 	err := t.readFrames(p)
 	p.close()
-	close(p.inbox)
-	close(p.retx)
-	close(p.ctl)
+	p.markDead()
 	if errors.Is(err, errReadLoopStopped) {
 		return
 	}
@@ -804,12 +1273,26 @@ func (t *TCPTransport) readLoop(p *tcpPeer) {
 		// Local shutdown: the read error is our own close, not evidence
 		// about the peer.
 	default:
-		if f, ok := t.onDown.Load().(func(rank int, cause error)); ok {
-			f(p.rank, classifyPeerErr(p.rank, err))
+		cause := classifyPeerErr(p.rank, err)
+		t.sessMu.Lock()
+		sessions := make([]*tcpSession, 0, len(t.sessions))
+		for _, s := range t.sessions {
+			sessions = append(sessions, s)
+		}
+		t.sessMu.Unlock()
+		for _, s := range sessions {
+			if f, ok := s.onDown.Load().(func(rank int, cause error)); ok {
+				f(p.rank, cause)
+			}
+		}
+		if f, ok := t.peerDown.Load().(func(rank int, cause error)); ok && f != nil {
+			f(p.rank, cause)
 		}
 	}
 }
 
+// deliver routes one inbound frame into a job's mailbox channel-send,
+// dropping it when the job already ended locally.
 func (t *TCPTransport) readFrames(p *tcpPeer) error {
 	br := bufio.NewReaderSize(p.conn, 64<<10)
 	for {
@@ -838,56 +1321,73 @@ func (t *TCPTransport) readFrames(p *tcpPeer) error {
 			}
 			payload := bufpool.Bytes(body - tcpDataHdrLen)
 			if _, err := io.ReadFull(br, payload); err != nil {
+				bufpool.PutBytes(payload)
 				return err
 			}
+			job := binary.LittleEndian.Uint32(hdr[0:4])
 			m := message{
 				data:   payload,
 				from:   p.rank,
-				seq:    int(binary.LittleEndian.Uint32(hdr[0:4])),
-				epoch:  int(binary.LittleEndian.Uint32(hdr[4:8])),
-				sum:    binary.LittleEndian.Uint32(hdr[8:12]),
-				sentAt: math.Float64frombits(binary.LittleEndian.Uint64(hdr[12:20])),
-				delay:  math.Float64frombits(binary.LittleEndian.Uint64(hdr[20:28])),
-				trace:  binary.LittleEndian.Uint64(hdr[28:36]),
+				seq:    int(binary.LittleEndian.Uint32(hdr[4:8])),
+				epoch:  int(binary.LittleEndian.Uint32(hdr[8:12])),
+				sum:    binary.LittleEndian.Uint32(hdr[12:16]),
+				sentAt: math.Float64frombits(binary.LittleEndian.Uint64(hdr[16:24])),
+				delay:  math.Float64frombits(binary.LittleEndian.Uint64(hdr[24:32])),
+				trace:  binary.LittleEndian.Uint64(hdr[32:40]),
+			}
+			mb := p.deliverable(job)
+			if mb == nil {
+				bufpool.PutBytes(payload)
+				continue
 			}
 			select {
-			case p.inbox <- m:
+			case mb.inbox <- m:
+			case <-mb.bye:
+				bufpool.PutBytes(m.data)
 			case <-t.closed:
+				bufpool.PutBytes(m.data)
 				return errReadLoopStopped
 			}
 		case frameNack:
-			if body != 8 {
-				return fmt.Errorf("cluster: tcp nack frame body %d, want 8", body)
+			if body != 12 {
+				return fmt.Errorf("cluster: tcp nack frame body %d, want 12", body)
 			}
-			var hdr [8]byte
+			var hdr [12]byte
 			if _, err := io.ReadFull(br, hdr[:]); err != nil {
 				return err
 			}
-			seq := int(binary.LittleEndian.Uint32(hdr[0:4]))
-			epoch := int(binary.LittleEndian.Uint32(hdr[4:8]))
-			if err := t.serveNack(p, seq, epoch); err != nil {
+			job := binary.LittleEndian.Uint32(hdr[0:4])
+			seq := int(binary.LittleEndian.Uint32(hdr[4:8]))
+			epoch := int(binary.LittleEndian.Uint32(hdr[8:12]))
+			if err := t.serveNack(p, job, seq, epoch); err != nil {
 				return err
 			}
 		case frameRetx:
-			if body < 13 {
+			if body < 17 {
 				return fmt.Errorf("cluster: tcp retx frame body %d too short", body)
 			}
-			var hdr [13]byte
+			var hdr [17]byte
 			if _, err := io.ReadFull(br, hdr[:]); err != nil {
 				return err
 			}
+			job := binary.LittleEndian.Uint32(hdr[0:4])
 			a := tcpRetx{
-				status: hdr[0],
-				seq:    binary.LittleEndian.Uint32(hdr[1:5]),
-				epoch:  binary.LittleEndian.Uint32(hdr[5:9]),
-				sum:    binary.LittleEndian.Uint32(hdr[9:13]),
+				status: hdr[4],
+				seq:    binary.LittleEndian.Uint32(hdr[5:9]),
+				epoch:  binary.LittleEndian.Uint32(hdr[9:13]),
+				sum:    binary.LittleEndian.Uint32(hdr[13:17]),
 			}
-			a.data = make([]byte, body-13)
+			a.data = make([]byte, body-17)
 			if _, err := io.ReadFull(br, a.data); err != nil {
 				return err
 			}
+			mb := p.deliverable(job)
+			if mb == nil {
+				continue
+			}
 			select {
-			case p.retx <- a:
+			case mb.retx <- a:
+			case <-mb.bye:
 			case <-t.closed:
 				return errReadLoopStopped
 			}
@@ -899,18 +1399,61 @@ func (t *TCPTransport) readFrames(p *tcpPeer) error {
 			if _, err := io.ReadFull(br, hdr[:]); err != nil {
 				return err
 			}
+			job := binary.LittleEndian.Uint32(hdr[0:4])
 			c := tcpCtl{
 				kind:  kind,
-				gen:   binary.LittleEndian.Uint32(hdr[0:4]),
-				flags: hdr[4],
-				clock: math.Float64frombits(binary.LittleEndian.Uint64(hdr[5:13])),
-				val:   int64(binary.LittleEndian.Uint64(hdr[13:21])),
-				dead:  binary.LittleEndian.Uint64(hdr[21:29]),
+				gen:   binary.LittleEndian.Uint32(hdr[4:8]),
+				flags: hdr[8],
+				clock: math.Float64frombits(binary.LittleEndian.Uint64(hdr[9:17])),
+				val:   int64(binary.LittleEndian.Uint64(hdr[17:25])),
+				dead:  binary.LittleEndian.Uint64(hdr[25:33]),
+			}
+			mb := p.deliverable(job)
+			if mb == nil {
+				continue
 			}
 			select {
-			case p.ctl <- c:
+			case mb.ctl <- c:
+			case <-mb.bye:
 			case <-t.closed:
 				return errReadLoopStopped
+			}
+		case frameJob:
+			if body < 5 {
+				return fmt.Errorf("cluster: tcp job frame body %d too short", body)
+			}
+			var hdr [5]byte
+			if _, err := io.ReadFull(br, hdr[:]); err != nil {
+				return err
+			}
+			job := binary.LittleEndian.Uint32(hdr[0:4])
+			jkind := hdr[4]
+			payload := make([]byte, body-5)
+			if _, err := io.ReadFull(br, payload); err != nil {
+				return err
+			}
+			mTransportJobFrames.Inc()
+			if jkind == jobByeKind {
+				// The peer's side of this job ended: close its mailboxes
+				// here (we are its sole writer) so blocked receivers see
+				// "peer gone".
+				p.endJob(job, true)
+				// Surface the end to the job's failure detector exactly
+				// like a connection reset would in a one-rank-per-process
+				// world. A healthy job's bye follows its final agreement
+				// round, so the evidence is inert; a killed rank's
+				// mid-collective bye is what lets blocked survivors abort
+				// their waits and blame the right rank instead of timing
+				// out on the stalled neighbors in between.
+				if s := t.sessionFor(job); s != nil {
+					if f, ok := s.onDown.Load().(func(rank int, cause error)); ok && f != nil {
+						f(p.rank, fmt.Errorf("%w: rank %d (job %d session ended)", ErrConnReset, p.rank, job))
+					}
+				}
+				continue
+			}
+			if h, ok := t.jobHandler.Load().(JobHandler); ok && h != nil {
+				h(p.rank, job, jkind, payload)
 			}
 		default:
 			return fmt.Errorf("cluster: tcp unknown frame type %d", kind)
@@ -918,24 +1461,34 @@ func (t *TCPTransport) readFrames(p *tcpPeer) error {
 	}
 }
 
-// serveNack answers a peer's replay request from the local rank's
-// sender-side window.
-func (t *TCPTransport) serveNack(p *tcpPeer, seq, epoch int) error {
-	data, sum, err := t.retxW.lookup(t.rank, p.rank, seq, epoch)
-	status := byte(retxOK)
-	if err != nil {
-		data, sum = nil, 0
-		if errors.Is(err, errNotYetSent) {
-			status = retxNotYetSent
-		} else {
-			status = retxGone
+// serveNack answers a peer's replay request from the identified job's
+// local sender-side window. An unknown job — never opened here, or
+// already closed — answers retxGone: its window is unrecoverable.
+func (t *TCPTransport) serveNack(p *tcpPeer, job uint32, seq, epoch int) error {
+	var data []byte
+	var sum uint32
+	status := byte(retxGone)
+	if s := t.sessionFor(job); s != nil {
+		var err error
+		data, sum, err = s.retxW.lookup(t.rank, p.rank, seq, epoch)
+		status = retxOK
+		if err != nil {
+			data, sum = nil, 0
+			if errors.Is(err, errNotYetSent) {
+				status = retxNotYetSent
+			} else {
+				status = retxGone
+			}
 		}
+	} else {
+		mRetxEvictions.Inc()
 	}
-	var hdr [14]byte
+	var hdr [18]byte
 	hdr[0] = frameRetx
-	hdr[1] = status
-	binary.LittleEndian.PutUint32(hdr[2:6], uint32(seq))
-	binary.LittleEndian.PutUint32(hdr[6:10], uint32(epoch))
-	binary.LittleEndian.PutUint32(hdr[10:14], sum)
+	binary.LittleEndian.PutUint32(hdr[1:5], job)
+	hdr[5] = status
+	binary.LittleEndian.PutUint32(hdr[6:10], uint32(seq))
+	binary.LittleEndian.PutUint32(hdr[10:14], uint32(epoch))
+	binary.LittleEndian.PutUint32(hdr[14:18], sum)
 	return p.writeFrame(hdr[:], data)
 }

@@ -4,8 +4,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -426,5 +428,359 @@ func TestTCPConnResetFeedsDetector(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 10*time.Second {
 		t.Fatalf("cooperative abort took %v, should beat the 30s RecvTimeout by far", elapsed)
+	}
+}
+
+// runSessions executes body once per rank over an arbitrary Transport
+// set (job sessions in these tests), mirroring runMesh.
+func runSessions(t *testing.T, cfg Config, sess []Transport, body func(*Rank) error) ([]*Result, error) {
+	t.Helper()
+	n := len(sess)
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := cfg
+			c.Transport = sess[i]
+			results[i], errs[i] = Run(c, body)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// TestTCPSessionsConcurrentJobs is the core multiplexing property: two
+// jobs running *simultaneously* over one handshaked mesh must each
+// produce exactly the results and virtual clocks of a dedicated
+// single-job fabric — no cross-delivery of data, replay or barrier
+// traffic between jobs sharing the connections.
+func TestTCPSessionsConcurrentJobs(t *testing.T) {
+	const n = 4
+	cfg := Config{Ranks: n, ParallelCompute: true}
+
+	// Reference: the same program on the in-process fabric.
+	refVals := make([][]uint32, n)
+	var mu sync.Mutex
+	refRes, err := Run(cfg, func(r *Rank) error {
+		var v []uint32
+		err := ringBody(&v)(r)
+		mu.Lock()
+		refVals[r.ID] = v
+		mu.Unlock()
+		return err
+	})
+	if err != nil {
+		t.Fatalf("in-process run: %v", err)
+	}
+
+	trs := startMesh(t, n)
+	const jobs = 2
+	sess := make([][]Transport, jobs)
+	for j := 0; j < jobs; j++ {
+		sess[j] = make([]Transport, n)
+		for i, tr := range trs {
+			s, err := tr.Session(uint32(j + 1))
+			if err != nil {
+				t.Fatalf("rank %d job %d session: %v", i, j+1, err)
+			}
+			sess[j][i] = s
+		}
+	}
+
+	vals := make([][][]uint32, jobs)
+	res := make([][]*Result, jobs)
+	jobErrs := make([]error, jobs)
+	var jwg sync.WaitGroup
+	for j := 0; j < jobs; j++ {
+		jwg.Add(1)
+		go func(j int) {
+			defer jwg.Done()
+			vals[j] = make([][]uint32, n)
+			res[j], jobErrs[j] = runSessions(t, cfg, sess[j], func(r *Rank) error {
+				var v []uint32
+				err := ringBody(&v)(r)
+				mu.Lock()
+				vals[j][r.ID] = v
+				mu.Unlock()
+				return err
+			})
+		}(j)
+	}
+	jwg.Wait()
+	for j := 0; j < jobs; j++ {
+		if jobErrs[j] != nil {
+			t.Fatalf("job %d: %v", j+1, jobErrs[j])
+		}
+		for i := 0; i < n; i++ {
+			for k := range refVals[i] {
+				if vals[j][i][k] != refVals[i][k] {
+					t.Fatalf("job %d rank %d elem %d: %d, want %d", j+1, i, k, vals[j][i][k], refVals[i][k])
+				}
+			}
+			if res[j][i].Time != refRes.RankTimes[i] {
+				t.Fatalf("job %d rank %d virtual time %v, want %v", j+1, i, res[j][i].Time, refRes.RankTimes[i])
+			}
+		}
+	}
+}
+
+// Job IDs are a monotonic namespace: 0 is reserved, duplicates and
+// reuse are rejected, and a closed transport hands out nothing.
+func TestTCPSessionIDRules(t *testing.T) {
+	trs := startMesh(t, 2)
+	tr := trs[0]
+	if _, err := tr.Session(0); err == nil {
+		t.Fatal("job 0 (the built-in session) was claimable")
+	}
+	s5, err := tr.Session(5)
+	if err != nil {
+		t.Fatalf("job 5: %v", err)
+	}
+	if _, err := tr.Session(5); err == nil {
+		t.Fatal("duplicate job ID accepted")
+	}
+	if _, err := tr.Session(3); err == nil {
+		t.Fatal("non-monotonic job ID accepted")
+	}
+	s5.(*tcpSession).end()
+	if _, err := tr.Session(5); err == nil {
+		t.Fatal("job ID reused after its session ended")
+	}
+	tr.Close()
+	if _, err := tr.Session(9); !errors.Is(err, ErrTransportClosed) {
+		t.Fatalf("session on closed transport: %v, want ErrTransportClosed", err)
+	}
+}
+
+// Ending a session on one side must unblock the peer's receivers for
+// that job — and only that job: the bye broadcast closes the job's
+// mailboxes remotely while other jobs keep flowing.
+func TestTCPSessionEndUnblocksPeerJob(t *testing.T) {
+	trs := startMesh(t, 2)
+	sa := make([]Transport, 2)
+	sb := make([]Transport, 2)
+	for i, tr := range trs {
+		a, err := tr.Session(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := tr.Session(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa[i], sb[i] = a, b
+	}
+	cfg := Config{Ranks: 2, ParallelCompute: true, RecvTimeout: 30 * time.Second}
+	var wg sync.WaitGroup
+	var recvErr error
+	start := time.Now()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := cfg
+		c.Transport = sa[1]
+		_, recvErr = Run(c, func(r *Rank) error {
+			_, err := r.Recv(0)
+			return err
+		})
+	}()
+	// Job 1 on rank 0 ends without sending; its bye must abort the
+	// peer's blocked Recv long before the 30s timeout.
+	time.Sleep(50 * time.Millisecond)
+	c := cfg
+	c.Transport = sa[0]
+	Run(c, func(r *Rank) error { return nil })
+	wg.Wait()
+	if !errors.Is(recvErr, ErrPeerFailed) {
+		t.Fatalf("recv on ended job: %v, want ErrPeerFailed", recvErr)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("job end took %v to unblock the peer", elapsed)
+	}
+	// Job 2 is untouched: a normal exchange still works on the same mesh.
+	_, err := runSessions(t, Config{Ranks: 2, ParallelCompute: true}, sb, func(r *Rank) error {
+		if r.ID == 0 {
+			return r.Send(1, []byte("job 2 lives"))
+		}
+		got, err := r.Recv(0)
+		if err != nil {
+			return err
+		}
+		if string(got) != "job 2 lives" {
+			return fmt.Errorf("payload %q", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("sibling job after bye: %v", err)
+	}
+}
+
+// SendJob/SetJobHandler carry daemon control traffic over the mesh
+// outside any session.
+func TestTCPJobFrames(t *testing.T) {
+	trs := startMesh(t, 2)
+	type jf struct {
+		from    int
+		job     uint32
+		kind    byte
+		payload string
+	}
+	got := make(chan jf, 1)
+	trs[1].SetJobHandler(func(from int, job uint32, kind byte, payload []byte) {
+		got <- jf{from, job, kind, string(payload)}
+	})
+	if err := trs[0].SendJob(1, 7, 3, []byte("submit")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case f := <-got:
+		if f.from != 0 || f.job != 7 || f.kind != 3 || f.payload != "submit" {
+			t.Fatalf("job frame %+v", f)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("job frame never delivered")
+	}
+	if err := trs[0].SendJob(1, 7, jobByeKind, nil); err == nil {
+		t.Fatal("reserved job-frame kind accepted")
+	}
+}
+
+// TestTCPFormationUnreachablePeer is the regression test for the
+// mesh-formation resource leak: a dial that can never succeed must fail
+// promptly at the deadline AND leave no live listener behind — before
+// the fix the listener (and any already-accepted conns) stayed open on
+// the error path.
+func TestTCPFormationUnreachablePeer(t *testing.T) {
+	// A port that refuses connections: listen, grab the address, close.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	tr, err := NewTCPTransport(TCPOptions{
+		Rank: 1, Peers: []string{deadAddr, ln.Addr().String()},
+		Listener: ln, DialTimeout: 500 * time.Millisecond,
+	})
+	if err == nil {
+		tr.Close()
+		t.Fatal("mesh with an unreachable peer formed")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("unreachable-peer failure took %v", elapsed)
+	}
+	// The listener must be closed on the failure path.
+	if _, aerr := ln.Accept(); !errors.Is(aerr, net.ErrClosed) {
+		t.Fatalf("listener still live after failed formation: Accept returned %v", aerr)
+	}
+}
+
+// TestTCPFormationEarlyAbort: a failure on the accept side (garbage
+// handshake) must abort the dial side immediately instead of letting it
+// retry an absent peer until the full deadline.
+func TestTCPFormationEarlyAbort(t *testing.T) {
+	// Rank 0 never exists: its port refuses connections.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A client that speaks garbage instead of the handshake.
+	go func() {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		conn.Write([]byte("not-the-protocol-you-expect-"))
+		buf := make([]byte, 256)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	start := time.Now()
+	tr, err := NewTCPTransport(TCPOptions{
+		Rank: 1, Peers: []string{deadAddr, ln.Addr().String(), "127.0.0.1:1"},
+		Listener: ln, DialTimeout: 30 * time.Second,
+	})
+	if err == nil {
+		tr.Close()
+		t.Fatal("mesh formed against a garbage handshake")
+	}
+	// The handshake rejection must cascade: well under the 30s dial
+	// deadline (the handshake itself has a 5s bound).
+	if elapsed := time.Since(start); elapsed > 15*time.Second {
+		t.Fatalf("accept-side failure took %v to abort the dial side", elapsed)
+	}
+}
+
+// TestTCPFormationClosesAcceptedConns: when formation fails, peers that
+// DID complete their handshake must be disconnected, not leaked.
+func TestTCPFormationClosesAcceptedConns(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 0 of a 3-rank world: accepts ranks 1 and 2. Only "rank 2"
+	// shows up (this test), so formation times out.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tr, err := NewTCPTransport(TCPOptions{
+			Rank: 0, Peers: []string{ln.Addr().String(), "127.0.0.1:1", "127.0.0.1:1"},
+			Listener: ln, DialTimeout: 700 * time.Millisecond,
+		})
+		if err == nil {
+			tr.Close()
+			t.Error("2-of-3 mesh formed")
+		}
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var hello [tcpHelloLen]byte
+	copy(hello[:4], tcpMagic)
+	hello[4] = tcpVersion
+	binary.LittleEndian.PutUint32(hello[5:9], 2)  // rank 2
+	binary.LittleEndian.PutUint32(hello[9:13], 3) // world 3
+	binary.LittleEndian.PutUint64(hello[13:21], uint64(time.Now().UnixNano()))
+	if _, err := conn.Write(hello[:]); err != nil {
+		t.Fatal(err)
+	}
+	// Read rank 0's hello back, then wait: the failed formation must
+	// close our accepted connection (EOF), not leave it dangling.
+	var peerHello [tcpHelloLen]byte
+	if _, err := io.ReadFull(conn, peerHello[:]); err != nil {
+		t.Fatalf("handshake reply: %v", err)
+	}
+	<-done
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(peerHello[:1]); err == nil || errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("accepted conn still open after failed formation (read err %v)", err)
 	}
 }

@@ -38,6 +38,7 @@ var (
 	mTransportReconnects = telemetry.C("cluster.transport.reconnects")
 	mTransportBytesOut   = telemetry.C("cluster.transport.bytes_out")
 	mTransportBytesIn    = telemetry.C("cluster.transport.bytes_in")
+	mTransportJobFrames  = telemetry.C("cluster.transport.job_frames")
 )
 
 // flight is the process-global flight recorder: every send, delivery,

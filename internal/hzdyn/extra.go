@@ -1,15 +1,23 @@
 package hzdyn
 
-import "hzccl/internal/fzlight"
+import "errors"
 
 // This file extends the reducer beyond the paper's 'sum' example, in the
 // direction its future-work section sketches: any linear operation on the
 // quantized domain is homomorphic in the fZ-light format.
 
+// ErrNoOperands means Fold was called with an empty operand list. It is a
+// usage error, deliberately distinct from the stream-corruption class
+// (fzlight.ErrCorrupt): callers that triage corrupt data — the degradation
+// ladder in particular — must not mistake an empty fold for bad bytes.
+var ErrNoOperands = errors.New("hzdyn: fold of zero operands")
+
 // Sub homomorphically subtracts b from a:
 // Decompress(Sub(a,b)) == Decompress(a) − Decompress(b) exactly in the
 // quantized domain. Implemented as a + (−1)·b; the negation shares the
-// Add fast paths because only sign bits change.
+// Add fast paths because only sign bits change. A b whose quantized
+// outlier is exactly MinInt32 cannot be negated in int32 and surfaces as
+// ErrOverflow rather than wrapping.
 func Sub(a, b []byte) ([]byte, Stats, error) {
 	nb, err := ScaleInt(b, -1)
 	if err != nil {
@@ -21,11 +29,11 @@ func Sub(a, b []byte) ([]byte, Stats, error) {
 // Fold reduces many compressed streams into one with pairwise homomorphic
 // additions, accumulating pipeline statistics — the pattern a rank uses
 // when stacking locally buffered contributions. At least one operand is
-// required.
+// required; an empty list returns ErrNoOperands.
 func Fold(streams [][]byte) ([]byte, Stats, error) {
 	var total Stats
 	if len(streams) == 0 {
-		return nil, total, fzlight.ErrCorrupt
+		return nil, total, ErrNoOperands
 	}
 	acc := streams[0]
 	for _, s := range streams[1:] {

@@ -1,6 +1,7 @@
 package hzdyn
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -88,6 +89,45 @@ func TestFold(t *testing.T) {
 	}
 	if _, _, err := Fold(nil); err == nil {
 		t.Fatal("empty fold accepted")
+	}
+}
+
+// An empty fold is a usage error, not data corruption: it must surface as
+// the typed ErrNoOperands and stay out of the fzlight.ErrCorrupt class so
+// the degradation ladder never treats it as a corrupt stream.
+func TestFoldEmptyIsTypedUsageError(t *testing.T) {
+	_, _, err := Fold(nil)
+	if !errors.Is(err, ErrNoOperands) {
+		t.Fatalf("Fold(nil): got %v, want ErrNoOperands", err)
+	}
+	if errors.Is(err, fzlight.ErrCorrupt) {
+		t.Fatalf("Fold(nil) error %v matches fzlight.ErrCorrupt; must stay out of the corruption class", err)
+	}
+	if _, _, err := Fold([][]byte{}); !errors.Is(err, ErrNoOperands) {
+		t.Fatalf("Fold(empty): got %v, want ErrNoOperands", err)
+	}
+}
+
+// Sub negates its right operand in int32; a quantized outlier of exactly
+// MinInt32 has no int32 negation. The scale kernel must widen and report
+// ErrOverflow instead of wrapping back to MinInt32 and corrupting the
+// difference silently.
+func TestSubNegationOverflow(t *testing.T) {
+	// Quantized outlier 2^28 (eb=0.5 → code = round(v) = 2^28, inside the
+	// 2^29 quantizer limit), scaled by −8 to land exactly on MinInt32.
+	v := []float32{1 << 28}
+	p := fzlight.Params{ErrorBound: 0.5}
+	c := compress(t, v, p)
+	cmin, err := ScaleInt(c, -8)
+	if err != nil {
+		t.Fatalf("scaling to MinInt32 must fit: %v", err)
+	}
+	// Sanity: the MinInt32 stream itself is valid and decodes exactly.
+	if got := decompress(t, cmin); got[0] != float32(math.MinInt32) {
+		t.Fatalf("MinInt32 stream decodes to %v", got[0])
+	}
+	if _, _, err := Sub(c, cmin); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("Sub with MinInt32-coded operand: got %v, want ErrOverflow", err)
 	}
 }
 

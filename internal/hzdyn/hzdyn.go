@@ -741,9 +741,11 @@ func ScaleIntInto(dst, comp []byte, k int32) (int, error) {
 	}
 
 	// Multi-chunk: scale in parallel at worst-case offsets, then compact —
-	// the same shape as addInto.
-	offs := make([]int, nc+1)
-	offsIn := make([]int, nc+1)
+	// the same shape as addInto. The index/error scratch is pooled so the
+	// chunked steady state pays only the goroutine spawns.
+	sc := scaleScratchPool.Get().(*scaleScratch)
+	sc.grow(nc)
+	offs, offsIn, sizes, errs := sc.offs, sc.offsIn, sc.sizes, sc.errs
 	offs[0], offsIn[0] = hdr, hdr
 	for i := 0; i < nc; i++ {
 		s, e := fzlight.ChunkBounds(h.DataLen, nc, i)
@@ -751,10 +753,9 @@ func ScaleIntInto(dst, comp []byte, k int32) (int, error) {
 		offs[i+1] = offs[i] + worstChunkBytes(e-s, h.BlockSize)
 	}
 	if len(dst) < offs[nc] {
+		scaleScratchPool.Put(sc)
 		return 0, fzlight.ErrShortOutput
 	}
-	sizes := make([]int, nc)
-	errs := make([]error, nc)
 	var wg sync.WaitGroup
 	wg.Add(nc)
 	for i := 0; i < nc; i++ {
@@ -772,13 +773,43 @@ func ScaleIntInto(dst, comp []byte, k int32) (int, error) {
 			if errors.Is(errs[i], ErrOverflow) {
 				mOverflow.Inc()
 			}
-			return 0, errs[i]
+			err := errs[i]
+			scaleScratchPool.Put(sc)
+			return 0, err
 		}
 		copy(dst[o:], dst[offs[i]:offs[i]+sizes[i]])
 		fzlight.PutChunkSize(dst, i, sizes[i])
 		o += sizes[i]
 	}
+	scaleScratchPool.Put(sc)
 	return o, nil
+}
+
+// scaleScratch holds the per-call index and error slices of the
+// multi-chunk ScaleIntInto path so repeated chunked scales reuse them
+// instead of re-allocating four slices per call.
+type scaleScratch struct {
+	offs, offsIn []int
+	sizes        []int
+	errs         []error
+}
+
+var scaleScratchPool = sync.Pool{New: func() any { return new(scaleScratch) }}
+
+func (s *scaleScratch) grow(nc int) {
+	if cap(s.offs) < nc+1 {
+		s.offs = make([]int, nc+1)
+		s.offsIn = make([]int, nc+1)
+		s.sizes = make([]int, nc)
+		s.errs = make([]error, nc)
+	}
+	s.offs = s.offs[:nc+1]
+	s.offsIn = s.offsIn[:nc+1]
+	s.sizes = s.sizes[:nc]
+	s.errs = s.errs[:nc]
+	for i := range s.errs {
+		s.errs[i] = nil
+	}
 }
 
 // scaleIntoSlow scales 2D/3D containers through the allocating chunk path.

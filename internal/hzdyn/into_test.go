@@ -144,3 +144,73 @@ func TestAddIntoZeroAllocs(t *testing.T) {
 		t.Fatalf("steady-state AddInto allocates %v objects/op, want 0", allocs)
 	}
 }
+
+// ScaleIntInto follows the same discipline as AddInto: the single-chunk
+// steady state must not allocate at all once the pools are warm.
+func TestScaleIntIntoZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are meaningless")
+	}
+	data := smooth(1<<14, 23, 1)
+	p := fzlight.Params{ErrorBound: 1e-3}
+	comp := compress(t, data, p)
+	bound, err := ScaleBound(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, bound)
+	for i := 0; i < 4; i++ {
+		if _, err := ScaleIntInto(dst, comp, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := ScaleIntInto(dst, comp, 3); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ScaleIntInto allocates %v objects/op, want 0", allocs)
+	}
+}
+
+// The multi-chunk path pools its index/error scratch: the only per-call
+// allocations left are the per-chunk goroutine spawns, so the steady
+// state must stay within a small per-chunk budget instead of the four
+// fresh slices it used to allocate every call.
+func TestScaleIntIntoMultiChunkScratchPooled(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are meaningless")
+	}
+	data := smooth(1<<14, 24, 1)
+	p := fzlight.Params{ErrorBound: 1e-3, Threads: 4}
+	comp := compress(t, data, p)
+	h, err := fzlight.ParseHeaderLite(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumChunks < 2 {
+		t.Fatalf("want a multi-chunk container, got %d chunks", h.NumChunks)
+	}
+	bound, err := ScaleBound(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, bound)
+	for i := 0; i < 4; i++ {
+		if _, err := ScaleIntInto(dst, comp, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := ScaleIntInto(dst, comp, 3); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Budget: one closure allocation per chunk goroutine plus slack for
+	// the WaitGroup escape; the unpooled version cost 4 extra slices.
+	budget := float64(2*h.NumChunks + 2)
+	if allocs > budget {
+		t.Fatalf("multi-chunk ScaleIntInto allocates %v objects/op, want <= %v (scratch not pooled?)", allocs, budget)
+	}
+}

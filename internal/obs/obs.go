@@ -17,6 +17,8 @@
 //	                         collective failure)
 //	/trace                   the current Chrome trace, when the process
 //	                         registered a trace source
+//	/jobs                    the job registry, when the process registered
+//	                         a jobs source (hzccl-serve does)
 package obs
 
 import (
@@ -45,6 +47,10 @@ type Options struct {
 	// Trace, when non-nil, renders the current execution trace (Chrome
 	// trace-event JSON) for GET /trace.
 	Trace func(io.Writer) error
+	// Jobs, when non-nil, snapshots the process's job registry for GET
+	// /jobs (served as a JSON array). hzccl-serve wires its daemon's
+	// registry here; processes without one 404.
+	Jobs func() any
 }
 
 // Server is one live introspection endpoint bound to a listener.
@@ -76,6 +82,7 @@ func Start(addr string, opts Options) (*Server, error) {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/flightrecorder", s.handleFlight)
 	mux.HandleFunc("/trace", s.handleTrace)
+	mux.HandleFunc("/jobs", s.handleJobs)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -146,6 +153,15 @@ func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	f.WriteJSON(w) //nolint:errcheck
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Jobs == nil {
+		http.Error(w, "no jobs source registered (only hzccl-serve has a job registry)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.opts.Jobs()) //nolint:errcheck // best-effort response
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {

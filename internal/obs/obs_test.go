@@ -163,6 +163,38 @@ func TestTraceEndpoint(t *testing.T) {
 	}
 }
 
+func TestJobsEndpoint(t *testing.T) {
+	noJobs := startServer(t, Options{})
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + noJobs.Addr() + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/jobs without a source: status %d, want 404", resp.StatusCode)
+	}
+
+	type job struct {
+		ID    uint32 `json:"id"`
+		State string `json:"state"`
+	}
+	withJobs := startServer(t, Options{Jobs: func() any {
+		return []job{{ID: 1, State: "done"}, {ID: 2, State: "running"}}
+	}})
+	body, hdr := get(t, withJobs, "/jobs")
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("/jobs content-type = %q", ct)
+	}
+	var got []job
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("/jobs is not a JSON array: %v\n%s", err, body)
+	}
+	if len(got) != 2 || got[0].ID != 1 || got[1].State != "running" {
+		t.Fatalf("/jobs = %+v", got)
+	}
+}
+
 func TestPprofEndpoints(t *testing.T) {
 	s := startServer(t, Options{})
 	if body, _ := get(t, s, "/debug/pprof/"); !strings.Contains(body, "profile") {

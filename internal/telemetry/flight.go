@@ -51,6 +51,7 @@ const (
 	FlightConfirm               // failure detector confirms a rank dead: A=rank
 	FlightEvict                 // membership consensus evicted a rank: A=rank
 	FlightShrink                // world shrank: A=new world size B=evicted count
+	FlightJob                   // job/session lifecycle: A=job ID B=phase C=detail (phase codes in cluster/serve)
 )
 
 var flightKindNames = [...]string{
@@ -70,6 +71,7 @@ var flightKindNames = [...]string{
 	FlightConfirm:    "confirm",
 	FlightEvict:      "evict",
 	FlightShrink:     "shrink",
+	FlightJob:        "job",
 }
 
 func (k FlightKind) String() string {
@@ -115,6 +117,8 @@ func (e FlightEvent) Detail() string {
 		return fmt.Sprintf("rank=%d", e.A)
 	case FlightShrink:
 		return fmt.Sprintf("world=%d evicted=%d", e.A, e.B)
+	case FlightJob:
+		return fmt.Sprintf("job=%d phase=%d detail=%d", e.A, e.B, e.C)
 	}
 	return ""
 }

@@ -7,9 +7,13 @@
 # on the default in-process fabric, (c) rank 0's -obs-listen endpoint
 # answers /healthz, serves a parseable Prometheus /metrics scrape and a
 # 1-second CPU profile, and (d) the four per-process trace files merge
-# into one multi-rank timeline with cross-process flow events. Exit code
-# 0 means the two fabrics are observationally equivalent for this run and
-# the observability surface works end to end.
+# into one multi-rank timeline with cross-process flow events. It then
+# re-runs the mesh with an injected kill (elastic membership), and
+# finally boots the hzccl-serve daemon on the same 4-rank shape: two
+# client processes submit concurrent jobs against one mesh handshake,
+# /jobs lists them, and SIGTERM shuts every rank down cleanly. Exit code
+# 0 means the fabrics are observationally equivalent for this run and
+# the observability + service surfaces work end to end.
 #
 # Usage: sh scripts/tcp_smoke.sh [MESSAGE_BYTES] [BACKEND] [ALGORITHM] [TOPOLOGY]
 #
@@ -29,6 +33,7 @@ OUT="$(mktemp -d)"
 trap 'rm -rf "$OUT"' EXIT
 
 go build -o "$OUT/hzccl-collective" ./cmd/hzccl-collective
+go build -o "$OUT/hzccl-serve" ./cmd/hzccl-serve
 
 PEERS="127.0.0.1:$BASE_PORT,127.0.0.1:$((BASE_PORT+1)),127.0.0.1:$((BASE_PORT+2)),127.0.0.1:$((BASE_PORT+3))"
 OBS="127.0.0.1:$((BASE_PORT+9))"
@@ -181,3 +186,101 @@ done
 [ "$FAIL" -eq 0 ] || exit 1
 
 echo "tcp_smoke: OK: killed rank 3 mid-collective; survivors evicted it and match the 3-rank in-process digest ($KREF)"
+
+# --- Collective as a service: the hzccl-serve daemon -------------------
+# Boot a 4-rank daemon mesh (one handshake), submit two jobs from two
+# separate client processes — concurrently, exercising session isolation —
+# and verify their digests match the in-process references, the /jobs
+# registry saw both, the mesh formed exactly once, and SIGTERM shuts every
+# rank down cleanly (exit 0).
+DBASE=$((BASE_PORT+40))
+DPEERS="127.0.0.1:$DBASE,127.0.0.1:$((DBASE+1)),127.0.0.1:$((DBASE+2)),127.0.0.1:$((DBASE+3))"
+DCLIENT="127.0.0.1:$((DBASE+8))"
+DOBS="127.0.0.1:$((DBASE+9))"
+
+DPIDS=""
+for r in 1 2 3; do
+    "$OUT/hzccl-serve" -rank "$r" -peers "$DPEERS" \
+        > "$OUT/serve$r.out" 2>&1 &
+    DPIDS="$DPIDS $!"
+done
+"$OUT/hzccl-serve" -rank 0 -peers "$DPEERS" -client-listen "$DCLIENT" \
+    -obs-listen "$DOBS" > "$OUT/serve0.out" 2>&1 &
+DPIDS="$DPIDS $!"
+
+# The obs endpoint comes up after the mesh forms and the client listener
+# opens, so a live /healthz means the service is ready for submissions.
+tries=0
+until curl -fsS "http://$DOBS/healthz" > /dev/null 2>&1; do
+    tries=$((tries+1))
+    if [ "$tries" -ge 100 ]; then
+        echo "tcp_smoke: FAIL: daemon obs endpoint never answered on $DOBS" >&2
+        cat "$OUT"/serve*.out >&2 || true
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# Two client processes, two different jobs, submitted concurrently.
+"$OUT/hzccl-collective" -submit "$DCLIENT" \
+    -backend "$BACKEND" -algorithm "$ALGO" ${TOPO:+-topology "$TOPO"} \
+    -message "$MESSAGE" > "$OUT/job1.out" 2>&1 &
+JOB1=$!
+"$OUT/hzccl-collective" -submit "$DCLIENT" \
+    -backend mpi -algorithm ring -message 32768 > "$OUT/job2.out" 2>&1 &
+JOB2=$!
+wait "$JOB1" || { echo "tcp_smoke: FAIL: daemon job 1 failed" >&2; cat "$OUT/job1.out" >&2; exit 1; }
+wait "$JOB2" || { echo "tcp_smoke: FAIL: daemon job 2 failed" >&2; cat "$OUT/job2.out" >&2; exit 1; }
+
+D1="$(digest_of "$OUT/job1.out")"
+if [ "$D1" != "$REF" ]; then
+    echo "tcp_smoke: FAIL: daemon job 1 digest '$D1' != in-process '$REF'" >&2
+    cat "$OUT/job1.out" >&2
+    exit 1
+fi
+"$OUT/hzccl-collective" -transport=inproc -nodes 4 \
+    -backend mpi -algorithm ring -message 32768 > "$OUT/inproc-mpi.out" 2>&1
+MREF="$(digest_of "$OUT/inproc-mpi.out")"
+D2="$(digest_of "$OUT/job2.out")"
+if [ -z "$MREF" ] || [ "$D2" != "$MREF" ]; then
+    echo "tcp_smoke: FAIL: daemon job 2 digest '$D2' != in-process '$MREF'" >&2
+    cat "$OUT/job2.out" >&2
+    exit 1
+fi
+
+# The registry must have both jobs done, and the mesh must have formed
+# exactly once: rank 0 of a 4-rank mesh accepts 3 connections and dials
+# none, no matter how many jobs ran.
+curl -fsS "http://$DOBS/jobs" > "$OUT/jobs.json"
+[ "$(grep -o '"state":"done"' "$OUT/jobs.json" | wc -l)" -ge 2 ] || {
+    echo "tcp_smoke: FAIL: /jobs does not list two completed jobs: $(cat "$OUT/jobs.json")" >&2
+    exit 1
+}
+curl -fsS "http://$DOBS/metrics" > "$OUT/serve-metrics.prom"
+grep -q '^cluster_transport_accepts 3$' "$OUT/serve-metrics.prom" || {
+    echo "tcp_smoke: FAIL: daemon rank 0 accepts != 3 (mesh re-formed?)" >&2
+    grep '^cluster_transport_' "$OUT/serve-metrics.prom" >&2 || true
+    exit 1
+}
+grep -q '^cluster_transport_dials 0$' "$OUT/serve-metrics.prom" || {
+    echo "tcp_smoke: FAIL: daemon rank 0 dialed mid-service (mesh re-formed?)" >&2
+    grep '^cluster_transport_' "$OUT/serve-metrics.prom" >&2 || true
+    exit 1
+}
+
+# Graceful shutdown: SIGTERM every rank; each must exit 0 (a rank that
+# sees a peer leave first tears itself down, which is also a clean exit).
+for pid in $DPIDS; do
+    kill -TERM "$pid" 2>/dev/null || true
+done
+DFAIL=0
+for pid in $DPIDS; do
+    wait "$pid" || DFAIL=1
+done
+if [ "$DFAIL" -ne 0 ]; then
+    echo "tcp_smoke: FAIL: a daemon rank exited non-zero on SIGTERM" >&2
+    cat "$OUT"/serve*.out >&2
+    exit 1
+fi
+
+echo "tcp_smoke: OK: daemon ran 2 concurrent jobs from 2 clients on one mesh handshake; digests match in-process ($D1, $D2); clean SIGTERM shutdown"

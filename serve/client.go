@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is a thin connection to a daemon's client port (rank 0's
+// ClientAddr). It is safe for concurrent use, but requests on one
+// client are serialized — open several clients for concurrent
+// submissions, as scripts/tcp_smoke.sh does.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+}
+
+// Dial connects to a daemon's client port.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, dec: json.NewDecoder(conn), enc: json.NewEncoder(conn)}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) do(req request) (*response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("serve: send %s: %w", req.Op, err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("serve: read %s response: %w", req.Op, err)
+	}
+	if !resp.OK {
+		if resp.Code == codeQueueFull {
+			return nil, fmt.Errorf("%w", ErrQueueFull)
+		}
+		return nil, errors.New(resp.Error)
+	}
+	return &resp, nil
+}
+
+// Ping checks liveness and returns the daemon's mesh size.
+func (c *Client) Ping() (world int, err error) {
+	resp, err := c.do(request{Op: opPing})
+	if err != nil {
+		return 0, err
+	}
+	return resp.World, nil
+}
+
+// Submit runs one collective job on the daemon's mesh, blocking until
+// it completes. A full submission queue returns ErrQueueFull
+// immediately (check with errors.Is) — the job was never admitted.
+func (c *Client) Submit(spec JobSpec) (*JobResult, error) {
+	resp, err := c.do(request{Op: opSubmit, Spec: &spec})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Result == nil {
+		return nil, errors.New("serve: submit response without a result")
+	}
+	return resp.Result, nil
+}
+
+// Jobs returns the daemon's job registry, oldest first.
+func (c *Client) Jobs() ([]JobStatus, error) {
+	resp, err := c.do(request{Op: opJobs})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Jobs, nil
+}
